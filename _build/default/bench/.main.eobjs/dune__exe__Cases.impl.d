@@ -1,0 +1,1 @@
+bench/cases.ml: Aig Gen Hashtbl List Opt

@@ -1,0 +1,1 @@
+bench/harness.ml: Aig Float List Sat Simsweep Unix

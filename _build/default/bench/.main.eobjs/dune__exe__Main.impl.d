@@ -1,0 +1,1 @@
+bench/main.ml: Aig Analyze Array Bechamel Benchmark Cases Cuts Fun Harness Hashtbl Lazy List Lutmap Measure Par Printf Sat Sim Simsweep Staged String Sys Test Time Toolkit

@@ -1,0 +1,63 @@
+(* Shared measurement helpers for the bench harness. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+      let logs = List.fold_left (fun acc x -> acc +. Float.log x) 0. xs in
+      Float.exp (logs /. float_of_int (List.length xs))
+
+let outcome_tag = function
+  | Simsweep.Engine.Proved -> "EQ"
+  | Simsweep.Engine.Disproved _ -> "NEQ"
+  | Simsweep.Engine.Undecided -> "UNDEC"
+
+(* The combined "ours" flow of Table II: engine first, SAT sweeper on the
+   remainder; returns per-column data. *)
+type ours = {
+  gpu_time : float;  (** simulation-engine time (the paper's "GPU (s)") *)
+  reduced_percent : float;
+  sat_time : float option;  (** fallback SAT time, [None] when not needed *)
+  total : float;
+  outcome : Simsweep.Engine.outcome;
+}
+
+let run_ours ?(config = Simsweep.Config.scaled) ~pool miter =
+  let r, gpu_time = time (fun () -> Simsweep.Engine.run ~config ~pool (Aig.Network.copy miter)) in
+  match r.Simsweep.Engine.outcome with
+  | Simsweep.Engine.Proved | Simsweep.Engine.Disproved _ ->
+      {
+        gpu_time;
+        reduced_percent = Simsweep.Engine.reduction_percent r;
+        sat_time = None;
+        total = gpu_time;
+        outcome = r.Simsweep.Engine.outcome;
+      }
+  | Simsweep.Engine.Undecided ->
+      let (sat_outcome, _), sat_time =
+        time (fun () -> Sat.Sweep.check ~pool r.Simsweep.Engine.reduced)
+      in
+      let outcome =
+        match sat_outcome with
+        | Sat.Sweep.Equivalent -> Simsweep.Engine.Proved
+        | Sat.Sweep.Inequivalent (cex, po) -> Simsweep.Engine.Disproved (cex, po)
+        | Sat.Sweep.Undecided -> Simsweep.Engine.Undecided
+      in
+      {
+        gpu_time;
+        reduced_percent = Simsweep.Engine.reduction_percent r;
+        sat_time = Some sat_time;
+        total = gpu_time +. sat_time;
+        outcome;
+      }
+
+let run_sat_baseline ~pool miter =
+  time (fun () -> fst (Sat.Sweep.check ~pool (Aig.Network.copy miter)))
+
+let run_portfolio ~pool miter =
+  time (fun () -> Simsweep.Portfolio.check ~pool (Aig.Network.copy miter))

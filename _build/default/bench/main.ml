@@ -1,0 +1,415 @@
+(* Bench harness: regenerates every table and figure of the paper's
+   evaluation (Section IV) on the scaled benchmark suite, plus the ablations
+   called out in DESIGN.md and Bechamel micro-benchmarks of the core
+   kernels.
+
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- table2     # one experiment
+     dune exec bench/main.exe -- fig6 fig7 ablation-passes micro
+
+   Absolute times are CPU-scale; the paper's testbed was an RTX A6000, so
+   EXPERIMENTS.md compares shapes (who wins, where the engine stops on its
+   own) rather than raw numbers. *)
+
+let pool = lazy (Par.Pool.create ())
+
+let pr fmt = Printf.printf fmt
+
+let heading title = pr "\n=== %s ===\n%!" title
+
+(* ---------------------------------------------------------------- Table II *)
+
+let table2 () =
+  heading
+    "Table II - runtime comparison (ABC-analog = SAT sweeping, Cfm-analog = portfolio)";
+  let pool = Lazy.force pool in
+  pr "%-11s %7s %6s %8s | %8s %8s | %8s %7s %8s %9s | %8s %8s\n" "case" "PIs"
+    "POs" "ANDs" "SAT(s)" "Pf(s)" "GPU(s)" "Red%" "SATf(s)" "Total(s)" "vs SAT"
+    "vs Pf";
+  let sp_sat = ref [] and sp_pf = ref [] in
+  List.iter
+    (fun case ->
+      let p = Cases.prepare case in
+      let m = p.Cases.miter in
+      let sat_outcome, sat_time = Harness.run_sat_baseline ~pool m in
+      let pf, pf_time = Harness.run_portfolio ~pool m in
+      let ours = Harness.run_ours ~pool m in
+      let su_sat = sat_time /. ours.Harness.total in
+      let su_pf = pf_time /. ours.Harness.total in
+      sp_sat := su_sat :: !sp_sat;
+      sp_pf := su_pf :: !sp_pf;
+      ignore sat_outcome;
+      ignore pf;
+      pr
+        "%-11s %7d %6d %8d | %8.3f %8.3f | %8.3f %7.1f %8s %9.3f | %7.2fx %7.2fx\n%!"
+        case.Cases.name (Aig.Network.num_pis m) (Aig.Network.num_pos m)
+        (Aig.Network.num_ands m) sat_time pf_time ours.Harness.gpu_time
+        ours.Harness.reduced_percent
+        (match ours.Harness.sat_time with
+        | None -> "-"
+        | Some t -> Printf.sprintf "%.3f" t)
+        ours.Harness.total su_sat su_pf)
+    Cases.table2;
+  pr "%-11s %62s | %7.2fx %7.2fx\n" "geomean" "" (Harness.geomean !sp_sat)
+    (Harness.geomean !sp_pf)
+
+(* ----------------------------------------------------------------- Fig. 6 *)
+
+let fig6 () =
+  heading "Figure 6 - runtime breakdown of the engine phases (P / G / L %)";
+  let pool = Lazy.force pool in
+  pr "%-11s %8s %8s %8s   %s\n" "case" "P%" "G%" "L%" "(bar)";
+  List.iter
+    (fun case ->
+      let p = Cases.prepare case in
+      let r =
+        Simsweep.Engine.run ~config:Simsweep.Config.scaled ~pool
+          (Aig.Network.copy p.Cases.miter)
+      in
+      let fp, fg, fl = Simsweep.Stats.breakdown r.Simsweep.Engine.stats in
+      let bar =
+        let n f = int_of_float (20. *. f) in
+        String.make (n fp) 'P' ^ String.make (n fg) 'G' ^ String.make (n fl) 'L'
+      in
+      pr "%-11s %8.1f %8.1f %8.1f   %s\n%!" case.Cases.name (100. *. fp)
+        (100. *. fg) (100. *. fl) bar)
+    Cases.table2
+
+(* ----------------------------------------------------------------- Fig. 7 *)
+
+let fig7 () =
+  heading
+    "Figure 7 - SAT time on the miter after P / P+G / P+G+L, normalized to standalone SAT";
+  let pool = Lazy.force pool in
+  pr "%-11s %10s %10s %10s %10s\n" "case" "standalone" "P" "PG" "PGL";
+  List.iter
+    (fun case ->
+      let p = Cases.prepare case in
+      let m = p.Cases.miter in
+      let _, t_alone = Harness.run_sat_baseline ~pool m in
+      let reduced_after stop_after =
+        let r =
+          Simsweep.Engine.run ~config:Simsweep.Config.scaled ?stop_after ~pool
+            (Aig.Network.copy m)
+        in
+        r.Simsweep.Engine.reduced
+      in
+      let sat_time_on g =
+        if Aig.Miter.solved g then 0.
+        else snd (Harness.run_sat_baseline ~pool g)
+      in
+      let tp = sat_time_on (reduced_after (Some `P)) in
+      let tpg = sat_time_on (reduced_after (Some `G)) in
+      let tpgl = sat_time_on (reduced_after None) in
+      let norm t = if t_alone <= 0. then 0. else t /. t_alone in
+      pr "%-11s %9.3fs %10.3f %10.3f %10.3f\n%!" case.Cases.name t_alone
+        (norm tp) (norm tpg) (norm tpgl))
+    Cases.table2
+
+(* -------------------------------------------------------------- ablations *)
+
+(* Table I ablation: run the L phases with a single cut-selection pass. *)
+let ablation_passes () =
+  heading "Ablation (Table I) - cut-selection passes in the L phase";
+  let pool = Lazy.force pool in
+  let cases = [ "multiplier"; "square"; "voter" ] in
+  pr "%-11s %14s %14s %14s %14s\n" "case" "pass1(fanout)" "pass2(lowlvl)"
+    "pass3(highlvl)" "all-three";
+  List.iter
+    (fun name ->
+      let p = Cases.prepare (Cases.find name) in
+      let run passes =
+        let cfg = { Simsweep.Config.scaled with Simsweep.Config.passes } in
+        let r =
+          Simsweep.Engine.run ~config:cfg ~pool (Aig.Network.copy p.Cases.miter)
+        in
+        Simsweep.Engine.reduction_percent r
+      in
+      let p1 = run [ Cuts.Criteria.Fanout_first ] in
+      let p2 = run [ Cuts.Criteria.Small_level_first ] in
+      let p3 = run [ Cuts.Criteria.Large_level_first ] in
+      let all = run Cuts.Criteria.table1 in
+      pr "%-11s %13.1f%% %13.1f%% %13.1f%% %13.1f%%\n%!" name p1 p2 p3 all)
+    cases
+
+(* §III-B3 ablation: window merging on/off. *)
+let ablation_merge () =
+  heading "Ablation (III-B3) - window merging";
+  let pool = Lazy.force pool in
+  pr "%-11s | %12s %12s %9s | %12s %12s %9s\n" "case" "nodes(on)" "time(on)"
+    "windows" "nodes(off)" "time(off)" "windows";
+  List.iter
+    (fun name ->
+      let p = Cases.prepare (Cases.find name) in
+      let run window_merging =
+        let cfg =
+          { Simsweep.Config.scaled with Simsweep.Config.window_merging }
+        in
+        let r, t =
+          Harness.time (fun () ->
+              Simsweep.Engine.run ~config:cfg ~pool
+                (Aig.Network.copy p.Cases.miter))
+        in
+        (r.Simsweep.Engine.stats.Simsweep.Stats.exhaustive, t)
+      in
+      let on, t_on = run true in
+      let off, t_off = run false in
+      pr "%-11s | %12d %11.3fs %9d | %12d %11.3fs %9d\n%!" name
+        on.Simsweep.Exhaustive.nodes_simulated t_on
+        on.Simsweep.Exhaustive.windows off.Simsweep.Exhaustive.nodes_simulated
+        t_off off.Simsweep.Exhaustive.windows)
+    [ "log2"; "sin"; "ac97_ctrl" ]
+
+(* §III-C1 ablation: similarity-steered cut selection on/off. *)
+let ablation_similarity () =
+  heading "Ablation (III-C1) - similarity-steered cut selection";
+  let pool = Lazy.force pool in
+  pr "%-11s %16s %16s\n" "case" "reduced%(on)" "reduced%(off)";
+  List.iter
+    (fun name ->
+      let p = Cases.prepare (Cases.find name) in
+      let run similarity_selection =
+        let cfg =
+          {
+            Simsweep.Config.scaled with
+            Simsweep.Config.similarity_selection;
+            max_local_phases = 4;
+          }
+        in
+        let r =
+          Simsweep.Engine.run ~config:cfg ~pool (Aig.Network.copy p.Cases.miter)
+        in
+        Simsweep.Engine.reduction_percent r
+      in
+      pr "%-11s %15.1f%% %15.1f%%\n%!" name (run true) (run false))
+    [ "multiplier"; "square"; "voter" ]
+
+(* §V extension ablation: EC transfer from the engine to the SAT sweeper. *)
+let ablation_ec_transfer () =
+  heading "Ablation (V) - EC transfer to the SAT fallback";
+  let pool = Lazy.force pool in
+  pr "%-11s | %12s %10s | %12s %10s\n" "case" "no-transfer" "SAT calls"
+    "transfer" "SAT calls";
+  List.iter
+    (fun name ->
+      let p = Cases.prepare (Cases.find name) in
+      let cfg =
+        { Simsweep.Config.scaled with Simsweep.Config.max_local_phases = 2 }
+      in
+      let run transfer =
+        let c, t =
+          Harness.time (fun () ->
+              Simsweep.Engine.check_with_fallback ~config:cfg
+                ~transfer_classes:transfer ~pool
+                (Aig.Network.copy p.Cases.miter))
+        in
+        let calls =
+          match c.Simsweep.Engine.sat_stats with
+          | Some st -> st.Sat.Sweep.sat_calls
+          | None -> 0
+        in
+        (t, calls)
+      in
+      let t0, c0 = run false in
+      let t1, c1 = run true in
+      pr "%-11s | %11.3fs %10d | %11.3fs %10d\n%!" name t0 c0 t1 c1)
+    [ "hyp"; "sqrt"; "voter" ]
+
+(* §V extension ablation: adaptive pass disabling and interleaved
+   rewriting during the repeated L phases. *)
+let ablation_flow_tweaks () =
+  heading "Ablation (V) - adaptive passes & interleaved rewriting";
+  let pool = Lazy.force pool in
+  pr "%-11s | %10s %7s | %10s %7s | %10s %7s
+" "case" "base(s)" "red%"
+    "adaptive" "red%" "rewrite" "red%";
+  List.iter
+    (fun name ->
+      let p = Cases.prepare (Cases.find name) in
+      let run adaptive rewrite =
+        let cfg =
+          {
+            Simsweep.Config.scaled with
+            Simsweep.Config.adaptive_passes = adaptive;
+            rewrite_between_phases = rewrite;
+            max_local_phases = 8;
+          }
+        in
+        let r, t =
+          Harness.time (fun () ->
+              Simsweep.Engine.run ~config:cfg ~pool
+                (Aig.Network.copy p.Cases.miter))
+        in
+        (t, Simsweep.Engine.reduction_percent r)
+      in
+      let tb, rb = run false false in
+      let ta, ra = run true false in
+      let tr, rr = run false true in
+      pr "%-11s | %9.3fs %6.1f%% | %9.3fs %6.1f%% | %9.3fs %6.1f%%
+%!" name tb
+        rb ta ra tr rr)
+    [ "multiplier"; "voter"; "hyp" ]
+
+(* Post-mapping equivalence workload: original AIG vs its k-LUT mapped and
+   resynthesised netlist — industrial CEC's main driver, and a harder miter
+   family than resyn2's (the mapped structure shares much less). *)
+let postmap () =
+  heading "Post-mapping CEC (original vs 6-LUT mapped netlist)";
+  let pool = Lazy.force pool in
+  pr "%-11s %8s %8s | %8s %8s %7s | %8s
+" "case" "ANDs" "LUTs" "SAT(s)"
+    "GPU(s)" "Red%" "Total(s)";
+  List.iter
+    (fun name ->
+      let p = Cases.prepare (Cases.find name) in
+      let g = p.Cases.original in
+      let m = Lutmap.Mapper.map ~k:6 g in
+      let mapped = Lutmap.Mapper.to_network m in
+      let miter = Aig.Miter.build g mapped in
+      let _, sat_time = Harness.run_sat_baseline ~pool miter in
+      let ours = Harness.run_ours ~pool miter in
+      pr "%-11s %8d %8d | %8.3f %8.3f %6.1f%% | %8.3f
+%!" name
+        (Aig.Network.num_ands miter)
+        (Lutmap.Mapper.lut_count m)
+        sat_time ours.Harness.gpu_time ours.Harness.reduced_percent
+        ours.Harness.total)
+    [ "multiplier"; "square"; "voter"; "ac97_ctrl"; "vga_lcd" ]
+
+(* ------------------------------------------------------- Bechamel kernels *)
+
+let micro () =
+  heading "Bechamel micro-benchmarks (one kernel per experiment)";
+  let open Bechamel in
+  let pool = Lazy.force pool in
+  let mult = Cases.prepare (Cases.find "multiplier") in
+  let sin_ = Cases.prepare (Cases.find "sin") in
+  (* Table II kernel: one full engine run on the multiplier miter. *)
+  let t_engine =
+    Test.make ~name:"table2-engine-multiplier"
+      (Staged.stage (fun () ->
+           ignore
+             (Simsweep.Engine.run ~config:Simsweep.Config.scaled ~pool
+                (Aig.Network.copy mult.Cases.miter))))
+  in
+  let t_sat =
+    Test.make ~name:"table2-satsweep-multiplier"
+      (Staged.stage (fun () ->
+           ignore (Sat.Sweep.check ~pool (Aig.Network.copy mult.Cases.miter))))
+  in
+  (* Fig. 6 kernel: the partial simulator that initialises the ECs. *)
+  let rng = Sim.Rng.create ~seed:7L in
+  let t_psim =
+    Test.make ~name:"fig6-partial-sim-multiplier"
+      (Staged.stage (fun () ->
+           ignore (Sim.Psim.run mult.Cases.miter ~nwords:4 ~rng ~pool ~embed:[])))
+  in
+  (* Fig. 7 kernel: one-shot exhaustive PO checking on the sin miter. *)
+  let sin_pis =
+    Array.init
+      (Aig.Network.num_pis sin_.Cases.miter)
+      (fun i -> Aig.Network.pi sin_.Cases.miter i)
+  in
+  let sin_jobs =
+    List.filter_map
+      (fun i ->
+        let l = Aig.Network.po sin_.Cases.miter i in
+        if l = Aig.Lit.const_false then None
+        else
+          Some
+            {
+              Simsweep.Exhaustive.inputs = sin_pis;
+              pairs =
+                [
+                  {
+                    Simsweep.Exhaustive.a = Aig.Lit.node l;
+                    b = -1;
+                    compl_ = Aig.Lit.is_compl l;
+                    tag = i;
+                  };
+                ];
+            })
+      (List.init (Aig.Network.num_pos sin_.Cases.miter) Fun.id)
+  in
+  let t_exhaustive =
+    Test.make ~name:"fig7-exhaustive-po-sin"
+      (Staged.stage (fun () ->
+           ignore
+             (Simsweep.Exhaustive.run sin_.Cases.miter ~pool
+                ~memory_words:(1 lsl 20) ~jobs:sin_jobs
+                ~num_tags:(Aig.Network.num_pos sin_.Cases.miter) ())))
+  in
+  (* Table I kernel: a full cut-enumeration pass. *)
+  let t_cuts =
+    Test.make ~name:"table1-cut-enumeration-multiplier"
+      (Staged.stage (fun () ->
+           let g = mult.Cases.miter in
+           let fanouts = Aig.Network.fanout_counts g in
+           let levels = Aig.Network.levels g in
+           let prio = Array.make (Aig.Network.num_nodes g) [] in
+           for i = 0 to Aig.Network.num_pis g - 1 do
+             let p = Aig.Network.pi g i in
+             prio.(p) <- [ Cuts.Cut.trivial p ]
+           done;
+           let cfg = { Cuts.Enumerate.k_l = 8; c = 8 } in
+           Aig.Network.iter_ands g (fun n ->
+               prio.(n) <-
+                 Cuts.Enumerate.node_cuts g cfg ~pass:Cuts.Criteria.Fanout_first
+                   ~fanouts ~levels ~prio ~sim_target:None n)))
+  in
+  let tests =
+    Test.make_grouped ~name:"simsweep"
+      [ t_engine; t_sat; t_psim; t_exhaustive; t_cuts ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort compare rows in
+  pr "%-45s %16s\n" "kernel" "time/run";
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some (est :: _) ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+            else Printf.sprintf "%.3f us" (est /. 1e3)
+          in
+          pr "%-45s %16s\n" name pretty
+      | _ -> pr "%-45s %16s\n" name "n/a")
+    rows
+
+(* ------------------------------------------------------------------ main *)
+
+let experiments =
+  [
+    ("table2", table2);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("ablation-passes", ablation_passes);
+    ("ablation-merge", ablation_merge);
+    ("ablation-sim", ablation_similarity);
+    ("ablation-ectransfer", ablation_ec_transfer);
+    ("ablation-flow", ablation_flow_tweaks);
+    ("postmap", postmap);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen = if args = [] then List.map fst experiments else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (available: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    chosen;
+  Par.Pool.shutdown (Lazy.force pool)

@@ -1,0 +1,59 @@
+(* simsweep-sim: simulate an AIGER file.
+
+   Reads input vectors (one per line, LSB-first over the PIs, '0'/'1'
+   characters) from stdin — or generates random ones — and prints the
+   output vector for each.  The classic aigsim workflow, useful for
+   cross-checking against other tools. *)
+
+let simulate file random_count seed =
+  let g = Aig.Aiger_io.read_file file in
+  let n_pi = Aig.Network.num_pis g in
+  let run cex =
+    let outs =
+      Array.map (fun l -> Sim.Cex.eval_lit g cex l) (Aig.Network.pos g)
+    in
+    Array.iter (fun v -> print_char (if v then '1' else '0')) cex;
+    print_char ' ';
+    Array.iter (fun v -> print_char (if v then '1' else '0')) outs;
+    print_newline ()
+  in
+  if random_count > 0 then begin
+    let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+    for _ = 1 to random_count do
+      run (Array.init n_pi (fun _ -> Sim.Rng.bool rng))
+    done;
+    0
+  end
+  else begin
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then begin
+           if String.length line <> n_pi then begin
+             Printf.eprintf "error: expected %d bits, got %d\n" n_pi
+               (String.length line);
+             exit 2
+           end;
+           run (Array.init n_pi (fun i -> line.[i] = '1'))
+         end
+       done
+     with End_of_file -> ());
+    0
+  end
+
+open Cmdliner
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"AIGER file.")
+
+let random_count =
+  Arg.(value & opt int 0 & info [ "r"; "random" ] ~docv:"N"
+         ~doc:"Simulate N random vectors instead of reading stdin.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let cmd =
+  let doc = "simulate an AIGER file on input vectors" in
+  Cmd.v (Cmd.info "simsweep-sim" ~doc) Term.(const simulate $ file $ random_count $ seed)
+
+let () = exit (Cmd.eval' cmd)

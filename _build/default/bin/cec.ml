@@ -1,0 +1,167 @@
+(* simsweep-cec: combinational equivalence checker CLI.
+
+   Checks two AIGER files (or a generated benchmark case) with a selectable
+   engine: the simulation-based engine (the paper's contribution), the SAT
+   sweeper baseline, the BDD engine, the portfolio, or the combined
+   engine+SAT flow of Table II. *)
+
+let read_inputs file1 file2 suite scale =
+  match (file1, file2, suite) with
+  | Some f1, Some f2, None ->
+      let g1 = Aig.Aiger_io.read_file f1 and g2 = Aig.Aiger_io.read_file f2 in
+      Ok (Printf.sprintf "%s vs %s" f1 f2, Aig.Miter.build g1 g2)
+  | Some f1, None, None ->
+      (* A single file is interpreted as an already-built miter. *)
+      Ok (f1, Aig.Aiger_io.read_file f1)
+  | None, None, Some name ->
+      let case = Gen.Suite.build ~scale name in
+      Ok ("suite:" ^ name, case.Gen.Suite.miter)
+  | _ -> Error "give either FILE [FILE2] or --suite NAME"
+
+let describe_outcome = function
+  | Simsweep.Engine.Proved -> "EQUIVALENT"
+  | Simsweep.Engine.Disproved (_, po) -> Printf.sprintf "NOT EQUIVALENT (output %d)" po
+  | Simsweep.Engine.Undecided -> "UNDECIDED"
+
+let run_check engine file1 file2 suite scale num_domains verbose certify =
+  match read_inputs file1 file2 suite scale with
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      2
+  | Ok (name, miter) ->
+      if verbose then begin
+        Logs.set_reporter (Logs.format_reporter ());
+        Logs.set_level (Some Logs.Debug)
+      end;
+      let pool = Par.Pool.create ?num_domains () in
+      Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      Printf.printf "miter %s: %s\n%!" name
+        (Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network miter));
+      let outcome =
+        match engine with
+        | `Sim ->
+            let r = Simsweep.Engine.run ~config:Simsweep.Config.scaled ~pool miter in
+            if verbose then
+              Printf.printf "engine: reduced %.1f%% | %s\n"
+                (Simsweep.Engine.reduction_percent r)
+                (Format.asprintf "%a" Simsweep.Stats.pp r.Simsweep.Engine.stats);
+            r.Simsweep.Engine.outcome
+        | `Combined ->
+            let c =
+              Simsweep.Engine.check_with_fallback ~config:Simsweep.Config.scaled
+                ~transfer_classes:true ~pool miter
+            in
+            if verbose then
+              Printf.printf "engine: reduced %.1f%%, SAT fallback %s\n"
+                (Simsweep.Engine.reduction_percent c.Simsweep.Engine.engine)
+                (if c.Simsweep.Engine.sat_outcome = None then "not needed" else "used");
+            c.Simsweep.Engine.final
+        | `Sat -> (
+            match Sat.Sweep.check ~pool miter with
+            | Sat.Sweep.Equivalent, _ -> Simsweep.Engine.Proved
+            | Sat.Sweep.Inequivalent (cex, po), _ -> Simsweep.Engine.Disproved (cex, po)
+            | Sat.Sweep.Undecided, _ -> Simsweep.Engine.Undecided)
+        | `Bdd -> (
+            match Bdd.check miter with
+            | `Equivalent -> Simsweep.Engine.Proved
+            | `Inequivalent (cex, po) -> Simsweep.Engine.Disproved (cex, po)
+            | `Node_limit -> Simsweep.Engine.Undecided)
+        | `Partitioned ->
+            let outcome, ngroups =
+              Simsweep.Partition.check ~config:Simsweep.Config.scaled ~pool miter
+            in
+            if verbose then Printf.printf "partition: %d groups\n" ngroups;
+            outcome
+        | `Portfolio ->
+            let r = Simsweep.Portfolio.check ~pool miter in
+            (match r.Simsweep.Portfolio.winner with
+            | Some e when verbose ->
+                Printf.printf "portfolio winner: %s\n" (Simsweep.Portfolio.engine_name e)
+            | _ -> ());
+            r.Simsweep.Portfolio.outcome
+      in
+      Printf.printf "%s  (%.3fs)\n" (describe_outcome outcome)
+        (Unix.gettimeofday () -. t0);
+      (if certify then
+         match outcome with
+         | Simsweep.Engine.Proved -> (
+             let _, cert =
+               Simsweep.Certificate.generate ~config:Simsweep.Config.scaled ~pool
+                 miter
+             in
+             if not cert.Simsweep.Certificate.claims_proved then
+               print_endline
+                 "certificate: engine alone could not complete a certificate \
+                  (SAT fallback was needed)"
+             else
+               match Simsweep.Certificate.validate miter cert with
+               | Ok _ ->
+                   Printf.printf "certificate: %d steps validated independently\n"
+                     (List.length cert.Simsweep.Certificate.steps)
+               | Error e -> Printf.printf "certificate INVALID: %s\n" e)
+         | _ -> print_endline "certificate: only produced for proved miters");
+      (match outcome with
+      | Simsweep.Engine.Disproved (cex, po) when verbose ->
+          Printf.printf "counter-example (output %d): " po;
+          Array.iter (fun b -> print_char (if b then '1' else '0')) cex;
+          print_newline ()
+      | _ -> ());
+      (match outcome with
+      | Simsweep.Engine.Proved -> 0
+      | Simsweep.Engine.Disproved _ -> 1
+      | Simsweep.Engine.Undecided -> 3)
+
+open Cmdliner
+
+let engine =
+  let enum_conv =
+    Arg.enum
+      [
+        ("sim", `Sim); ("sat", `Sat); ("bdd", `Bdd); ("portfolio", `Portfolio);
+        ("combined", `Combined); ("partitioned", `Partitioned);
+      ]
+  in
+  Arg.(value & opt enum_conv `Combined & info [ "e"; "engine" ] ~docv:"ENGINE"
+         ~doc:"Checking engine: sim (simulation-based), sat (SAT sweeping), \
+               bdd, portfolio, combined (sim + SAT fallback, the paper's \
+               Table II flow), or partitioned (combined flow per \
+               support-disjoint output group).")
+
+let file1 =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"First AIGER file (or a miter when FILE2 is omitted).")
+
+let file2 =
+  Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE2" ~doc:"Second AIGER file.")
+
+let suite =
+  Arg.(value & opt (some string) None & info [ "suite" ] ~docv:"NAME"
+         ~doc:"Check a generated Table II benchmark case instead of files \
+               (hyp, log2, multiplier, sqrt, square, voter, sin, ac97_ctrl, \
+               vga_lcd).")
+
+let scale =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
+         ~doc:"Doubling scale for --suite cases (0 disables doubling).")
+
+let num_domains =
+  Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N"
+         ~doc:"Worker domains (default: machine-dependent).")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print engine details.")
+
+let certify =
+  Arg.(value & flag & info [ "certify" ]
+         ~doc:"After a proof, regenerate it with a merge-trace certificate \
+               and validate every step independently with the SAT solver.")
+
+let cmd =
+  let doc = "simulation-based parallel sweeping equivalence checker" in
+  Cmd.v
+    (Cmd.info "simsweep-cec" ~doc)
+    Term.(
+      const run_check $ engine $ file1 $ file2 $ suite $ scale $ num_domains
+      $ verbose $ certify)
+
+let () = exit (Cmd.eval' cmd)

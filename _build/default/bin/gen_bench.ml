@@ -1,0 +1,72 @@
+(* simsweep-gen: emit benchmark circuits as AIGER files.
+
+   Generates the paper's benchmark families at chosen sizes, optionally
+   enlarged with `double` and optimised with the resyn2 stand-in — the full
+   workload construction of Table II from the command line. *)
+
+let generate family bits n iters frac regs width double_times optimize out =
+  let g =
+    match family with
+    | `Adder -> Gen.Arith.adder ~bits
+    | `Multiplier -> Gen.Arith.multiplier ~bits
+    | `Square -> Gen.Arith.square ~bits
+    | `Sqrt -> Gen.Arith.sqrt ~bits
+    | `Hypot -> Gen.Arith.hypot ~bits
+    | `Log2 -> Gen.Arith.log2 ~bits ~frac
+    | `Sin -> Gen.Arith.sin ~bits ~iters
+    | `Voter -> Gen.Control.voter ~n
+    | `Regfile -> Gen.Control.regfile ~regs ~width
+    | `Display -> Gen.Control.display ~hbits:bits ~vbits:(max 1 (bits - 1))
+  in
+  let g = Gen.Double.times double_times g in
+  let g = if optimize then Opt.Resyn.resyn2 g else g in
+  (match out with
+  | Some path -> Aig.Aiger_io.write_file path g
+  | None -> print_string (Aig.Aiger_io.to_string g));
+  Printf.eprintf "%s\n" (Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network g));
+  0
+
+open Cmdliner
+
+let family =
+  let enum_conv =
+    Arg.enum
+      [
+        ("adder", `Adder); ("multiplier", `Multiplier); ("square", `Square);
+        ("sqrt", `Sqrt); ("hypot", `Hypot); ("log2", `Log2); ("sin", `Sin);
+        ("voter", `Voter); ("regfile", `Regfile); ("display", `Display);
+      ]
+  in
+  Arg.(required & pos 0 (some enum_conv) None & info [] ~docv:"FAMILY"
+         ~doc:"Circuit family: adder, multiplier, square, sqrt, hypot, log2, \
+               sin, voter, regfile, display.")
+
+let bits = Arg.(value & opt int 8 & info [ "bits" ] ~docv:"N" ~doc:"Operand width.")
+let n = Arg.(value & opt int 15 & info [ "n" ] ~docv:"N" ~doc:"Voter input count.")
+let iters = Arg.(value & opt int 8 & info [ "iters" ] ~docv:"N" ~doc:"CORDIC iterations (sin).")
+let frac = Arg.(value & opt int 4 & info [ "frac" ] ~docv:"N" ~doc:"Fraction bits (log2).")
+let regs = Arg.(value & opt int 8 & info [ "regs" ] ~docv:"N" ~doc:"Registers (regfile).")
+let width = Arg.(value & opt int 8 & info [ "width" ] ~docv:"N" ~doc:"Register width (regfile).")
+
+let double_times =
+  Arg.(value & opt int 0 & info [ "double" ] ~docv:"N"
+         ~doc:"Apply the `double` enlargement N times.")
+
+let optimize =
+  Arg.(value & flag & info [ "optimize" ]
+         ~doc:"Run the resyn2 stand-in on the result (produces the second \
+               circuit of a CEC miter).")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output AIGER file (stdout when omitted).")
+
+let cmd =
+  let doc = "generate benchmark circuits for the CEC engine" in
+  Cmd.v
+    (Cmd.info "simsweep-gen" ~doc)
+    Term.(
+      const generate $ family $ bits $ n $ iters $ frac $ regs $ width
+      $ double_times $ optimize $ out)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,48 @@
+(* simsweep-opt: optimise an AIGER file with the resyn2 stand-in passes. *)
+
+let optimize passes input output =
+  let g = Aig.Aiger_io.read_file input in
+  Printf.eprintf "before: %s\n"
+    (Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network g));
+  let apply g = function
+    | `Balance -> Opt.Balance.run g
+    | `Rewrite -> Opt.Rewrite.run g
+    | `Refactor -> Opt.Refactor.run g
+    | `Xorflip -> Opt.Xorflip.run g
+    | `Resyn2 -> Opt.Resyn.resyn2 g
+    | `Light -> Opt.Resyn.light g
+  in
+  let g = List.fold_left apply g passes in
+  Printf.eprintf "after:  %s\n"
+    (Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network g));
+  (match output with
+  | Some path -> Aig.Aiger_io.write_file path g
+  | None -> print_string (Aig.Aiger_io.to_string g));
+  0
+
+open Cmdliner
+
+let passes =
+  let enum_conv =
+    Arg.enum
+      [
+        ("balance", `Balance); ("rewrite", `Rewrite); ("refactor", `Refactor);
+        ("xorflip", `Xorflip); ("resyn2", `Resyn2); ("light", `Light);
+      ]
+  in
+  Arg.(value & opt_all enum_conv [ `Resyn2 ] & info [ "p"; "pass" ] ~docv:"PASS"
+         ~doc:"Pass to run (repeatable): balance, rewrite, refactor, \
+               xorflip, resyn2, light.")
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input AIGER file.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output AIGER file (stdout when omitted).")
+
+let cmd =
+  let doc = "optimise an AIG with the resyn2 stand-in" in
+  Cmd.v (Cmd.info "simsweep-opt" ~doc) Term.(const optimize $ passes $ input $ output)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/arithmetic_verification.ml: Aig Array Format Gen Opt Par Printf Sim Simsweep Unix

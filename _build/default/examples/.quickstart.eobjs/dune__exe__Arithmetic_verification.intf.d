@@ -1,0 +1,1 @@
+examples/arithmetic_verification.mli:

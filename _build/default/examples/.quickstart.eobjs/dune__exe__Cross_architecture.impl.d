@@ -1,0 +1,1 @@
+examples/cross_architecture.ml: Aig Format Gen List Opt Par Printf Simsweep Unix

@@ -1,0 +1,1 @@
+examples/eco_check.ml: Aig Array Format Gen Par Printf Simsweep

@@ -1,0 +1,1 @@
+examples/engine_comparison.ml: Aig Bdd Gen List Opt Par Printf Sat Simsweep Unix

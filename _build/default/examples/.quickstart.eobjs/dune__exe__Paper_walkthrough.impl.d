@@ -1,0 +1,1 @@
+examples/paper_walkthrough.ml: Aig Array Format Par Printf Simsweep

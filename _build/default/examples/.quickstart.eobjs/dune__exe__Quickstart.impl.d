@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Array Format List Par Printf Simsweep

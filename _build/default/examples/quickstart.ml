@@ -1,0 +1,56 @@
+(* Quickstart: build two implementations of the same function with the AIG
+   API and prove them equivalent with the simulation-based engine.
+
+       dune exec examples/quickstart.exe *)
+
+let () =
+  (* Implementation 1: full adder from two half-adders. *)
+  let g1 = Aig.Network.create () in
+  let a = Aig.Network.add_pi g1
+  and b = Aig.Network.add_pi g1
+  and cin = Aig.Network.add_pi g1 in
+  let s1 = Aig.Network.add_xor g1 a b in
+  let sum = Aig.Network.add_xor g1 s1 cin in
+  let carry =
+    Aig.Network.add_or g1 (Aig.Network.add_and g1 a b) (Aig.Network.add_and g1 s1 cin)
+  in
+  Aig.Network.add_po g1 sum;
+  Aig.Network.add_po g1 carry;
+
+  (* Implementation 2: sum-of-products forms of the same outputs. *)
+  let g2 = Aig.Network.create () in
+  let a = Aig.Network.add_pi g2
+  and b = Aig.Network.add_pi g2
+  and cin = Aig.Network.add_pi g2 in
+  let minterm x y z =
+    Aig.Network.add_and g2 (Aig.Network.add_and g2 x y) z
+  in
+  let n l = Aig.Lit.neg l in
+  let sum =
+    List.fold_left (Aig.Network.add_or g2) Aig.Lit.const_false
+      [
+        minterm a (n b) (n cin); minterm (n a) b (n cin);
+        minterm (n a) (n b) cin; minterm a b cin;
+      ]
+  in
+  let carry =
+    List.fold_left (Aig.Network.add_or g2) Aig.Lit.const_false
+      [ minterm a b (n cin); minterm a (n b) cin; minterm (n a) b cin; minterm a b cin ]
+  in
+  Aig.Network.add_po g2 sum;
+  Aig.Network.add_po g2 carry;
+
+  (* Build the miter and run the checker. *)
+  let miter = Aig.Miter.build g1 g2 in
+  Printf.printf "miter: %s\n"
+    (Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network miter));
+  let pool = Par.Pool.create () in
+  let result = Simsweep.Engine.run ~pool miter in
+  (match result.Simsweep.Engine.outcome with
+  | Simsweep.Engine.Proved -> print_endline "the two adders are EQUIVALENT"
+  | Simsweep.Engine.Disproved (cex, po) ->
+      Printf.printf "NOT equivalent: output %d differs under " po;
+      Array.iter (fun v -> print_char (if v then '1' else '0')) cex;
+      print_newline ()
+  | Simsweep.Engine.Undecided -> print_endline "undecided (unexpected here)");
+  Par.Pool.shutdown pool

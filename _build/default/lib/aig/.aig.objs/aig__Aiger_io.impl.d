@@ -1,0 +1,1 @@
+lib/aig/aiger_io.ml: Array Bool Buffer Char Filename Fun Hashtbl List Lit Network Printf String

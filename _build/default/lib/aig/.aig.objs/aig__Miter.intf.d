@@ -1,0 +1,1 @@
+lib/aig/miter.mli: Lit Network

@@ -1,0 +1,1 @@
+lib/aig/network.ml: Array Hashtbl Lit Printf Vec

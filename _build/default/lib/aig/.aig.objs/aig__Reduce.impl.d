@@ -1,0 +1,1 @@
+lib/aig/reduce.ml: Array Lit Network

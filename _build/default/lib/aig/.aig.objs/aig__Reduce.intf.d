@@ -1,0 +1,1 @@
+lib/aig/reduce.mli: Lit Network

@@ -1,0 +1,1 @@
+lib/aig/stats.ml: Format Network

@@ -1,0 +1,1 @@
+lib/aig/stats.mli: Format Network

@@ -1,0 +1,1 @@
+lib/aig/support.ml: Array Hashtbl Lit Network

@@ -1,0 +1,1 @@
+lib/aig/vec.ml: Array

@@ -1,0 +1,208 @@
+exception Parse_error of string
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  let n_pi = Network.num_pis g and n_po = Network.num_pos g in
+  let n_and = Network.num_ands g in
+  (* Renumber: PIs take variables 1..I, ANDs follow in topological order. *)
+  let var_of = Array.make (Network.num_nodes g) 0 in
+  let next = ref 1 in
+  for i = 0 to n_pi - 1 do
+    var_of.(Network.pi g i) <- !next;
+    incr next
+  done;
+  Network.iter_ands g (fun n ->
+      var_of.(n) <- !next;
+      incr next);
+  let lit_of l = (2 * var_of.(Lit.node l)) lor Bool.to_int (Lit.is_compl l) in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" (!next - 1) n_pi n_po n_and);
+  for i = 0 to n_pi - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * var_of.(Network.pi g i)))
+  done;
+  Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_of l))) (Network.pos g);
+  Network.iter_ands g (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" (2 * var_of.(n))
+           (lit_of (Network.fanin0 g n))
+           (lit_of (Network.fanin1 g n))));
+  Buffer.contents buf
+
+let to_binary_string g =
+  let buf = Buffer.create 4096 in
+  let n_pi = Network.num_pis g and n_po = Network.num_pos g in
+  let n_and = Network.num_ands g in
+  let var_of = Array.make (Network.num_nodes g) 0 in
+  let next = ref 1 in
+  for i = 0 to n_pi - 1 do
+    var_of.(Network.pi g i) <- !next;
+    incr next
+  done;
+  Network.iter_ands g (fun n ->
+      var_of.(n) <- !next;
+      incr next);
+  let lit_of l = (2 * var_of.(Lit.node l)) lor Bool.to_int (Lit.is_compl l) in
+  Buffer.add_string buf
+    (Printf.sprintf "aig %d %d 0 %d %d\n" (!next - 1) n_pi n_po n_and);
+  (* Inputs are implicit in the binary format. *)
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_of l)))
+    (Network.pos g);
+  let emit_leb x =
+    let x = ref x in
+    while !x >= 0x80 do
+      Buffer.add_char buf (Char.chr ((!x land 0x7f) lor 0x80));
+      x := !x lsr 7
+    done;
+    Buffer.add_char buf (Char.chr !x)
+  in
+  Network.iter_ands g (fun n ->
+      let lhs = 2 * var_of.(n) in
+      let a = lit_of (Network.fanin0 g n) and b = lit_of (Network.fanin1 g n) in
+      let rhs0 = max a b and rhs1 = min a b in
+      assert (lhs > rhs0);
+      emit_leb (lhs - rhs0);
+      emit_leb (rhs0 - rhs1));
+  Buffer.contents buf
+
+let of_binary_string s =
+  (* Parse the header and output lines (text), then the LEB128 gates. *)
+  let len = String.length s in
+  let pos = ref 0 in
+  let read_line () =
+    let start = !pos in
+    while !pos < len && s.[!pos] <> '\n' do
+      incr pos
+    done;
+    if !pos >= len then raise (Parse_error "truncated binary file");
+    let line = String.sub s start (!pos - start) in
+    incr pos;
+    line
+  in
+  match String.split_on_char ' ' (String.trim (read_line ())) with
+  | [ "aig"; m; i; l; o; a ] ->
+      let int_of name v =
+        match int_of_string_opt v with
+        | Some x when x >= 0 -> x
+        | _ -> raise (Parse_error ("bad " ^ name ^ " field"))
+      in
+      let _m = int_of "M" m in
+      let n_pi = int_of "I" i in
+      let n_latch = int_of "L" l in
+      let n_po = int_of "O" o in
+      let n_and = int_of "A" a in
+      if n_latch <> 0 then raise (Parse_error "latches are not supported");
+      let g = Network.create ~capacity:(n_pi + n_and + 2) () in
+      let lits = Array.make (n_pi + n_and + 1) Lit.const_false in
+      for v = 1 to n_pi do
+        lits.(v) <- Network.add_pi g
+      done;
+      let out_lits = Array.init n_po (fun _ -> int_of "output" (String.trim (read_line ()))) in
+      let read_leb () =
+        let x = ref 0 and shift = ref 0 and fin = ref false in
+        while not !fin do
+          if !pos >= len then raise (Parse_error "truncated delta section");
+          let b = Char.code s.[!pos] in
+          incr pos;
+          x := !x lor ((b land 0x7f) lsl !shift);
+          shift := !shift + 7;
+          if b land 0x80 = 0 then fin := true
+        done;
+        !x
+      in
+      let lit_of filelit =
+        let v = filelit lsr 1 in
+        if v > n_pi + n_and then raise (Parse_error "literal out of range");
+        Lit.xor_compl lits.(v) (filelit land 1 = 1)
+      in
+      for k = 0 to n_and - 1 do
+        let lhs = 2 * (n_pi + 1 + k) in
+        let d0 = read_leb () in
+        let d1 = read_leb () in
+        let rhs0 = lhs - d0 in
+        let rhs1 = rhs0 - d1 in
+        if rhs0 < 0 || rhs1 < 0 || rhs0 >= lhs then
+          raise (Parse_error "invalid delta encoding");
+        lits.(n_pi + 1 + k) <- Network.add_and g (lit_of rhs0) (lit_of rhs1)
+      done;
+      Array.iter (fun ol -> Network.add_po g (lit_of ol)) out_lits;
+      g
+  | _ -> raise (Parse_error "bad binary header")
+
+let of_ascii_string s =
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  match lines with
+  | [] -> raise (Parse_error "empty file")
+  | header :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "aag"; m; i; l; o; a ] -> (
+          let int_of name s =
+            match int_of_string_opt s with
+            | Some v when v >= 0 -> v
+            | _ -> raise (Parse_error ("bad " ^ name ^ " field"))
+          in
+          let _m = int_of "M" m in
+          let n_pi = int_of "I" i in
+          let n_latch = int_of "L" l in
+          let n_po = int_of "O" o in
+          let n_and = int_of "A" a in
+          if n_latch <> 0 then raise (Parse_error "latches are not supported");
+          let g = Network.create ~capacity:(n_pi + n_and + 2) () in
+          (* Map from file variable to our literal. *)
+          let map = Hashtbl.create (n_pi + n_and + 1) in
+          Hashtbl.replace map 0 Lit.const_false;
+          let lit_of filelit =
+            let v = filelit lsr 1 in
+            match Hashtbl.find_opt map v with
+            | Some l -> Lit.xor_compl l (filelit land 1 = 1)
+            | None -> raise (Parse_error (Printf.sprintf "undefined literal %d" filelit))
+          in
+          let rest = Array.of_list rest in
+          if Array.length rest < n_pi + n_po + n_and then
+            raise (Parse_error "truncated file");
+          for k = 0 to n_pi - 1 do
+            let filelit = int_of "input" (String.trim rest.(k)) in
+            if filelit land 1 = 1 then raise (Parse_error "complemented input definition");
+            Hashtbl.replace map (filelit lsr 1) (Network.add_pi g)
+          done;
+          (* AND definitions come after outputs in the file, but may be
+             referenced by the output section; parse ANDs first. *)
+          for k = 0 to n_and - 1 do
+            let line = String.trim rest.(n_pi + n_po + k) in
+            match String.split_on_char ' ' line with
+            | [ lhs; rhs0; rhs1 ] ->
+                let lhs = int_of "and lhs" lhs in
+                if lhs land 1 = 1 then raise (Parse_error "complemented and definition");
+                let l0 = lit_of (int_of "and rhs0" rhs0) in
+                let l1 = lit_of (int_of "and rhs1" rhs1) in
+                Hashtbl.replace map (lhs lsr 1) (Network.add_and g l0 l1)
+            | _ -> raise (Parse_error ("bad and line: " ^ line))
+          done;
+          for k = 0 to n_po - 1 do
+            let filelit = int_of "output" (String.trim rest.(n_pi + k)) in
+            Network.add_po g (lit_of filelit)
+          done;
+          g)
+      | _ -> raise (Parse_error "bad header"))
+
+let of_string s =
+  if String.length s >= 4 && String.sub s 0 4 = "aig " then of_binary_string s
+  else of_ascii_string s
+
+let write_file path g =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      if Filename.check_suffix path ".aig" then
+        output_string oc (to_binary_string g)
+      else output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

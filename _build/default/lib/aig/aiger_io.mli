@@ -1,0 +1,24 @@
+(** AIGER reader/writer for combinational networks — both the ASCII
+    ([aag]) and the binary delta-encoded ([aig]) formats.
+
+    Latches are not supported (the paper is about combinational checking);
+    reading a file with latches raises [Parse_error]. *)
+
+exception Parse_error of string
+
+(** Serialise to the ASCII [aag] format.  Nodes are renumbered: inputs
+    first, then AND gates in topological order. *)
+val to_string : Network.t -> string
+
+(** Serialise to the binary [aig] format (LEB128 fanin deltas). *)
+val to_binary_string : Network.t -> string
+
+(** Parse file contents in either format (dispatches on the header).  The
+    structural hash of the resulting network may merge duplicated gates. *)
+val of_string : string -> Network.t
+
+(** [write_file path g] writes binary when [path] ends in [.aig], ASCII
+    otherwise. *)
+val write_file : string -> Network.t -> unit
+
+val read_file : string -> Network.t

@@ -1,0 +1,36 @@
+let to_string ?(max_nodes = 2000) g =
+  if Network.num_nodes g > max_nodes then
+    invalid_arg "Dot.to_string: network too large to plot";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph aig {\n  rankdir=BT;\n";
+  Network.iter_nodes g (fun n ->
+      if Network.is_pi g n then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [shape=box,label=\"x%d\"];\n" n
+             (Network.pi_index g n))
+      else if Network.is_and g n then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [shape=circle,label=\"%d\"];\n" n n);
+        List.iter
+          (fun f ->
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d -> n%d%s;\n" (Lit.node f) n
+                 (if Lit.is_compl f then " [style=dashed]" else "")))
+          [ Network.fanin0 g n; Network.fanin1 g n ]
+      end);
+  Array.iteri
+    (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  o%d [shape=doublecircle,label=\"y%d\"];\n" i i);
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> o%d%s;\n" (Lit.node l) i
+           (if Lit.is_compl l then " [style=dashed]" else "")))
+    (Network.pos g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?max_nodes path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?max_nodes g))

@@ -1,0 +1,9 @@
+(** Graphviz export for small networks — debugging aid. *)
+
+(** [to_string ?max_nodes g] renders the AIG as a [dot] digraph: PIs as
+    boxes, ANDs as circles, POs as double circles; complemented edges are
+    dashed.  Raises [Invalid_argument] when the network exceeds
+    [max_nodes] (default 2000) — plotting bigger graphs is never useful. *)
+val to_string : ?max_nodes:int -> Network.t -> string
+
+val write_file : ?max_nodes:int -> string -> Network.t -> unit

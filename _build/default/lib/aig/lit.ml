@@ -1,0 +1,13 @@
+type t = int
+
+let const_false = 0
+let const_true = 1
+let make id compl_ = (id lsl 1) lor Bool.to_int compl_
+let node l = l lsr 1
+let is_compl l = l land 1 = 1
+let neg l = l lxor 1
+let xor_compl l b = if b then l lxor 1 else l
+let abs l = l land lnot 1
+
+let pp fmt l =
+  Format.fprintf fmt "%s%d" (if is_compl l then "!" else "") (node l)

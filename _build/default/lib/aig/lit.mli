@@ -1,0 +1,28 @@
+(** AIG literals: a node id together with an optional complement flag,
+    packed as [2*id + complement].  Node 0 is the constant-false node, so
+    literal 0 is constant false and literal 1 constant true. *)
+
+type t = int
+
+val const_false : t
+val const_true : t
+
+(** [make id compl] packs a literal. *)
+val make : int -> bool -> t
+
+(** Node id of a literal. *)
+val node : t -> int
+
+(** Complement flag. *)
+val is_compl : t -> bool
+
+(** Flip the complement flag. *)
+val neg : t -> t
+
+(** [xor_compl l b] complements [l] when [b] holds. *)
+val xor_compl : t -> bool -> t
+
+(** The positive (non-complemented) literal of the same node. *)
+val abs : t -> t
+
+val pp : Format.formatter -> t -> unit

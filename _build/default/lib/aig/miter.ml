@@ -1,0 +1,41 @@
+let append dst src ~pi_map =
+  if Array.length pi_map <> Network.num_pis src then
+    invalid_arg "Miter.append: pi_map arity mismatch";
+  let map = Array.make (Network.num_nodes src) (-1) in
+  map.(0) <- Lit.const_false;
+  Network.iter_nodes src (fun n ->
+      if Network.is_pi src n then map.(n) <- pi_map.(Network.pi_index src n)
+      else if Network.is_and src n then begin
+        let f0 = Network.fanin0 src n and f1 = Network.fanin1 src n in
+        let m0 = Lit.xor_compl map.(Lit.node f0) (Lit.is_compl f0) in
+        let m1 = Lit.xor_compl map.(Lit.node f1) (Lit.is_compl f1) in
+        map.(n) <- Network.add_and dst m0 m1
+      end);
+  Array.map
+    (fun l -> Lit.xor_compl map.(Lit.node l) (Lit.is_compl l))
+    (Network.pos src)
+
+let build g1 g2 =
+  if Network.num_pis g1 <> Network.num_pis g2 then
+    invalid_arg "Miter.build: PI count mismatch";
+  if Network.num_pos g1 <> Network.num_pos g2 then
+    invalid_arg "Miter.build: PO count mismatch";
+  let m = Network.create ~capacity:(Network.num_nodes g1 + Network.num_nodes g2) () in
+  let pi_map = Array.init (Network.num_pis g1) (fun _ -> Network.add_pi m) in
+  let out1 = append m g1 ~pi_map in
+  let out2 = append m g2 ~pi_map in
+  Array.iteri (fun i o1 -> Network.add_po m (Network.add_xor m o1 out2.(i))) out1;
+  m
+
+let solved g =
+  let ok = ref true in
+  Array.iter (fun l -> if l <> Lit.const_false then ok := false) (Network.pos g);
+  !ok
+
+let unsolved_outputs g =
+  let acc = ref [] in
+  let outs = Network.pos g in
+  for i = Array.length outs - 1 downto 0 do
+    if outs.(i) <> Lit.const_false then acc := i :: !acc
+  done;
+  !acc

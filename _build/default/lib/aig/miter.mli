@@ -1,0 +1,22 @@
+(** Miter construction (Brand).
+
+    The miter of two networks with matching PI/PO interfaces shares the PIs,
+    strashes both circuits into one graph and XORs corresponding PO pairs;
+    the two circuits are equivalent iff every miter output is constant
+    false. *)
+
+(** [append dst src ~pi_map] copies [src] into [dst] mapping the [i]-th PI
+    of [src] to literal [pi_map.(i)]; returns the literals of the [src]
+    outputs in [dst].  Structural hashing in [dst] applies. *)
+val append : Network.t -> Network.t -> pi_map:Lit.t array -> Lit.t array
+
+(** [build g1 g2] is the miter network of [g1] and [g2].
+    Raises [Invalid_argument] when the interfaces disagree. *)
+val build : Network.t -> Network.t -> Network.t
+
+(** [solved g] is true when every PO literal of [g] is constant false —
+    i.e. the miter is proved. *)
+val solved : Network.t -> bool
+
+(** Outputs not yet reduced to constant false. *)
+val unsolved_outputs : Network.t -> int list

@@ -1,0 +1,198 @@
+type t = {
+  mutable fanin0 : int array;  (* literal; -1 for PI; unused for const *)
+  mutable fanin1 : int array;
+  mutable num_nodes : int;
+  pis : Vec.t;  (* node ids of primary inputs, in input order *)
+  pos_ : Vec.t;  (* driver literals of primary outputs *)
+  strash : (int, int) Hashtbl.t;  (* (f0,f1) key -> node id *)
+  pi_pos : (int, int) Hashtbl.t;  (* PI node id -> input index *)
+}
+
+let strash_key f0 f1 = (f0 * 0x3f_ffff) + f1
+
+let create ?(capacity = 64) () =
+  let capacity = max 2 capacity in
+  let g =
+    {
+      fanin0 = Array.make capacity (-2);
+      fanin1 = Array.make capacity (-2);
+      num_nodes = 1;
+      pis = Vec.create ();
+      pos_ = Vec.create ();
+      strash = Hashtbl.create 251;
+      pi_pos = Hashtbl.create 97;
+    }
+  in
+  (* Node 0 is the constant node. *)
+  g.fanin0.(0) <- -2;
+  g.fanin1.(0) <- -2;
+  g
+
+let ensure_capacity g n =
+  let cap = Array.length g.fanin0 in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let f0 = Array.make cap' (-2) and f1 = Array.make cap' (-2) in
+    Array.blit g.fanin0 0 f0 0 g.num_nodes;
+    Array.blit g.fanin1 0 f1 0 g.num_nodes;
+    g.fanin0 <- f0;
+    g.fanin1 <- f1
+  end
+
+let new_node g f0 f1 =
+  ensure_capacity g (g.num_nodes + 1);
+  let id = g.num_nodes in
+  g.fanin0.(id) <- f0;
+  g.fanin1.(id) <- f1;
+  g.num_nodes <- id + 1;
+  id
+
+let add_pi g =
+  let id = new_node g (-1) (-1) in
+  Hashtbl.replace g.pi_pos id (Vec.length g.pis);
+  Vec.push g.pis id;
+  Lit.make id false
+
+let add_and g a b =
+  if Lit.node a >= g.num_nodes || Lit.node b >= g.num_nodes then
+    invalid_arg "Network.add_and: fanin literal out of range";
+  (* Normalise fanin order so that hashing is commutative. *)
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = Lit.const_false then Lit.const_false
+  else if a = Lit.const_true then b
+  else if a = b then a
+  else if a = Lit.neg b then Lit.const_false
+  else begin
+    let key = strash_key a b in
+    let rec find = function
+      | [] -> None
+      | id :: rest ->
+          if g.fanin0.(id) = a && g.fanin1.(id) = b then Some id else find rest
+    in
+    match find (Hashtbl.find_all g.strash key) with
+    | Some id -> Lit.make id false
+    | None ->
+        let id = new_node g a b in
+        Hashtbl.add g.strash key id;
+        Lit.make id false
+  end
+
+let add_and_raw g a b =
+  let id = new_node g a b in
+  Lit.make id false
+
+let add_or g a b = Lit.neg (add_and g (Lit.neg a) (Lit.neg b))
+
+let add_xor g a b =
+  (* x xor y = !(x & y) & !(!x & !y) *)
+  let both = add_and g a b in
+  let neither = add_and g (Lit.neg a) (Lit.neg b) in
+  add_and g (Lit.neg both) (Lit.neg neither)
+
+let add_mux g sel t e =
+  (* sel ? t : e *)
+  let st = add_and g sel t in
+  let se = add_and g (Lit.neg sel) e in
+  add_or g st se
+
+let add_po g l =
+  if Lit.node l >= g.num_nodes then invalid_arg "Network.add_po: literal out of range";
+  Vec.push g.pos_ l
+
+let set_po g i l =
+  if Lit.node l >= g.num_nodes then invalid_arg "Network.set_po: literal out of range";
+  Vec.set g.pos_ i l
+
+let num_nodes g = g.num_nodes
+let num_pis g = Vec.length g.pis
+let num_pos g = Vec.length g.pos_
+let num_ands g = g.num_nodes - 1 - num_pis g
+let pi g i = Vec.get g.pis i
+
+let pi_index g n =
+  match Hashtbl.find_opt g.pi_pos n with
+  | Some i -> i
+  | None -> invalid_arg "Network.pi_index: not a PI node"
+
+let po g i = Vec.get g.pos_ i
+let pos g = Vec.to_array g.pos_
+let is_pi g n = n > 0 && n < g.num_nodes && g.fanin0.(n) = -1
+let is_const n = n = 0
+let is_and g n = n > 0 && n < g.num_nodes && g.fanin0.(n) >= 0
+
+let fanin0 g n =
+  if not (is_and g n) then invalid_arg "Network.fanin0: not an AND node";
+  g.fanin0.(n)
+
+let fanin1 g n =
+  if not (is_and g n) then invalid_arg "Network.fanin1: not an AND node";
+  g.fanin1.(n)
+
+let iter_nodes g f =
+  for n = 0 to g.num_nodes - 1 do
+    f n
+  done
+
+let iter_ands g f =
+  for n = 1 to g.num_nodes - 1 do
+    if g.fanin0.(n) >= 0 then f n
+  done
+
+let fanout_counts g =
+  let counts = Array.make g.num_nodes 0 in
+  iter_ands g (fun n ->
+      counts.(Lit.node g.fanin0.(n)) <- counts.(Lit.node g.fanin0.(n)) + 1;
+      counts.(Lit.node g.fanin1.(n)) <- counts.(Lit.node g.fanin1.(n)) + 1);
+  Vec.iter (fun l -> counts.(Lit.node l) <- counts.(Lit.node l) + 1) g.pos_;
+  counts
+
+let levels g =
+  let lv = Array.make g.num_nodes 0 in
+  iter_ands g (fun n ->
+      lv.(n) <- 1 + max lv.(Lit.node g.fanin0.(n)) lv.(Lit.node g.fanin1.(n)));
+  lv
+
+let depth g =
+  let lv = levels g in
+  let d = ref 0 in
+  Vec.iter (fun l -> d := max !d lv.(Lit.node l)) g.pos_;
+  !d
+
+let level_batches g =
+  let lv = levels g in
+  let maxl = Array.fold_left max 0 lv in
+  let counts = Array.make (maxl + 1) 0 in
+  iter_ands g (fun n -> counts.(lv.(n)) <- counts.(lv.(n)) + 1);
+  let batches = Array.init (maxl + 1) (fun l -> Array.make counts.(l) 0) in
+  let fill = Array.make (maxl + 1) 0 in
+  iter_ands g (fun n ->
+      let l = lv.(n) in
+      batches.(l).(fill.(l)) <- n;
+      fill.(l) <- fill.(l) + 1);
+  batches
+
+let copy g =
+  {
+    fanin0 = Array.copy g.fanin0;
+    fanin1 = Array.copy g.fanin1;
+    num_nodes = g.num_nodes;
+    pis = Vec.of_array (Vec.to_array g.pis);
+    pos_ = Vec.of_array (Vec.to_array g.pos_);
+    strash = Hashtbl.copy g.strash;
+    pi_pos = Hashtbl.copy g.pi_pos;
+  }
+
+let check g =
+  let ok = ref (Ok ()) in
+  let fail msg = if !ok = Ok () then ok := Error msg in
+  iter_ands g (fun n ->
+      let f0 = g.fanin0.(n) and f1 = g.fanin1.(n) in
+      if Lit.node f0 >= n || Lit.node f1 >= n then
+        fail (Printf.sprintf "node %d has non-topological fanin" n);
+      if Lit.node f0 < 0 || Lit.node f1 < 0 then
+        fail (Printf.sprintf "node %d has invalid fanin" n));
+  Vec.iter
+    (fun l ->
+      if Lit.node l >= g.num_nodes then fail "PO driver out of range")
+    g.pos_;
+  !ok

@@ -1,0 +1,100 @@
+(** And-Inverter Graph.
+
+    Nodes are numbered densely; node 0 is the constant-false node, nodes
+    with fanins [-1] are primary inputs, all other nodes are two-input AND
+    gates over literals.  Construction maintains the invariant that fanins
+    are created before their fanouts, so increasing node id is a valid
+    topological order.  [add_and] performs constant propagation, fanin
+    normalisation and structural hashing, so structurally identical gates
+    are never duplicated. *)
+
+type t
+
+(** Fresh empty network. *)
+val create : ?capacity:int -> unit -> t
+
+(** Append a primary input; returns its (positive) literal. *)
+val add_pi : t -> Lit.t
+
+(** [add_and g a b] returns the literal of [a AND b], reusing an existing
+    node when possible (structural hashing) and simplifying the trivial
+    cases [a&0], [a&1], [a&a], [a&!a]. *)
+val add_and : t -> Lit.t -> Lit.t -> Lit.t
+
+(** Raw AND node without hashing or simplification — used only by readers
+    of external files that must preserve node numbering. *)
+val add_and_raw : t -> Lit.t -> Lit.t -> Lit.t
+
+(** Derived gates, built from [add_and]. *)
+val add_or : t -> Lit.t -> Lit.t -> Lit.t
+
+val add_xor : t -> Lit.t -> Lit.t -> Lit.t
+val add_mux : t -> Lit.t -> Lit.t -> Lit.t -> Lit.t
+
+(** Register a primary output driven by the given literal. *)
+val add_po : t -> Lit.t -> unit
+
+(** Replace the driver of output [i]. *)
+val set_po : t -> int -> Lit.t -> unit
+
+val num_nodes : t -> int
+
+(** Number of AND nodes (excludes constant and PIs). *)
+val num_ands : t -> int
+
+val num_pis : t -> int
+val num_pos : t -> int
+
+(** [pi g i] is the node id of the [i]-th primary input. *)
+val pi : t -> int -> int
+
+(** [pi_index g n] is the input position of PI node [n]. *)
+val pi_index : t -> int -> int
+
+(** Driver literal of output [i]. *)
+val po : t -> int -> Lit.t
+
+(** All output literals. *)
+val pos : t -> Lit.t array
+
+(** True when the node is a primary input. *)
+val is_pi : t -> int -> bool
+
+(** True when the node is the constant node. *)
+val is_const : int -> bool
+
+(** True when the node is an AND gate. *)
+val is_and : t -> int -> bool
+
+(** Fanin literals of an AND node. *)
+val fanin0 : t -> int -> Lit.t
+
+val fanin1 : t -> int -> Lit.t
+
+(** Iterate node ids in topological (increasing id) order, constant and PIs
+    included. *)
+val iter_nodes : t -> (int -> unit) -> unit
+
+(** Iterate only AND node ids in topological order. *)
+val iter_ands : t -> (int -> unit) -> unit
+
+(** Number of fanouts of every node (PO references count one each). *)
+val fanout_counts : t -> int array
+
+(** Structural levels: PIs and constant are level 0, an AND is
+    [1 + max level(fanins)]. *)
+val levels : t -> int array
+
+(** Level of the network: maximum PO driver level. *)
+val depth : t -> int
+
+(** Nodes of each level, for level-wise parallel processing:
+    [batches.(l)] lists the AND node ids at level [l] (level 0 omitted). *)
+val level_batches : t -> int array array
+
+(** Deep copy. *)
+val copy : t -> t
+
+(** Invariant checker used by the tests: fanins precede fanouts, fanin ids
+    are in range, PO drivers exist. *)
+val check : t -> (unit, string) result

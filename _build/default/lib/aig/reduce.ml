@@ -1,0 +1,80 @@
+type result = { network : Network.t; node_map : Lit.t array }
+
+let apply g ~repl =
+  let n = Network.num_nodes g in
+  if Array.length repl <> n then invalid_arg "Reduce.apply: repl size mismatch";
+  (* Resolve replacement chains with memoisation. *)
+  let resolved = Array.make n (-1) in
+  let rec resolve id =
+    if resolved.(id) >= 0 then resolved.(id)
+    else begin
+      let r =
+        match repl.(id) with
+        | None -> Lit.make id false
+        | Some l ->
+            if Lit.node l >= id then
+              invalid_arg "Reduce.apply: replacement must point to a smaller id";
+            Lit.xor_compl (resolve (Lit.node l)) (Lit.is_compl l)
+      in
+      resolved.(id) <- r;
+      r
+    end
+  in
+  let resolve_lit l = Lit.xor_compl (resolve (Lit.node l)) (Lit.is_compl l) in
+  (* Mark nodes reachable from the POs through the substitution. *)
+  let reachable = Array.make n false in
+  reachable.(0) <- true;
+  let stack = ref [] in
+  let mark l =
+    let id = Lit.node (resolve_lit l) in
+    if not reachable.(id) then begin
+      reachable.(id) <- true;
+      stack := id :: !stack
+    end
+  in
+  Array.iter mark (Network.pos g);
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+        stack := rest;
+        if Network.is_and g id then begin
+          mark (Network.fanin0 g id);
+          mark (Network.fanin1 g id)
+        end;
+        drain ()
+  in
+  drain ();
+  (* Rebuild.  PIs are always kept so the interface is preserved. *)
+  let ng = Network.create ~capacity:n () in
+  let node_map = Array.make n (-1) in
+  node_map.(0) <- Lit.const_false;
+  Network.iter_nodes g (fun id ->
+      if Network.is_pi g id then node_map.(id) <- Network.add_pi ng
+      else if Network.is_and g id && reachable.(id) && repl.(id) = None then begin
+        let tr l =
+          let r = resolve_lit l in
+          let m = node_map.(Lit.node r) in
+          assert (m >= 0);
+          Lit.xor_compl m (Lit.is_compl r)
+        in
+        node_map.(id) <-
+          Network.add_and ng (tr (Network.fanin0 g id)) (tr (Network.fanin1 g id))
+      end);
+  (* Nodes that were replaced still get a mapping (through their
+     representative) so that callers can translate old literals. *)
+  Network.iter_nodes g (fun id ->
+      if node_map.(id) = -1 then begin
+        let r = resolve id in
+        let m = node_map.(Lit.node r) in
+        if m >= 0 then node_map.(id) <- Lit.xor_compl m (Lit.is_compl r)
+      end);
+  Array.iter
+    (fun l ->
+      let r = resolve_lit l in
+      let m = node_map.(Lit.node r) in
+      Network.add_po ng (Lit.xor_compl m (Lit.is_compl r)))
+    (Network.pos g);
+  { network = ng; node_map }
+
+let sweep g = apply g ~repl:(Array.make (Network.num_nodes g) None)

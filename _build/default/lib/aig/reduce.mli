@@ -1,0 +1,23 @@
+(** Miter reduction: merge proved-equivalent nodes and sweep dangling logic.
+
+    This is the miter manager's reduction step (paper §III-A): after a batch
+    of pairs is proved, every non-representative node is replaced by (a
+    possibly complemented literal of) its representative and the network is
+    rebuilt, dropping logic no longer reachable from the POs. *)
+
+type result = {
+  network : Network.t;
+  node_map : Lit.t array;
+      (** [node_map.(old_id)] is the literal implementing the old node in
+          the new network, or [-1] when the node was swept away. *)
+}
+
+(** [apply g ~repl] rebuilds [g] after substitution.  [repl.(n) = Some l]
+    replaces node [n] by literal [l] (referring to the {e old} graph);
+    replacement chains are followed.  Representative nodes must have
+    smaller ids than the nodes they replace. *)
+val apply : Network.t -> repl:Lit.t option array -> result
+
+(** [sweep g] is [apply g] with no replacements: just removes dangling
+    nodes. *)
+val sweep : Network.t -> result

@@ -1,0 +1,12 @@
+type t = { pis : int; pos : int; ands : int; depth : int }
+
+let of_network g =
+  {
+    pis = Network.num_pis g;
+    pos = Network.num_pos g;
+    ands = Network.num_ands g;
+    depth = Network.depth g;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "pi=%d po=%d and=%d depth=%d" t.pis t.pos t.ands t.depth

@@ -1,0 +1,6 @@
+(** Network statistics used by the CLIs and bench tables. *)
+
+type t = { pis : int; pos : int; ands : int; depth : int }
+
+val of_network : Network.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+let union_capped ~cap a b =
+  let la = Array.length a and lb = Array.length b in
+  let buf = Array.make (min (la + lb) (cap + 1)) 0 in
+  let rec go i j k =
+    if k > cap then None
+    else if i = la && j = lb then Some (Array.sub buf 0 k)
+    else if k = Array.length buf then None
+    else if j = lb || (i < la && a.(i) < b.(j)) then begin
+      buf.(k) <- a.(i);
+      go (i + 1) j (k + 1)
+    end
+    else if i = la || b.(j) < a.(i) then begin
+      buf.(k) <- b.(j);
+      go i (j + 1) (k + 1)
+    end
+    else begin
+      buf.(k) <- a.(i);
+      go (i + 1) (j + 1) (k + 1)
+    end
+  in
+  go 0 0 0
+
+let capped g ~cap =
+  let n = Network.num_nodes g in
+  let supports = Array.make n None in
+  supports.(0) <- Some [||];
+  Network.iter_nodes g (fun id ->
+      if Network.is_pi g id then supports.(id) <- Some [| id |]
+      else if Network.is_and g id then begin
+        let s0 = supports.(Lit.node (Network.fanin0 g id)) in
+        let s1 = supports.(Lit.node (Network.fanin1 g id)) in
+        supports.(id) <-
+          (match (s0, s1) with
+          | Some a, Some b -> union_capped ~cap a b
+          | _ -> None)
+      end);
+  supports
+
+let size_capped g ~cap =
+  let supports = capped g ~cap in
+  Array.map (function Some a -> Array.length a | None -> -1) supports
+
+let exact g root =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec dfs n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      if Network.is_pi g n then acc := n :: !acc
+      else if Network.is_and g n then begin
+        dfs (Lit.node (Network.fanin0 g n));
+        dfs (Lit.node (Network.fanin1 g n))
+      end
+    end
+  in
+  dfs root;
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a

@@ -1,0 +1,21 @@
+(** Structural support computation.
+
+    The engine only ever needs supports up to a threshold (the phase
+    parameters [k_P], [k_p], [k_g]), so the main entry point computes, for
+    every node, either the exact support set or the fact that it exceeds a
+    cap — in one bottom-up pass with small sorted arrays. *)
+
+(** [capped g ~cap] returns per-node supports as sorted arrays of PI node
+    ids; [None] marks nodes whose support exceeds [cap]. *)
+val capped : Network.t -> cap:int -> int array option array
+
+(** [size_capped g ~cap] returns per-node support sizes, [-1] when the
+    support exceeds [cap]. *)
+val size_capped : Network.t -> cap:int -> int array
+
+(** Exact support of one node, by cone traversal (sorted PI node ids). *)
+val exact : Network.t -> int -> int array
+
+(** Sorted union of two sorted arrays; [None] when the union exceeds
+    [cap]. *)
+val union_capped : cap:int -> int array -> int array -> int array option

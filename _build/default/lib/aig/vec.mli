@@ -1,0 +1,14 @@
+(** Growable int vector used throughout the AIG package. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val clear : t -> unit
+val to_array : t -> int array
+val of_array : int array -> t
+val iter : (int -> unit) -> t -> unit
+val iteri : (int -> int -> unit) -> t -> unit

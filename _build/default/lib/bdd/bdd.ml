@@ -1,0 +1,219 @@
+exception Node_limit
+
+type node = int
+
+type man = {
+  num_vars : int;
+  node_limit : int;
+  mutable var_ : int array;  (* per node: variable index; terminals: num_vars *)
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable n : int;
+  unique : (int, int) Hashtbl.t;  (* packed (var,lo,hi) -> node *)
+  cache_and : (int, int) Hashtbl.t;
+  cache_xor : (int, int) Hashtbl.t;
+  cache_not : (int, int) Hashtbl.t;
+}
+
+let pack3 a b c = ((a * 0x1f_ffff) + b) * 0x1f_ffff + c
+(* Injective for node ids below 2^24 (the node limit is capped below). *)
+let pack2 a b = (a lsl 24) lor b
+
+let create ?(node_limit = 2_000_000) ~num_vars () =
+  if node_limit > 1 lsl 24 then invalid_arg "Bdd.create: node_limit above 2^24";
+  let cap = 1024 in
+  let m =
+    {
+      num_vars;
+      node_limit;
+      var_ = Array.make cap num_vars;
+      lo = Array.make cap 0;
+      hi = Array.make cap 0;
+      n = 2;
+      unique = Hashtbl.create 4096;
+      cache_and = Hashtbl.create 4096;
+      cache_xor = Hashtbl.create 4096;
+      cache_not = Hashtbl.create 1024;
+    }
+  in
+  (* Node 0 = false, node 1 = true.  Terminal [var_] sentinels sort last. *)
+  m.lo.(0) <- 0;
+  m.hi.(0) <- 0;
+  m.lo.(1) <- 1;
+  m.hi.(1) <- 1;
+  m
+
+let bdd_false _ = 0
+let bdd_true _ = 1
+let is_false _ n = n = 0
+let is_true _ n = n = 1
+let equal (a : node) b = a = b
+let size m = m.n
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    let key = pack3 v lo hi in
+    (* Collisions are resolved by verifying fields. *)
+    let rec find = function
+      | [] -> None
+      | id :: rest ->
+          if m.var_.(id) = v && m.lo.(id) = lo && m.hi.(id) = hi then Some id
+          else find rest
+    in
+    match find (Hashtbl.find_all m.unique key) with
+    | Some id -> id
+    | None ->
+        if m.n >= m.node_limit then raise Node_limit;
+        if m.n = Array.length m.var_ then begin
+          let cap = 2 * m.n in
+          let grow a def =
+            let b = Array.make cap def in
+            Array.blit a 0 b 0 m.n;
+            b
+          in
+          m.var_ <- grow m.var_ m.num_vars;
+          m.lo <- grow m.lo 0;
+          m.hi <- grow m.hi 0
+        end;
+        let id = m.n in
+        m.n <- id + 1;
+        m.var_.(id) <- v;
+        m.lo.(id) <- lo;
+        m.hi.(id) <- hi;
+        Hashtbl.add m.unique key id;
+        id
+  end
+
+let var m i =
+  if i < 0 || i >= m.num_vars then invalid_arg "Bdd.var: index out of range";
+  mk m i 0 1
+
+let rec bdd_not m f =
+  if f = 0 then 1
+  else if f = 1 then 0
+  else
+    match Hashtbl.find_opt m.cache_not f with
+    | Some r -> r
+    | None ->
+        let r = mk m m.var_.(f) (bdd_not m m.lo.(f)) (bdd_not m m.hi.(f)) in
+        Hashtbl.replace m.cache_not f r;
+        r
+
+let rec bdd_and m f g =
+  if f = g then f
+  else if f = 0 || g = 0 then 0
+  else if f = 1 then g
+  else if g = 1 then f
+  else begin
+    let f, g = if f <= g then (f, g) else (g, f) in
+    let key = pack2 f g in
+    match Hashtbl.find_opt m.cache_and key with
+    | Some r -> r
+    | None ->
+        let vf = m.var_.(f) and vg = m.var_.(g) in
+        let v = min vf vg in
+        let f0 = if vf = v then m.lo.(f) else f
+        and f1 = if vf = v then m.hi.(f) else f in
+        let g0 = if vg = v then m.lo.(g) else g
+        and g1 = if vg = v then m.hi.(g) else g in
+        let r = mk m v (bdd_and m f0 g0) (bdd_and m f1 g1) in
+        Hashtbl.replace m.cache_and key r;
+        r
+  end
+
+let rec bdd_xor m f g =
+  if f = g then 0
+  else if f = 0 then g
+  else if g = 0 then f
+  else if f = 1 then bdd_not m g
+  else if g = 1 then bdd_not m f
+  else begin
+    let f, g = if f <= g then (f, g) else (g, f) in
+    let key = pack2 f g in
+    match Hashtbl.find_opt m.cache_xor key with
+    | Some r -> r
+    | None ->
+        let vf = m.var_.(f) and vg = m.var_.(g) in
+        let v = min vf vg in
+        let f0 = if vf = v then m.lo.(f) else f
+        and f1 = if vf = v then m.hi.(f) else f in
+        let g0 = if vg = v then m.lo.(g) else g
+        and g1 = if vg = v then m.hi.(g) else g in
+        let r = mk m v (bdd_xor m f0 g0) (bdd_xor m f1 g1) in
+        Hashtbl.replace m.cache_xor key r;
+        r
+  end
+
+let bdd_or m f g = bdd_not m (bdd_and m (bdd_not m f) (bdd_not m g))
+let ite m f g h = bdd_or m (bdd_and m f g) (bdd_and m (bdd_not m f) h)
+
+let any_sat m f =
+  if f = 0 then None
+  else begin
+    let a = Array.make m.num_vars false in
+    let rec walk f =
+      if f = 1 then ()
+      else if m.lo.(f) <> 0 then walk m.lo.(f)
+      else begin
+        a.(m.var_.(f)) <- true;
+        walk m.hi.(f)
+      end
+    in
+    walk f;
+    Some a
+  end
+
+let count_sat m f =
+  let memo = Hashtbl.create 256 in
+  (* Fraction of assignments satisfying f below variable v. *)
+  let rec frac f =
+    if f = 0 then 0.
+    else if f = 1 then 1.
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+          let r = 0.5 *. (frac m.lo.(f) +. frac m.hi.(f)) in
+          Hashtbl.replace memo f r;
+          r
+  in
+  frac f *. (2. ** float_of_int m.num_vars)
+
+let eval m f a =
+  let rec go f = if f <= 1 then f = 1 else if a.(m.var_.(f)) then go m.hi.(f) else go m.lo.(f) in
+  go f
+
+let of_output m g po =
+  let map = Array.make (Aig.Network.num_nodes g) (-1) in
+  map.(0) <- 0;
+  (* Build only the cone of the requested output. *)
+  let cone = Aig.Cone.tfi g ~roots:[| Aig.Lit.node (Aig.Network.po g po) |] in
+  Aig.Network.iter_nodes g (fun n ->
+      if cone.(n) then
+        if Aig.Network.is_pi g n then map.(n) <- var m (Aig.Network.pi_index g n)
+        else if Aig.Network.is_and g n then begin
+          let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+          let b0 = map.(Aig.Lit.node f0) in
+          let b0 = if Aig.Lit.is_compl f0 then bdd_not m b0 else b0 in
+          let b1 = map.(Aig.Lit.node f1) in
+          let b1 = if Aig.Lit.is_compl f1 then bdd_not m b1 else b1 in
+          map.(n) <- bdd_and m b0 b1
+        end);
+  let l = Aig.Network.po g po in
+  let b = map.(Aig.Lit.node l) in
+  if Aig.Lit.is_compl l then bdd_not m b else b
+
+let check ?(node_limit = 2_000_000) g =
+  let m = create ~node_limit ~num_vars:(Aig.Network.num_pis g) () in
+  try
+    let rec go = function
+      | [] -> `Equivalent
+      | po :: rest -> (
+          let b = of_output m g po in
+          match any_sat m b with
+          | None -> go rest
+          | Some cex -> `Inequivalent (cex, po))
+    in
+    go (Aig.Miter.unsolved_outputs g)
+  with Node_limit -> `Node_limit

@@ -1,0 +1,64 @@
+(** Reduced ordered binary decision diagrams (Bryant).
+
+    A classical BDD package with a unique table and a computed-table cache.
+    It serves as one engine of the portfolio checker (the paper attributes
+    the commercial tool's behaviour to a combination of engines; BDDs shine
+    on symmetric control logic such as the [voter] case and blow up on
+    multipliers, which reproduces the crossovers of Table II).
+
+    Managers enforce a node budget: exceeding it raises {!Node_limit},
+    letting the portfolio abort this engine and fall back to another. *)
+
+exception Node_limit
+
+type man
+
+(** A BDD handle, valid within its manager. *)
+type node
+
+(** [create ~num_vars ~node_limit ()] makes a manager with the identity
+    variable order over [num_vars] variables. *)
+val create : ?node_limit:int -> num_vars:int -> unit -> man
+
+val bdd_false : man -> node
+val bdd_true : man -> node
+
+(** The function of input variable [i]. *)
+val var : man -> int -> node
+
+val bdd_not : man -> node -> node
+val bdd_and : man -> node -> node -> node
+val bdd_or : man -> node -> node -> node
+val bdd_xor : man -> node -> node -> node
+val ite : man -> node -> node -> node -> node
+
+val is_false : man -> node -> bool
+val is_true : man -> node -> bool
+val equal : node -> node -> bool
+
+(** Live node count (unique-table size). *)
+val size : man -> int
+
+(** [any_sat m n] is a satisfying assignment over all manager variables
+    (unconstrained variables default to [false]), or [None] for the
+    constant-false BDD. *)
+val any_sat : man -> node -> bool array option
+
+(** Number of satisfying assignments over the manager's variables, as a
+    float (may be huge). *)
+val count_sat : man -> node -> float
+
+(** Evaluate under a full assignment. *)
+val eval : man -> node -> bool array -> bool
+
+(** [of_output m g po] builds the BDD of output [po] of an AIG, mapping PI
+    index [i] to manager variable [i].  Raises {!Node_limit} when the
+    manager budget is exceeded. *)
+val of_output : man -> Aig.Network.t -> int -> node
+
+(** Equivalence check of a miter: [check g ~node_limit] is [`Equivalent],
+    [`Inequivalent (cex, po)], or [`Node_limit] when the budget blows up. *)
+val check :
+  ?node_limit:int ->
+  Aig.Network.t ->
+  [ `Equivalent | `Inequivalent of Sim.Cex.t * int | `Node_limit ]

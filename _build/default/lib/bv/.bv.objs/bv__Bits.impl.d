@@ -1,0 +1,1 @@
+lib/bv/bits.ml: Bytes Format Hashtbl Int64 Stdlib String

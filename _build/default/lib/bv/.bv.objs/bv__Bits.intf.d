@@ -1,0 +1,1 @@
+lib/bv/bits.mli: Format

@@ -1,0 +1,1 @@
+lib/bv/isop.ml: List Sop Tt

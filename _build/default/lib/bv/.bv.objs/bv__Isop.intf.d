@@ -1,0 +1,1 @@
+lib/bv/isop.mli: Sop Tt

@@ -1,0 +1,1 @@
+lib/bv/npn.ml: Array List

@@ -1,0 +1,1 @@
+lib/bv/sop.ml: Array List Tt

@@ -1,0 +1,1 @@
+lib/bv/sop.mli: Tt

@@ -1,0 +1,1 @@
+lib/bv/tt.ml: Array Bits Format Int64 String

@@ -1,0 +1,1 @@
+lib/bv/tt.mli: Bits Format

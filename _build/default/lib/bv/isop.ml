@@ -1,0 +1,49 @@
+(* Minato-Morreale irredundant SOP on truth tables.
+
+   [cover l u vars] returns cubes [c] with [l <= c <= u], recursing on the
+   highest variable in [vars] on which either bound depends.  The invariant
+   maintained by the two recursive literal branches and the final
+   literal-free branch is the classical one: the cubes with literal x (resp.
+   x') cover the minterms of [l] that cannot be covered without the literal,
+   and the remainder is covered inside [u0 & u1]. *)
+
+let rec cover l u vars =
+  if Tt.is_const0 l then []
+  else if Tt.is_const1 u then [ Sop.full_cube ]
+  else
+    match vars with
+    | [] ->
+        (* No variable left: l must be const0 or u const1; l <= u forces it. *)
+        assert (Tt.is_const0 l || Tt.is_const1 u);
+        if Tt.is_const0 l then [] else [ Sop.full_cube ]
+    | v :: rest ->
+        if not (Tt.depends_on l v || Tt.depends_on u v) then cover l u rest
+        else begin
+          let l0 = Tt.cofactor l v false and l1 = Tt.cofactor l v true in
+          let u0 = Tt.cofactor u v false and u1 = Tt.cofactor u v true in
+          (* Minterms of l0 not coverable by cubes valid on both branches. *)
+          let c0 = cover (Tt.band l0 (Tt.bnot u1)) u0 rest in
+          let c1 = cover (Tt.band l1 (Tt.bnot u0)) u1 rest in
+          let bit = 1 lsl v in
+          let cubes0 = List.map (fun c -> Sop.{ c with neg = c.neg lor bit }) c0 in
+          let cubes1 = List.map (fun c -> Sop.{ c with pos = c.pos lor bit }) c1 in
+          let covered0 = sop_tt l.Tt.nvars c0 in
+          let covered1 = sop_tt l.Tt.nvars c1 in
+          let l' =
+            Tt.bor
+              (Tt.band l0 (Tt.bnot covered0))
+              (Tt.band l1 (Tt.bnot covered1))
+          in
+          let cstar = cover l' (Tt.band u0 u1) rest in
+          cubes0 @ cubes1 @ cstar
+        end
+
+and sop_tt nvars cubes = Sop.to_tt { Sop.nvars; cubes }
+
+let isop_interval ~lower ~upper =
+  if lower.Tt.nvars <> upper.Tt.nvars then
+    invalid_arg "Isop.isop_interval: arity mismatch";
+  let vars = List.init lower.Tt.nvars (fun i -> lower.Tt.nvars - 1 - i) in
+  { Sop.nvars = lower.Tt.nvars; cubes = cover lower upper vars }
+
+let isop tt = isop_interval ~lower:tt ~upper:tt

@@ -1,0 +1,12 @@
+(** Irredundant sum-of-products computation (Minato–Morreale).
+
+    [isop tt] returns an SOP covering exactly the on-set of [tt]; every cube
+    is prime relative to the interval and no cube is redundant.  Used by the
+    rewriting and refactoring passes to resynthesise cut functions. *)
+
+(** Exact irredundant cover of the function. *)
+val isop : Tt.t -> Sop.t
+
+(** [isop_interval ~lower ~upper] returns an SOP [s] with
+    [lower <= s <= upper] (as functions); used when don't-cares are known. *)
+val isop_interval : lower:Tt.t -> upper:Tt.t -> Sop.t

@@ -1,0 +1,70 @@
+type transform = { perm : int array; input_compl : int; output_compl : bool }
+
+let identity = { perm = [| 0; 1; 2; 3 |]; input_compl = 0; output_compl = false }
+
+let apply tf tt =
+  let r = ref 0 in
+  for m = 0 to 15 do
+    (* y_i = x_{perm.(i)} xor c_i ; source index is built from the y bits. *)
+    let src = ref 0 in
+    for i = 0 to 3 do
+      let x = (m lsr tf.perm.(i)) land 1 in
+      let y = x lxor ((tf.input_compl lsr i) land 1) in
+      src := !src lor (y lsl i)
+    done;
+    let bit = (tt lsr !src) land 1 in
+    let bit = if tf.output_compl then bit lxor 1 else bit in
+    r := !r lor (bit lsl m)
+  done;
+  !r
+
+let all_perms =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y <> x) l in
+            List.map (fun p -> x :: p) (perms rest))
+          l
+  in
+  List.map Array.of_list (perms [ 0; 1; 2; 3 ])
+
+let canonize tt =
+  let best = ref (tt, identity) in
+  List.iter
+    (fun perm ->
+      for input_compl = 0 to 15 do
+        for out = 0 to 1 do
+          let tf = { perm; input_compl; output_compl = out = 1 } in
+          let v = apply tf tt in
+          if v < fst !best then best := (v, tf)
+        done
+      done)
+    all_perms;
+  !best
+
+let invert tf =
+  let iperm = Array.make 4 0 in
+  Array.iteri (fun i j -> iperm.(j) <- i) tf.perm;
+  let input_compl = ref 0 in
+  for j = 0 to 3 do
+    if (tf.input_compl lsr iperm.(j)) land 1 = 1 then
+      input_compl := !input_compl lor (1 lsl j)
+  done;
+  { perm = iperm; input_compl = !input_compl; output_compl = tf.output_compl }
+
+let compose a b =
+  let perm = Array.init 4 (fun i -> a.perm.(b.perm.(i))) in
+  let input_compl = ref 0 in
+  for i = 0 to 3 do
+    let c =
+      ((b.input_compl lsr i) land 1) lxor ((a.input_compl lsr b.perm.(i)) land 1)
+    in
+    if c = 1 then input_compl := !input_compl lor (1 lsl i)
+  done;
+  {
+    perm;
+    input_compl = !input_compl;
+    output_compl = a.output_compl <> b.output_compl;
+  }

@@ -1,0 +1,32 @@
+(** Exact NPN canonicalization of 4-input functions.
+
+    Two functions are NPN-equivalent when one can be obtained from the other
+    by permuting inputs, complementing a subset of inputs and optionally
+    complementing the output.  The rewriting pass keys its structure library
+    on the canonical representative, so a handful of precomputed optimal
+    implementations covers all 65536 4-input functions (222 NPN classes). *)
+
+type transform = {
+  perm : int array;  (** [perm.(i)] is the source variable feeding slot [i] *)
+  input_compl : int;  (** bit [i] set: input slot [i] is complemented *)
+  output_compl : bool;
+}
+
+(** The identity transform. *)
+val identity : transform
+
+(** [apply tf tt] transforms a 16-bit truth table: the result [g] satisfies
+    [g(x_0..x_3) = f(y_0..y_3) xor out] with
+    [y_i = x_{perm.(i)} xor input_compl_i]. *)
+val apply : transform -> int -> int
+
+(** [canonize tt] returns the canonical class representative (smallest
+    transformed table) and a transform [tf] with [apply tf tt = canon]. *)
+val canonize : int -> int * transform
+
+(** [invert tf] is the transform undoing [tf]:
+    [apply (invert tf) (apply tf tt) = tt]. *)
+val invert : transform -> transform
+
+(** Compose: [apply (compose a b) tt = apply a (apply b tt)]. *)
+val compose : transform -> transform -> transform

@@ -1,0 +1,97 @@
+type cube = { pos : int; neg : int }
+type t = { nvars : int; cubes : cube list }
+
+let full_cube = { pos = 0; neg = 0 }
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let cube_literals c = popcount c.pos + popcount c.neg
+let literals sop = List.fold_left (fun acc c -> acc + cube_literals c) 0 sop.cubes
+
+let eval_cube c vals =
+  let ok = ref true in
+  Array.iteri
+    (fun i v ->
+      let bit = 1 lsl i in
+      if c.pos land bit <> 0 && not v then ok := false;
+      if c.neg land bit <> 0 && v then ok := false)
+    vals;
+  !ok
+
+let eval sop vals = List.exists (fun c -> eval_cube c vals) sop.cubes
+
+let to_tt sop = Tt.of_fun ~nvars:sop.nvars (fun vals -> eval sop vals)
+
+type form =
+  | Const of bool
+  | Lit of int * bool
+  | And of form * form
+  | Or of form * form
+
+let rec eval_form f vals =
+  match f with
+  | Const b -> b
+  | Lit (v, compl_) -> vals.(v) <> compl_
+  | And (a, b) -> eval_form a vals && eval_form b vals
+  | Or (a, b) -> eval_form a vals || eval_form b vals
+
+let rec form_literals = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And (a, b) | Or (a, b) -> form_literals a + form_literals b
+
+(* Count occurrences of every literal; returns the most frequent one
+   occurring in at least two cubes, if any. *)
+let most_frequent_literal nvars cubes =
+  let best = ref None in
+  for v = 0 to nvars - 1 do
+    let bit = 1 lsl v in
+    let np = List.length (List.filter (fun c -> c.pos land bit <> 0) cubes) in
+    let nn = List.length (List.filter (fun c -> c.neg land bit <> 0) cubes) in
+    let consider count compl_ =
+      if count >= 2 then
+        match !best with
+        | Some (c, _, _) when c >= count -> ()
+        | _ -> best := Some (count, v, compl_)
+    in
+    consider np false;
+    consider nn true
+  done;
+  match !best with Some (_, v, compl_) -> Some (v, compl_) | None -> None
+
+let cube_to_form c =
+  let lits = ref [] in
+  for v = 29 downto 0 do
+    let bit = 1 lsl v in
+    if c.pos land bit <> 0 then lits := Lit (v, false) :: !lits;
+    if c.neg land bit <> 0 then lits := Lit (v, true) :: !lits
+  done;
+  match !lits with
+  | [] -> Const true
+  | f :: rest -> List.fold_left (fun acc l -> And (acc, l)) f rest
+
+let rec factor_cubes nvars cubes =
+  match cubes with
+  | [] -> Const false
+  | [ c ] -> cube_to_form c
+  | _ -> (
+      match most_frequent_literal nvars cubes with
+      | None ->
+          let forms = List.map cube_to_form cubes in
+          List.fold_left (fun acc f -> Or (acc, f)) (List.hd forms) (List.tl forms)
+      | Some (v, compl_) ->
+          let bit = 1 lsl v in
+          let has c = if compl_ then c.neg land bit <> 0 else c.pos land bit <> 0 in
+          let inside, outside = List.partition has cubes in
+          let strip c =
+            if compl_ then { c with neg = c.neg land lnot bit }
+            else { c with pos = c.pos land lnot bit }
+          in
+          let quotient = factor_cubes nvars (List.map strip inside) in
+          let divided = And (Lit (v, compl_), quotient) in
+          if outside = [] then divided
+          else Or (divided, factor_cubes nvars outside))
+
+let factor sop = factor_cubes sop.nvars sop.cubes

@@ -1,0 +1,117 @@
+type t = { nvars : int; bits : Bits.t }
+
+let check_nvars k =
+  if k < 0 || k > 24 then invalid_arg "Tt: nvars out of supported range [0,24]"
+
+let len_of_nvars k = 1 lsl k
+
+let const0 ~nvars =
+  check_nvars nvars;
+  { nvars; bits = Bits.create ~len:(len_of_nvars nvars) false }
+
+let const1 ~nvars =
+  check_nvars nvars;
+  { nvars; bits = Bits.create ~len:(len_of_nvars nvars) true }
+
+(* Repeating masks of the projection tables for variables 0..5. *)
+let proj_masks =
+  [| 0xaaaaaaaaaaaaaaaaL; 0xccccccccccccccccL; 0xf0f0f0f0f0f0f0f0L;
+     0xff00ff00ff00ff00L; 0xffff0000ffff0000L; 0xffffffff00000000L |]
+
+let proj_word ~var w =
+  if var < 0 then invalid_arg "Tt.proj_word: negative variable";
+  if var < 6 then proj_masks.(var)
+  else if (w lsr (var - 6)) land 1 = 1 then -1L
+  else 0L
+
+let proj ~nvars i =
+  check_nvars nvars;
+  if i < 0 || i >= nvars then invalid_arg "Tt.proj: variable out of range";
+  let bits = Bits.create ~len:(len_of_nvars nvars) false in
+  let nw = Bits.num_words bits in
+  for w = 0 to nw - 1 do
+    Bits.set_word bits w (proj_word ~var:i w)
+  done;
+  { nvars; bits }
+
+let same_arity a b name =
+  if a.nvars <> b.nvars then invalid_arg (name ^ ": arity mismatch")
+
+let bnot a = { a with bits = Bits.bnot a.bits }
+
+let band a b =
+  same_arity a b "Tt.band";
+  { a with bits = Bits.band a.bits b.bits }
+
+let bor a b =
+  same_arity a b "Tt.bor";
+  { a with bits = Bits.bor a.bits b.bits }
+
+let bxor a b =
+  same_arity a b "Tt.bxor";
+  { a with bits = Bits.bxor a.bits b.bits }
+
+let and_maybe_not ~c0 a ~c1 b =
+  same_arity a b "Tt.and_maybe_not";
+  { a with bits = Bits.and_maybe_not ~c0 a.bits ~c1 b.bits }
+
+let equal a b = a.nvars = b.nvars && Bits.equal a.bits b.bits
+let is_const0 a = Bits.is_zero a.bits
+let is_const1 a = Bits.is_ones a.bits
+
+let index_of_assignment vals =
+  let idx = ref 0 in
+  Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) vals;
+  !idx
+
+let eval tt vals =
+  if Array.length vals <> tt.nvars then invalid_arg "Tt.eval: arity mismatch";
+  Bits.get tt.bits (index_of_assignment vals)
+
+let of_fun ~nvars f =
+  check_nvars nvars;
+  let bits = Bits.create ~len:(len_of_nvars nvars) false in
+  let vals = Array.make nvars false in
+  for i = 0 to len_of_nvars nvars - 1 do
+    for v = 0 to nvars - 1 do
+      vals.(v) <- (i lsr v) land 1 = 1
+    done;
+    if f vals then Bits.set bits i true
+  done;
+  { nvars; bits }
+
+let cofactor tt i b =
+  if i < 0 || i >= tt.nvars then invalid_arg "Tt.cofactor: variable out of range";
+  let n = len_of_nvars tt.nvars in
+  let bits = Bits.create ~len:n false in
+  let bit = 1 lsl i in
+  for p = 0 to n - 1 do
+    let src = if b then p lor bit else p land lnot bit in
+    if Bits.get tt.bits src then Bits.set bits p true
+  done;
+  { tt with bits }
+
+let depends_on tt i = not (equal (cofactor tt i false) (cofactor tt i true))
+let count_ones tt = Bits.popcount tt.bits
+
+let of_uint16 x =
+  let bits = Bits.create ~len:16 false in
+  Bits.set_word bits 0 (Int64.of_int (x land 0xffff));
+  { nvars = 4; bits }
+
+let to_uint16 tt =
+  if tt.nvars > 4 then invalid_arg "Tt.to_uint16: arity exceeds 4";
+  (* Widen smaller arities by repeating the pattern up to 16 bits. *)
+  let base = Int64.to_int (Bits.get_word tt.bits 0) in
+  let l = len_of_nvars tt.nvars in
+  let rec widen v width = if width >= 16 then v else widen (v lor (v lsl width)) (width * 2) in
+  widen (base land ((1 lsl l) - 1)) l land 0xffff
+
+let of_string ~nvars s =
+  check_nvars nvars;
+  if String.length s <> len_of_nvars nvars then
+    invalid_arg "Tt.of_string: length does not match arity";
+  { nvars; bits = Bits.of_string s }
+
+let to_string tt = Bits.to_string tt.bits
+let pp fmt tt = Format.pp_print_string fmt (to_string tt)

@@ -1,0 +1,65 @@
+(** Truth tables of [k]-input Boolean functions.
+
+    A truth table is a {!Bits.t} of length [2^k]; bit [i] is the function
+    value under the input assignment whose binary encoding is [i]
+    (input [a_0] is the least significant bit, as in the paper). *)
+
+type t = { nvars : int; bits : Bits.t }
+
+(** Constant-false function of [nvars] inputs. *)
+val const0 : nvars:int -> t
+
+(** Constant-true function of [nvars] inputs. *)
+val const1 : nvars:int -> t
+
+(** [proj ~nvars i] is the projection truth table of variable [i]
+    ([0 <= i < nvars]), i.e. the function [f(x_0,...,x_{k-1}) = x_i]. *)
+val proj : nvars:int -> int -> t
+
+(** [proj_word ~var w] is the [w]-th 64-bit word of the projection table of
+    variable [var] — usable without materialising the table, for streaming
+    round-based simulation (Algorithm 1). *)
+val proj_word : var:int -> int -> int64
+
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+
+(** AIG simulation step with complemented-edge flags. *)
+val and_maybe_not : c0:bool -> t -> c1:bool -> t -> t
+
+val equal : t -> t -> bool
+val is_const0 : t -> bool
+val is_const1 : t -> bool
+
+(** [eval tt assignment] evaluates the function; [assignment] lists the
+    values of inputs [x_0, ..., x_{k-1}]. *)
+val eval : t -> bool array -> bool
+
+(** [of_fun ~nvars f] tabulates [f] over all [2^nvars] assignments. *)
+val of_fun : nvars:int -> (bool array -> bool) -> t
+
+(** [depends_on tt i] is true when the function value changes with [x_i]
+    for at least one assignment of the other inputs. *)
+val depends_on : t -> int -> bool
+
+(** [cofactor tt i b] is the [nvars]-input function with [x_i] fixed to [b]
+    (the result still formally depends on [nvars] variables). *)
+val cofactor : t -> int -> bool -> t
+
+(** Number of satisfying assignments. *)
+val count_ones : t -> int
+
+(** [of_uint16 x] is the 4-variable truth table encoded in the low 16 bits
+    of [x]; [to_uint16] is its inverse.  Used by the NPN rewriting library. *)
+val of_uint16 : int -> t
+
+val to_uint16 : t -> int
+
+(** Parse / print in the paper's most-significant-pattern-first convention. *)
+val of_string : nvars:int -> string -> t
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

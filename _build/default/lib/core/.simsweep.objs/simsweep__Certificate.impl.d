@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Aig Array Buffer Engine List Printf Sat String

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Aig Config Par Sat Sim Stats

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Aig Array Bv Bytes Hashtbl Int64 List Par

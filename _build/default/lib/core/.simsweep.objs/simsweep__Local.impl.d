@@ -1,0 +1,1 @@
+lib/core/local.ml: Aig Array Config Cuts Exhaustive List Par Sim

@@ -1,0 +1,1 @@
+lib/core/local.mli: Aig Config Cuts Exhaustive Par Sim

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Aig Config Engine Par Sat

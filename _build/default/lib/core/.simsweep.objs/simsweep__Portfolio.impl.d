@@ -1,0 +1,1 @@
+lib/core/portfolio.ml: Bdd Config Engine Sat Unix

@@ -1,0 +1,1 @@
+lib/core/portfolio.mli: Aig Config Engine Par Sat

@@ -1,0 +1,1 @@
+lib/core/wmerge.ml: Aig Array Exhaustive List

@@ -1,0 +1,171 @@
+type t = { steps : Engine.trace_step list; claims_proved : bool }
+
+let generate ?config ~pool miter =
+  let steps = ref [] in
+  let result =
+    Engine.run ?config ~trace:(fun s -> steps := s :: !steps) ~pool miter
+  in
+  ( result,
+    {
+      steps = List.rev !steps;
+      claims_proved = result.Engine.outcome = Engine.Proved;
+    } )
+
+(* Prove [a_lit == b_lit] on [g] with the SAT solver already loaded with
+   [g]'s CNF. *)
+let sat_equal solver ~conflict_limit a_lit b_lit =
+  let a = Sat.Cnf.lit a_lit and b = Sat.Cnf.lit b_lit in
+  let query assumptions =
+    match Sat.Solver.solve ~assumptions ~conflict_limit solver with
+    | Sat.Solver.Unsat -> `Unsat
+    | Sat.Solver.Sat -> `Sat
+    | Sat.Solver.Unknown -> `Unknown
+  in
+  match query [ a; Sat.Solver.neg b ] with
+  | `Sat -> `Refuted
+  | `Unknown -> `Unknown
+  | `Unsat -> (
+      match query [ Sat.Solver.neg a; b ] with
+      | `Sat -> `Refuted
+      | `Unknown -> `Unknown
+      | `Unsat -> `Proved)
+
+let validate ?(conflict_limit = max_int) miter cert =
+  let g = ref (Aig.Network.copy miter) in
+  let step_no = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let rec replay = function
+    | [] ->
+        if cert.claims_proved && not (Aig.Miter.solved (Aig.Reduce.sweep !g).Aig.Reduce.network)
+        then fail "certificate claims a proof but the replayed miter is unsolved"
+        else Ok !g
+    | (step : Engine.trace_step) :: rest -> (
+        incr step_no;
+        let solver = Sat.Solver.create () in
+        if not (Sat.Cnf.load solver !g) then
+          fail "step %d: intermediate miter has contradictory CNF" !step_no
+        else
+          (* Validate the step's claims on the current miter. *)
+          let bad_po =
+            List.find_opt
+              (fun i ->
+                let l = Aig.Network.po !g i in
+                l <> Aig.Lit.const_false
+                && sat_equal solver ~conflict_limit l Aig.Lit.const_false
+                   <> `Proved)
+              step.Engine.trace_pos
+          in
+          match bad_po with
+          | Some i -> fail "step %d: PO %d is not constant false" !step_no i
+          | None -> (
+              let bad_merge =
+                List.find_opt
+                  (fun (n, l) ->
+                    sat_equal solver ~conflict_limit (Aig.Lit.make n false) l
+                    <> `Proved)
+                  step.Engine.trace_merges
+              in
+              match bad_merge with
+              | Some (n, l) ->
+                  fail "step %d: node %d is not equivalent to literal %d"
+                    !step_no n l
+              | None ->
+                  (* Apply the step's reduction exactly as the engine did. *)
+                  (match step.Engine.trace_phase with
+                  | `P ->
+                      List.iter
+                        (fun i -> Aig.Network.set_po !g i Aig.Lit.const_false)
+                        step.Engine.trace_pos;
+                      g := (Aig.Reduce.sweep !g).Aig.Reduce.network
+                  | `G | `L _ ->
+                      let repl =
+                        Array.make (Aig.Network.num_nodes !g) None
+                      in
+                      List.iter
+                        (fun (n, l) -> repl.(n) <- Some l)
+                        step.Engine.trace_merges;
+                      g := (Aig.Reduce.apply !g ~repl).Aig.Reduce.network);
+                  replay rest))
+  in
+  replay cert.steps
+
+let phase_tag = function `P -> "P" | `G -> "G" | `L k -> "L" ^ string_of_int k
+
+let to_string cert =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "certificate %s\n" (if cert.claims_proved then "proved" else "partial"));
+  List.iter
+    (fun (s : Engine.trace_step) ->
+      Buffer.add_string buf (phase_tag s.Engine.trace_phase);
+      List.iter (fun i -> Buffer.add_string buf (Printf.sprintf " o%d" i)) s.Engine.trace_pos;
+      List.iter
+        (fun (n, l) -> Buffer.add_string buf (Printf.sprintf " %d:%d" n l))
+        s.Engine.trace_merges;
+      Buffer.add_char buf '\n')
+    cert.steps;
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty certificate"
+  | header :: rest -> (
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "certificate"; claim ] when claim = "proved" || claim = "partial" -> (
+          let parse_phase tag =
+            if tag = "P" then Ok `P
+            else if tag = "G" then Ok `G
+            else if String.length tag > 1 && tag.[0] = 'L' then
+              match int_of_string_opt (String.sub tag 1 (String.length tag - 1)) with
+              | Some k -> Ok (`L k)
+              | None -> Error ("bad phase tag " ^ tag)
+            else Error ("bad phase tag " ^ tag)
+          in
+          let parse_line line =
+            match String.split_on_char ' ' (String.trim line) with
+            | [] -> Error "empty step"
+            | tag :: items -> (
+                match parse_phase tag with
+                | Error e -> Error e
+                | Ok trace_phase ->
+                    let rec go pos merges = function
+                      | [] ->
+                          Ok
+                            {
+                              Engine.trace_phase;
+                              trace_pos = List.rev pos;
+                              trace_merges = List.rev merges;
+                            }
+                      | item :: rest ->
+                          if String.length item > 1 && item.[0] = 'o' then
+                            match
+                              int_of_string_opt
+                                (String.sub item 1 (String.length item - 1))
+                            with
+                            | Some i -> go (i :: pos) merges rest
+                            | None -> Error ("bad output item " ^ item)
+                          else begin
+                            match String.split_on_char ':' item with
+                            | [ n; l ] -> (
+                                match (int_of_string_opt n, int_of_string_opt l) with
+                                | Some n, Some l -> go pos ((n, l) :: merges) rest
+                                | _ -> Error ("bad merge item " ^ item))
+                            | _ -> Error ("bad item " ^ item)
+                          end
+                    in
+                    go [] [] items)
+          in
+          let rec all acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest -> (
+                match parse_line line with
+                | Ok s -> all (s :: acc) rest
+                | Error e -> Error e)
+          in
+          match all [] rest with
+          | Ok steps -> Ok { steps; claims_proved = claim = "proved" }
+          | Error e -> Error e)
+      | _ -> Error "bad certificate header")

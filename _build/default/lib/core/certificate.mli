@@ -1,0 +1,35 @@
+(** Checkable proof certificates for the CEC engine.
+
+    The engine's answer is only as trustworthy as 8,000 lines of simulator;
+    a certificate lets an {e independent} checker validate the result: it
+    records every reduction step (PO proofs and node merges, via
+    {!Engine.run}'s [trace]) and {!validate} replays them on the original
+    miter, re-proving each individual claim with the SAT solver — a much
+    smaller trusted core.  Each step's claims are local and cheap compared
+    to the original problem, which is the same reason the engine is fast:
+    the certificate externalises that decomposition. *)
+
+type t = {
+  steps : Engine.trace_step list;
+  claims_proved : bool;  (** the engine claims the miter fully proved *)
+}
+
+(** [generate ?config ~pool miter] runs the engine while recording the
+    trace.  The input network is not modified. *)
+val generate :
+  ?config:Config.t -> pool:Par.Pool.t -> Aig.Network.t -> Engine.run_result * t
+
+(** [validate ?conflict_limit miter cert] replays the certificate on the
+    original miter: every merge [n -> l] is re-proved equivalent by SAT on
+    the current intermediate miter and every P-step output re-proved
+    constant false, then the step's reduction is applied.  Returns the
+    final replayed miter, which is fully solved when [claims_proved] held
+    honestly.  On any failed claim, [Error] describes the offending step. *)
+val validate :
+  ?conflict_limit:int -> Aig.Network.t -> t -> (Aig.Network.t, string) result
+
+(** Text serialisation (one step per line) for storing certificates next
+    to netlists. *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result

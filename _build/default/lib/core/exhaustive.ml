@@ -1,0 +1,368 @@
+type pair = { a : int; b : int; compl_ : bool; tag : int }
+type job = { inputs : int array; pairs : pair list }
+type mismatch = { pattern : int; inputs : int array }
+type verdict = Proved | Mismatch of mismatch | Invalid
+
+type stats = {
+  mutable windows : int;
+  mutable nodes_simulated : int;
+  mutable words_computed : int;
+  mutable rounds : int;
+}
+
+let new_stats () = { windows = 0; nodes_simulated = 0; words_computed = 0; rounds = 0 }
+
+(* A prepared window: rows [0, ni) are the inputs, rows [ni, ni+nn) the AND
+   nodes ordered by local topological level. *)
+type ppair = { a_row : int; b_row : int; pcompl : bool; ptag : int; mutable decided : bool }
+
+type prep = {
+  inputs : int array;
+  ni : int;
+  nn : int;
+  f0_row : int array;
+  f0_mask : int64 array;  (* complement masks *)
+  f1_row : int array;
+  f1_mask : int64 array;
+  level_start : int array;  (* slot boundaries per local level *)
+  tt_words : int;
+  tail_mask : int64;
+  ppairs : ppair array;
+  mutable buf : Bytes.t;  (* rows * entry_words words, allocated per chunk *)
+  mutable w_nodes : int;  (* stats: words computed in this window *)
+  mutable w_rounds : int;
+}
+
+let prepare g (job : job) =
+  let roots =
+    List.fold_left
+      (fun acc p -> if p.b >= 0 then p.a :: p.b :: acc else p.a :: acc)
+      [] job.pairs
+    |> List.sort_uniq compare
+  in
+  (* Roots inside the input boundary are legal: their truth table is the
+     projection of that input. *)
+  let input_pos = Hashtbl.create 16 in
+  Array.iteri (fun i n -> Hashtbl.replace input_pos n i) job.inputs;
+  let cone_roots =
+    List.filter (fun n -> not (Hashtbl.mem input_pos n)) roots |> Array.of_list
+  in
+  match Aig.Cone.extract g ~roots:cone_roots ~inputs:job.inputs with
+  | None -> None (* pairs keep the default [Invalid] verdict *)
+  | Some { Aig.Cone.inputs; nodes } ->
+      let ni = Array.length inputs and nn = Array.length nodes in
+      (* Local levels (inputs are level 0). *)
+      let level = Hashtbl.create (2 * nn) in
+      Array.iter (fun n -> Hashtbl.replace level n 0) inputs;
+      let node_level n =
+        let l0 = Hashtbl.find level (Aig.Lit.node (Aig.Network.fanin0 g n)) in
+        let l1 = Hashtbl.find level (Aig.Lit.node (Aig.Network.fanin1 g n)) in
+        1 + max l0 l1
+      in
+      Array.iter (fun n -> Hashtbl.replace level n (node_level n)) nodes;
+      let slots = Array.copy nodes in
+      (* Stable sort by level keeps id order inside a level. *)
+      Array.stable_sort
+        (fun a b -> compare (Hashtbl.find level a) (Hashtbl.find level b))
+        slots;
+      let row_of = Hashtbl.create (2 * (ni + nn)) in
+      Array.iteri (fun i n -> Hashtbl.replace row_of n i) inputs;
+      Array.iteri (fun s n -> Hashtbl.replace row_of n (ni + s)) slots;
+      let f0_row = Array.make nn 0
+      and f0_mask = Array.make nn 0L
+      and f1_row = Array.make nn 0
+      and f1_mask = Array.make nn 0L in
+      Array.iteri
+        (fun s n ->
+          let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+          f0_row.(s) <- Hashtbl.find row_of (Aig.Lit.node f0);
+          f0_mask.(s) <- (if Aig.Lit.is_compl f0 then -1L else 0L);
+          f1_row.(s) <- Hashtbl.find row_of (Aig.Lit.node f1);
+          f1_mask.(s) <- (if Aig.Lit.is_compl f1 then -1L else 0L))
+        slots;
+      let max_level = if nn = 0 then 0 else Hashtbl.find level slots.(nn - 1) in
+      (* level_start.(l) is the first slot whose local level is >= l. *)
+      let level_start = Array.make (max_level + 2) 0 in
+      for l = 1 to max_level + 1 do
+        let rec first i =
+          if i = nn then nn
+          else if Hashtbl.find level slots.(i) >= l then i
+          else first (i + 1)
+        in
+        level_start.(l) <- first level_start.(l - 1)
+      done;
+      let tt_words = if ni <= 6 then 1 else 1 lsl (ni - 6) in
+      let tail_mask =
+        if ni >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl ni)) 1L
+      in
+      let ppairs =
+        List.map
+          (fun p ->
+            {
+              a_row = Hashtbl.find row_of p.a;
+              b_row = (if p.b < 0 then -1 else Hashtbl.find row_of p.b);
+              pcompl = p.compl_;
+              ptag = p.tag;
+              decided = false;
+            })
+          job.pairs
+        |> Array.of_list
+      in
+      Some
+        {
+          inputs;
+          ni;
+          nn;
+          f0_row;
+          f0_mask;
+          f1_row;
+          f1_mask;
+          level_start;
+          tt_words;
+          tail_mask;
+          ppairs;
+          buf = Bytes.empty;
+          w_nodes = nn;
+          w_rounds = 0;
+        }
+
+let ctz64 x =
+  let rec go i = if Int64.logand (Int64.shift_right_logical x i) 1L <> 0L then i else go (i + 1) in
+  if Int64.equal x 0L then 64 else go 0
+
+(* Simulate one window completely (all rounds); verdicts written by tag.
+   [par_inner] enables level-wise parallel node evaluation for big
+   windows. *)
+let simulate_window pool prep ~entry_words ~verdicts ~par_inner =
+  let e = entry_words in
+  let get row lw = Bytes.get_int64_ne prep.buf (((row * e) + lw) * 8) in
+  let set row lw x = Bytes.set_int64_ne prep.buf (((row * e) + lw) * 8) x in
+  let rounds = (prep.tt_words + e - 1) / e in
+  let active = ref (Array.length prep.ppairs) in
+  let r = ref 0 in
+  while !r < rounds && !active > 0 do
+    let base = !r * e in
+    let nw = min e (prep.tt_words - base) in
+    prep.w_rounds <- prep.w_rounds + 1;
+    (* Projection-table segments for the inputs. *)
+    for j = 0 to prep.ni - 1 do
+      for lw = 0 to nw - 1 do
+        set j lw (Bv.Tt.proj_word ~var:j (base + lw))
+      done
+    done;
+    (* Level-wise evaluation. *)
+    let eval_slot s =
+      let r0 = prep.f0_row.(s)
+      and m0 = prep.f0_mask.(s)
+      and r1 = prep.f1_row.(s)
+      and m1 = prep.f1_mask.(s) in
+      let row = prep.ni + s in
+      for lw = 0 to nw - 1 do
+        set row lw
+          (Int64.logand
+             (Int64.logxor (get r0 lw) m0)
+             (Int64.logxor (get r1 lw) m1))
+      done
+    in
+    (* The first parallel dimension of Fig. 3 — words of one truth table —
+       matters when a level holds few nodes but the tables are long; split
+       each slot's word range into chunks and schedule (slot, chunk) pairs. *)
+    let eval_slot_range s lo hi =
+      let r0 = prep.f0_row.(s)
+      and m0 = prep.f0_mask.(s)
+      and r1 = prep.f1_row.(s)
+      and m1 = prep.f1_mask.(s) in
+      let row = prep.ni + s in
+      for lw = lo to hi - 1 do
+        set row lw
+          (Int64.logand
+             (Int64.logxor (get r0 lw) m0)
+             (Int64.logxor (get r1 lw) m1))
+      done
+    in
+    if par_inner then begin
+      let word_chunk = 4096 in
+      let nchunks = (nw + word_chunk - 1) / word_chunk in
+      for l = 1 to Array.length prep.level_start - 2 do
+        let lo = prep.level_start.(l) and hi = prep.level_start.(l + 1) in
+        if nchunks <= 1 || hi - lo >= 2 * Par.Pool.num_workers pool then
+          Par.Pool.parallel_for pool ~start:lo ~stop:hi eval_slot
+        else
+          (* Few nodes, long tables: parallelise over (slot, word chunk). *)
+          Par.Pool.parallel_for pool ~start:0 ~stop:((hi - lo) * nchunks)
+            (fun task ->
+              let s = lo + (task / nchunks) in
+              let c = task mod nchunks in
+              eval_slot_range s (c * word_chunk) (min nw ((c + 1) * word_chunk)))
+      done
+    end
+    else
+      for s = 0 to prep.nn - 1 do
+        eval_slot s
+      done;
+    (* Compare the pairs on this round's segment. *)
+    Array.iter
+      (fun p ->
+        if not p.decided then begin
+          let cmask = if p.pcompl then -1L else 0L in
+          let lw = ref 0 in
+          while !lw < nw && not p.decided do
+            let x = get p.a_row !lw in
+            let y = if p.b_row < 0 then 0L else get p.b_row !lw in
+            let diff = Int64.logxor (Int64.logxor x y) cmask in
+            let diff =
+              if base + !lw = prep.tt_words - 1 then Int64.logand diff prep.tail_mask
+              else diff
+            in
+            if not (Int64.equal diff 0L) then begin
+              p.decided <- true;
+              decr active;
+              verdicts.(p.ptag) <-
+                Mismatch
+                  { pattern = ((base + !lw) * 64) + ctz64 diff; inputs = prep.inputs }
+            end;
+            incr lw
+          done
+        end)
+      prep.ppairs;
+    incr r
+  done;
+  (* Pairs that survived every round are proved. *)
+  Array.iter (fun p -> if not p.decided then verdicts.(p.ptag) <- Proved) prep.ppairs
+
+(* Fast path for the small windows of local function checking: truth
+   tables of at most 16 words are evaluated by a single memoised cone
+   traversal, skipping the window preparation entirely.  Returns the
+   number of AND nodes evaluated. *)
+exception Boundary_escape
+
+let small_window g (job : job) verdicts =
+  let ni = Array.length job.inputs in
+  let nw = if ni <= 6 then 1 else 1 lsl (ni - 6) in
+  let tail_mask =
+    if ni >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl ni)) 1L
+  in
+  let tts : (int, int64 array) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun j n ->
+      Hashtbl.replace tts n (Array.init nw (fun w -> Bv.Tt.proj_word ~var:j w)))
+    job.inputs;
+  let nodes = ref 0 in
+  let rec eval n =
+    match Hashtbl.find_opt tts n with
+    | Some a -> a
+    | None ->
+        if not (Aig.Network.is_and g n) then raise Boundary_escape;
+        let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+        let a0 = eval (Aig.Lit.node f0) and a1 = eval (Aig.Lit.node f1) in
+        let m0 = if Aig.Lit.is_compl f0 then -1L else 0L in
+        let m1 = if Aig.Lit.is_compl f1 then -1L else 0L in
+        let a =
+          Array.init nw (fun w ->
+              Int64.logand (Int64.logxor a0.(w) m0) (Int64.logxor a1.(w) m1))
+        in
+        incr nodes;
+        Hashtbl.replace tts n a;
+        a
+  in
+  (try
+     List.iter
+       (fun p ->
+         let ta = eval p.a in
+         let tb = if p.b < 0 then None else Some (eval p.b) in
+         let cmask = if p.compl_ then -1L else 0L in
+         let verdict = ref Proved in
+         (try
+            for w = 0 to nw - 1 do
+              let x = ta.(w) in
+              let y = match tb with None -> 0L | Some b -> b.(w) in
+              let diff = Int64.logxor (Int64.logxor x y) cmask in
+              let diff = if w = nw - 1 then Int64.logand diff tail_mask else diff in
+              if not (Int64.equal diff 0L) then begin
+                verdict := Mismatch { pattern = (w * 64) + ctz64 diff; inputs = job.inputs };
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         verdicts.(p.tag) <- !verdict)
+       job.pairs
+   with Boundary_escape -> () (* pairs keep the default [Invalid] verdict *));
+  !nodes
+
+let run g ~pool ~memory_words ?(stats = new_stats ()) ~jobs ~num_tags () =
+  let verdicts = Array.make num_tags Invalid in
+  (* Small windows (local function checking) go through the direct
+     evaluator; large ones use the round-based simulation table. *)
+  let small, jobs =
+    List.partition (fun (j : job) -> Array.length j.inputs <= 10) jobs
+  in
+  if small <> [] then begin
+    let small = Array.of_list small in
+    let counts = Array.make (Array.length small) 0 in
+    Par.Pool.parallel_for pool ~chunk:8 ~start:0 ~stop:(Array.length small)
+      (fun k -> counts.(k) <- small_window g small.(k) verdicts);
+    Array.iteri
+      (fun k (job : job) ->
+        stats.windows <- stats.windows + 1;
+        stats.rounds <- stats.rounds + 1;
+        stats.nodes_simulated <- stats.nodes_simulated + counts.(k);
+        let nw =
+          let ni = Array.length job.inputs in
+          if ni <= 6 then 1 else 1 lsl (ni - 6)
+        in
+        stats.words_computed <-
+          stats.words_computed + ((counts.(k) + Array.length job.inputs) * nw))
+      small
+  end;
+  let preps = List.filter_map (fun job -> prepare g job) jobs in
+  (* Greedy chunking under the memory budget (a single oversized window
+     still runs alone with E = 1). *)
+  let rows p = p.ni + p.nn in
+  let rec chunk acc cur cur_rows = function
+    | [] -> if cur = [] then List.rev acc else List.rev (List.rev cur :: acc)
+    | p :: rest ->
+        let r = rows p in
+        if cur <> [] && cur_rows + r > memory_words then
+          chunk (List.rev cur :: acc) [ p ] r rest
+        else chunk acc (p :: cur) (cur_rows + r) rest
+  in
+  let chunks = chunk [] [] 0 preps in
+  List.iter
+    (fun chunk ->
+      let chunk = Array.of_list chunk in
+      let total_rows = Array.fold_left (fun acc p -> acc + rows p) 0 chunk in
+      let max_tt = Array.fold_left (fun acc p -> max acc p.tt_words) 1 chunk in
+      (* Entry size E: the largest power of two fitting the budget, capped
+         at the longest truth table in the chunk. *)
+      let e = ref 1 in
+      while
+        2 * !e * total_rows <= memory_words && !e < max_tt
+      do
+        e := 2 * !e
+      done;
+      let entry_words = !e in
+      Array.iter
+        (fun p -> p.buf <- Bytes.create (rows p * entry_words * 8))
+        chunk;
+      let big p = rows p > 8192 in
+      let small_idx = ref [] and big_idx = ref [] in
+      Array.iteri (fun i p -> if big p then big_idx := i :: !big_idx else small_idx := i :: !small_idx) chunk;
+      let small = Array.of_list !small_idx in
+      Par.Pool.parallel_for pool ~chunk:1 ~start:0 ~stop:(Array.length small)
+        (fun k ->
+          simulate_window pool chunk.(small.(k)) ~entry_words ~verdicts
+            ~par_inner:false);
+      List.iter
+        (fun i ->
+          simulate_window pool chunk.(i) ~entry_words ~verdicts ~par_inner:true)
+        !big_idx;
+      Array.iter
+        (fun p ->
+          stats.windows <- stats.windows + 1;
+          stats.nodes_simulated <- stats.nodes_simulated + p.nn;
+          stats.words_computed <- stats.words_computed + (rows p * entry_words * p.w_rounds);
+          stats.rounds <- stats.rounds + p.w_rounds;
+          p.buf <- Bytes.empty)
+        chunk)
+    chunks;
+  verdicts

@@ -1,0 +1,55 @@
+(** Parallel exhaustive simulator (paper Algorithm 1).
+
+    A batch of jobs is checked at once; each job is a simulation window
+    (identified by its input node set) carrying candidate pairs whose truth
+    tables over those inputs are compared.  The simulation table gives every
+    window row an entry of [E = 2^e] 64-bit words, with [E] chosen on the
+    fly as the largest power of two such that the whole table fits in the
+    [memory_words] budget; longer truth tables are simulated over multiple
+    rounds, re-deriving projection-table segments per round.
+
+    Three dimensions of parallelism (paper Fig. 3) map onto the domain
+    pool: multiple windows are simulated concurrently; inside a large
+    window the nodes of one topological level are split across workers; and
+    each worker sweeps the words of its rows. *)
+
+type pair = {
+  a : int;  (** candidate node id *)
+  b : int;  (** other node id, or [-1] for the constant-false target *)
+  compl_ : bool;  (** compare against the complement *)
+  tag : int;  (** caller's slot in the verdict array *)
+}
+
+type job = { inputs : int array; pairs : pair list }
+
+type mismatch = {
+  pattern : int;  (** first differing pattern index *)
+  inputs : int array;  (** the window inputs the pattern refers to (after
+                           any window merging) *)
+}
+
+type verdict =
+  | Proved  (** truth tables identical over all inputs *)
+  | Mismatch of mismatch
+  | Invalid  (** the inputs do not bound the cone of some pair node *)
+
+type stats = {
+  mutable windows : int;
+  mutable nodes_simulated : int;  (** window nodes, summed over windows *)
+  mutable words_computed : int;  (** truth-table words evaluated *)
+  mutable rounds : int;
+}
+
+val new_stats : unit -> stats
+
+(** [run g ~pool ~memory_words ~jobs ~num_tags] returns a verdict per tag.
+    Tags absent from all jobs stay [Invalid]. *)
+val run :
+  Aig.Network.t ->
+  pool:Par.Pool.t ->
+  memory_words:int ->
+  ?stats:stats ->
+  jobs:job list ->
+  num_tags:int ->
+  unit ->
+  verdict array

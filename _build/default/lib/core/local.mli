@@ -1,0 +1,27 @@
+(** Local function checking (paper §III-C, Algorithm 2).
+
+    One pass interleaves priority-cut enumeration with exhaustive
+    simulation of local functions: nodes are processed by enumeration
+    level (Eq. 2 — a non-representative waits for its representative's
+    cuts); as soon as the common cuts of the candidate pairs of a level
+    are generated they are inserted in a bounded buffer, and the buffer is
+    checked by Algorithm 1 whenever it fills up.  A pair is proved when
+    its local functions w.r.t. {e any} common cut are identical; a
+    mismatch is inconclusive (it may be a satisfiability don't-care). *)
+
+type result = {
+  proved : (int * Aig.Lit.t) list;  (** node, replacement literal *)
+  pairs_tried : int;
+  cuts_checked : int;
+}
+
+(** [run_pass cfg ~pass ~pool ~stats g classes] runs one cut generation and
+    checking pass over all candidate pairs of [classes]. *)
+val run_pass :
+  Config.t ->
+  pass:Cuts.Criteria.pass ->
+  pool:Par.Pool.t ->
+  stats:Exhaustive.stats ->
+  Aig.Network.t ->
+  Sim.Eclass.t ->
+  result

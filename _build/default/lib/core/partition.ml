@@ -1,0 +1,106 @@
+(* Union-find over nodes; only PI and AND slots are ever used. *)
+let find parent x =
+  let rec go x = if parent.(x) = x then x else go parent.(x) in
+  let root = go x in
+  (* Path compression. *)
+  let rec compress x =
+    if parent.(x) <> root then begin
+      let next = parent.(x) in
+      parent.(x) <- root;
+      compress next
+    end
+  in
+  compress x;
+  root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(max ra rb) <- min ra rb
+
+let groups g =
+  let n = Aig.Network.num_nodes g in
+  let parent = Array.init n Fun.id in
+  Aig.Network.iter_ands g (fun id ->
+      let f0 = Aig.Lit.node (Aig.Network.fanin0 g id) in
+      let f1 = Aig.Lit.node (Aig.Network.fanin1 g id) in
+      (* The constant node never joins a group. *)
+      if f0 <> 0 then union parent id f0;
+      if f1 <> 0 then union parent id f1);
+  let by_root = Hashtbl.create 16 in
+  let const_group = ref [] in
+  for i = Aig.Network.num_pos g - 1 downto 0 do
+    let l = Aig.Network.po g i in
+    let d = Aig.Lit.node l in
+    if d = 0 then const_group := i :: !const_group
+    else begin
+      let r = find parent d in
+      Hashtbl.replace by_root r (i :: (try Hashtbl.find by_root r with Not_found -> []))
+    end
+  done;
+  let gs = Hashtbl.fold (fun _ pos acc -> pos :: acc) by_root [] in
+  let gs = List.sort compare gs in
+  if !const_group = [] then gs else !const_group :: gs
+
+let extract g pos =
+  let roots =
+    List.filter_map
+      (fun i ->
+        let l = Aig.Network.po g i in
+        if Aig.Lit.node l = 0 then None else Some (Aig.Lit.node l))
+      pos
+    |> Array.of_list
+  in
+  let cone = Aig.Cone.tfi g ~roots in
+  let ng = Aig.Network.create () in
+  let map = Array.make (Aig.Network.num_nodes g) (-1) in
+  map.(0) <- Aig.Lit.const_false;
+  let pi_origin = ref [] in
+  Aig.Network.iter_nodes g (fun id ->
+      if cone.(id) then
+        if Aig.Network.is_pi g id then begin
+          map.(id) <- Aig.Network.add_pi ng;
+          pi_origin := Aig.Network.pi_index g id :: !pi_origin
+        end
+        else if Aig.Network.is_and g id then begin
+          let tr l = Aig.Lit.xor_compl map.(Aig.Lit.node l) (Aig.Lit.is_compl l) in
+          map.(id) <-
+            Aig.Network.add_and ng
+              (tr (Aig.Network.fanin0 g id))
+              (tr (Aig.Network.fanin1 g id))
+        end);
+  List.iter
+    (fun i ->
+      let l = Aig.Network.po g i in
+      let m = if Aig.Lit.node l = 0 then Aig.Lit.const_false else map.(Aig.Lit.node l) in
+      Aig.Network.add_po ng (Aig.Lit.xor_compl m (Aig.Lit.is_compl l)))
+    pos;
+  (ng, Array.of_list (List.rev !pi_origin))
+
+let check ?config ?sat_config ~pool g =
+  let gs = groups g in
+  let num_groups = List.length gs in
+  let rec solve = function
+    | [] -> (Engine.Proved, num_groups)
+    | group :: rest -> (
+        let sub, pi_origin = extract g group in
+        if Aig.Miter.solved sub then
+          (* Constant-false outputs only. *)
+          if List.for_all (fun i -> Aig.Network.po g i = Aig.Lit.const_false) group
+          then solve rest
+          else
+            (* A constant-true PO: disproved by any assignment. *)
+            let bad =
+              List.find (fun i -> Aig.Network.po g i <> Aig.Lit.const_false) group
+            in
+            (Engine.Disproved (Array.make (Aig.Network.num_pis g) false, bad), num_groups)
+        else
+          let combined = Engine.check_with_fallback ?config ?sat_config ~pool sub in
+          match combined.Engine.final with
+          | Engine.Proved -> solve rest
+          | Engine.Disproved (sub_cex, sub_po) ->
+              let cex = Array.make (Aig.Network.num_pis g) false in
+              Array.iteri (fun j orig -> cex.(orig) <- sub_cex.(j)) pi_origin;
+              (Engine.Disproved (cex, List.nth group sub_po), num_groups)
+          | Engine.Undecided -> (Engine.Undecided, num_groups))
+  in
+  solve gs

@@ -1,0 +1,29 @@
+(** Output partitioning.
+
+    Industrial checkers split a miter into independent sub-problems by
+    grouping outputs whose support cones overlap, then solve each group
+    separately — doubled benchmarks (the paper's enlargement method) and
+    multi-unit designs decompose completely.  Groups are found with a
+    union-find over PIs driven once through the AND nodes, so the
+    partition costs a single topological pass. *)
+
+(** [groups g] partitions the PO indices by overlapping structural
+    support.  Constant outputs form their own group (returned first when
+    present). *)
+val groups : Aig.Network.t -> int list list
+
+(** [extract g pos] builds the sub-network containing only the listed POs,
+    its cone, and the PIs in that cone; returns the network and, for each
+    of its PIs, the original PI index. *)
+val extract : Aig.Network.t -> int list -> Aig.Network.t * int array
+
+(** [check ?config ~pool miter] runs the engine (with SAT fallback) on
+    every support group independently and combines the verdicts; a group's
+    counter-example is lifted back to the full input space.  Returns the
+    outcome and the number of groups. *)
+val check :
+  ?config:Config.t ->
+  ?sat_config:Sat.Sweep.config ->
+  pool:Par.Pool.t ->
+  Aig.Network.t ->
+  Engine.outcome * int

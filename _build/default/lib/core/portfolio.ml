@@ -1,0 +1,30 @@
+type engine = Bdd_engine | Sim_engine | Sat_engine
+
+type result = { outcome : Engine.outcome; winner : engine option; time : float }
+
+let engine_name = function
+  | Bdd_engine -> "bdd"
+  | Sim_engine -> "sim"
+  | Sat_engine -> "sat"
+
+let check ?(config = Config.default) ?(sat_config = Sat.Sweep.default_config)
+    ?(bdd_node_limit = 1 lsl 20) ~pool miter =
+  let t0 = Unix.gettimeofday () in
+  let finish outcome winner =
+    { outcome; winner; time = Unix.gettimeofday () -. t0 }
+  in
+  (* Engine 1: BDD with a node budget — cheap on control logic, aborts fast
+     on arithmetic. *)
+  match Bdd.check ~node_limit:bdd_node_limit miter with
+  | `Equivalent -> finish Engine.Proved (Some Bdd_engine)
+  | `Inequivalent (cex, po) -> finish (Engine.Disproved (cex, po)) (Some Bdd_engine)
+  | `Node_limit -> (
+      (* Engine 2 + 3: the simulation engine with SAT fallback. *)
+      let combined = Engine.check_with_fallback ~config ~sat_config ~pool miter in
+      match combined.Engine.final with
+      | Engine.Proved | Engine.Disproved _ ->
+          let winner =
+            if combined.Engine.sat_outcome = None then Sim_engine else Sat_engine
+          in
+          finish combined.Engine.final (Some winner)
+      | Engine.Undecided -> finish Engine.Undecided None)

@@ -1,0 +1,29 @@
+(** Portfolio checker — the stand-in for the commercial tool.
+
+    The paper describes commercial checkers as "a combination of engines",
+    with multi-threading plausibly "running different engines
+    simultaneously and early-stopping when an engine finishes".  This
+    portfolio runs a BDD engine (with a node budget), the simulation
+    engine, and the SAT sweeper, returning the first conclusive answer.
+    BDDs excel on symmetric control logic (the [voter] benchmark family)
+    and blow up on multipliers, which reproduces Table II's
+    Conformal-vs-ours crossovers. *)
+
+type engine = Bdd_engine | Sim_engine | Sat_engine
+
+type result = {
+  outcome : Engine.outcome;
+  winner : engine option;  (** engine that produced the conclusive answer *)
+  time : float;
+}
+
+(** [check ?config ?sat_config ?bdd_node_limit ~pool miter]. *)
+val check :
+  ?config:Config.t ->
+  ?sat_config:Sat.Sweep.config ->
+  ?bdd_node_limit:int ->
+  pool:Par.Pool.t ->
+  Aig.Network.t ->
+  result
+
+val engine_name : engine -> string

@@ -1,0 +1,29 @@
+(** Engine statistics: per-phase wall-clock timers (Fig. 6) and work
+    counters. *)
+
+type phase = Po_check | Global_check | Local_check
+
+type t = {
+  mutable time_p : float;
+  mutable time_g : float;
+  mutable time_l : float;
+  mutable pos_proved : int;
+  mutable pairs_proved_global : int;
+  mutable pairs_proved_local : int;
+  mutable cex_found : int;
+  mutable local_phases : int;
+  exhaustive : Exhaustive.stats;
+}
+
+val create : unit -> t
+
+(** [timed stats phase f] runs [f] and adds its duration to the phase
+    timer. *)
+val timed : t -> phase -> (unit -> 'a) -> 'a
+
+val total_time : t -> float
+
+(** Runtime fractions (p, g, l) of the total, for the Fig. 6 breakdown. *)
+val breakdown : t -> float * float * float
+
+val pp : Format.formatter -> t -> unit

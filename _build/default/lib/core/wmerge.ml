@@ -1,0 +1,19 @@
+let lex_compare (a : Exhaustive.job) (b : Exhaustive.job) =
+  compare (Array.to_list a.Exhaustive.inputs) (Array.to_list b.Exhaustive.inputs)
+
+let merge ~k_s jobs =
+  let sorted = List.sort lex_compare jobs in
+  let rec go acc cur = function
+    | [] -> List.rev (match cur with None -> acc | Some j -> j :: acc)
+    | (j : Exhaustive.job) :: rest -> (
+        match cur with
+        | None -> go acc (Some j) rest
+        | Some c -> (
+            match Aig.Support.union_capped ~cap:k_s c.Exhaustive.inputs j.inputs with
+            | Some inputs ->
+                go acc
+                  (Some { Exhaustive.inputs; pairs = c.pairs @ j.pairs })
+                  rest
+            | None -> go (c :: acc) (Some j) rest))
+  in
+  go [] None sorted

@@ -1,0 +1,13 @@
+(** Window merging (paper §III-B3).
+
+    Overlapping windows force shared nodes to be simulated once per window;
+    merging windows with similar input sets reduces the total number of
+    simulated nodes at the cost of longer truth tables.  The heuristic is
+    the paper's: sort the batch in lexicographic order of the (id-sorted)
+    input sets, then greedily merge consecutive windows while the merged
+    input set stays within [k_s].  Only used for global-function checking,
+    where all window inputs are PIs so any union is still a valid input
+    boundary. *)
+
+(** [merge ~k_s jobs] returns the merged batch. *)
+val merge : k_s:int -> Exhaustive.job list -> Exhaustive.job list

@@ -1,0 +1,1 @@
+lib/cuts/criteria.ml: Array

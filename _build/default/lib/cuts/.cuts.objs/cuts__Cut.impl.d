@@ -1,0 +1,1 @@
+lib/cuts/cut.ml: Aig Array List Stdlib

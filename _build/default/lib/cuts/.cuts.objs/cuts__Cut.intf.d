@@ -1,0 +1,1 @@
+lib/cuts/cut.mli: Aig

@@ -1,0 +1,1 @@
+lib/cuts/enumerate.ml: Aig Array Criteria Cut List

@@ -1,0 +1,1 @@
+lib/cuts/enumerate.mli: Aig Criteria Cut

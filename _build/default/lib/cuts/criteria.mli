@@ -1,0 +1,31 @@
+(** Cut-selection criteria (paper Table I).
+
+    Three passes rank candidate cuts by different priorities, increasing
+    the diversity of the cuts tried in local function checking:
+
+    {v
+    Pass | Main metric  | Tie-breaker 1 | Tie-breaker 2
+    1    | fanout       | cut size      | small level
+    2    | small level  | cut size      | fanout
+    3    | large level  | cut size      | fanout
+    v}
+
+    High average fanout of cut nodes is preferred (Kuehlmann's cutpoint
+    heuristic), small cut size always, and level direction depends on the
+    pass. *)
+
+type pass = Fanout_first | Small_level_first | Large_level_first
+
+(** The three passes in Table I order. *)
+val table1 : pass list
+
+type metrics = {
+  fanout : float;  (** average fanout count of the cut nodes *)
+  size : int;
+  level : float;  (** average structural level of the cut nodes *)
+}
+
+val metrics : fanouts:int array -> levels:int array -> Cut.t -> metrics
+
+(** [compare_metrics pass a b] orders better cuts first. *)
+val compare_metrics : pass -> metrics -> metrics -> int

@@ -1,0 +1,67 @@
+type config = { k_l : int; c : int }
+
+let enum_levels g ~repr_of =
+  let n = Aig.Network.num_nodes g in
+  let el = Array.make n 0 in
+  Aig.Network.iter_ands g (fun id ->
+      let f0 = Aig.Lit.node (Aig.Network.fanin0 g id) in
+      let f1 = Aig.Lit.node (Aig.Network.fanin1 g id) in
+      let base = 1 + max el.(f0) el.(f1) in
+      let r = repr_of id in
+      el.(id) <- (if r = id then base else max base (1 + el.(r))));
+  el
+
+let dedup cuts =
+  let sorted = List.sort_uniq Cut.compare cuts in
+  sorted
+
+let candidates g ~k_l n ~prio =
+  let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+  let n0 = Aig.Lit.node f0 and n1 = Aig.Lit.node f1 in
+  let set0 = Cut.trivial n0 :: prio.(n0) in
+  let set1 = Cut.trivial n1 :: prio.(n1) in
+  let acc = ref [] in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          match Cut.merge ~cap:k_l u v with
+          | Some c -> acc := c :: !acc
+          | None -> ())
+        set1)
+    set0;
+  dedup !acc
+
+let select cfg ~pass ~fanouts ~levels ~sim_target cuts =
+  let scored =
+    List.map (fun c -> (c, Criteria.metrics ~fanouts ~levels c)) cuts
+  in
+  let cmp =
+    match sim_target with
+    | None -> fun (_, ma) (_, mb) -> Criteria.compare_metrics pass ma mb
+    | Some target ->
+        fun (ca, ma) (cb, mb) ->
+          let sa = Cut.similarity ca target and sb = Cut.similarity cb target in
+          let r = compare sb sa in
+          if r <> 0 then r else Criteria.compare_metrics pass ma mb
+  in
+  let sorted = List.stable_sort cmp scored in
+  List.filteri (fun i _ -> i < cfg.c) (List.map fst sorted)
+
+let node_cuts g cfg ~pass ~fanouts ~levels ~prio ~sim_target n =
+  if not (Aig.Network.is_and g n) then invalid_arg "Enumerate.node_cuts: not an AND";
+  let cand = candidates g ~k_l:cfg.k_l n ~prio in
+  select cfg ~pass ~fanouts ~levels ~sim_target cand
+
+let common_cuts ~k_l cuts_r cuts_n =
+  let acc = ref [] in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          match Cut.merge ~cap:k_l u v with
+          | Some c -> acc := c :: !acc
+          | None -> ())
+        cuts_n)
+    cuts_r;
+  dedup !acc

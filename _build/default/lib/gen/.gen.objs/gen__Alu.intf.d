@@ -1,0 +1,1 @@
+lib/gen/alu.mli: Aig

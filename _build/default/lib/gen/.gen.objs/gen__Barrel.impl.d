@@ -1,0 +1,1 @@
+lib/gen/barrel.ml: Aig Array Vecops

@@ -1,0 +1,1 @@
+lib/gen/barrel.mli: Aig

@@ -1,0 +1,1 @@
+lib/gen/control.ml: Aig Array Float List Sim Vecops

@@ -1,0 +1,1 @@
+lib/gen/divider.ml: Aig Array Vecops

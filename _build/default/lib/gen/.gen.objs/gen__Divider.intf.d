@@ -1,0 +1,1 @@
+lib/gen/divider.mli: Aig

@@ -1,0 +1,1 @@
+lib/gen/double.ml: Aig Array

@@ -1,0 +1,1 @@
+lib/gen/double.mli: Aig

@@ -1,0 +1,1 @@
+lib/gen/suite.ml: Aig Arith Control Double List Opt

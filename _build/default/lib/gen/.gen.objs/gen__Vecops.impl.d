@@ -1,0 +1,1 @@
+lib/gen/vecops.ml: Aig Array

@@ -1,0 +1,1 @@
+lib/gen/vecops.mli: Aig

@@ -1,0 +1,1 @@
+lib/gen/wallace.ml: Aig Array List Vecops

@@ -1,0 +1,1 @@
+lib/gen/wallace.mli: Aig

@@ -1,0 +1,50 @@
+let alu ~bits =
+  let g = Aig.Network.create () in
+  let a = Vecops.inputs g bits and b = Vecops.inputs g bits in
+  let op = Vecops.inputs g 3 in
+  let add = Vecops.add g a b in
+  let sub, no_borrow = Vecops.sub g a b in
+  let map2 f = Array.map2 (fun x y -> f g x y) a b in
+  let and_ = map2 Aig.Network.add_and in
+  let or_ = map2 Aig.Network.add_or in
+  let xor_ = map2 Aig.Network.add_xor in
+  let shl1 = Vecops.resize (Vecops.shl a 1) ~width:bits in
+  let shr1 = Array.init bits (fun i -> if i + 1 < bits then a.(i + 1) else Aig.Lit.const_false) in
+  let results =
+    [|
+      Vecops.resize add ~width:bits; sub; and_; or_; xor_; shl1; shr1; a;
+    |]
+  in
+  (* 8-way mux tree over the opcode. *)
+  let mux_level sel pairs =
+    Array.init
+      (Array.length pairs / 2)
+      (fun i -> Vecops.mux g sel pairs.((2 * i) + 1) pairs.(2 * i))
+  in
+  let l1 = mux_level op.(0) results in
+  let l2 = mux_level op.(1) l1 in
+  let result = (mux_level op.(2) l2).(0) in
+  let carry =
+    (* carry-out of ADD, no-borrow of SUB, 0 otherwise *)
+    let is_add =
+      Aig.Network.add_and g
+        (Aig.Lit.neg op.(0))
+        (Aig.Network.add_and g (Aig.Lit.neg op.(1)) (Aig.Lit.neg op.(2)))
+    in
+    let is_sub =
+      Aig.Network.add_and g op.(0)
+        (Aig.Network.add_and g (Aig.Lit.neg op.(1)) (Aig.Lit.neg op.(2)))
+    in
+    Aig.Network.add_or g
+      (Aig.Network.add_and g is_add add.(bits))
+      (Aig.Network.add_and g is_sub no_borrow)
+  in
+  let zero =
+    Array.fold_left
+      (fun acc r -> Aig.Network.add_and g acc (Aig.Lit.neg r))
+      Aig.Lit.const_true result
+  in
+  Vecops.outputs g result;
+  Aig.Network.add_po g carry;
+  Aig.Network.add_po g zero;
+  g

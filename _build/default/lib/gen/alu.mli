@@ -1,0 +1,8 @@
+(** A small ALU: two operands, a 3-bit opcode, one result word plus
+    carry/zero flags — the mixed control-and-datapath shape typical of the
+    IWLS control benchmarks.
+
+    Opcodes: 0 ADD, 1 SUB, 2 AND, 3 OR, 4 XOR, 5 shift-left-1,
+    6 logical-shift-right-1, 7 pass-through A. *)
+
+val alu : bits:int -> Aig.Network.t

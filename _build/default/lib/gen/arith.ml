@@ -1,0 +1,149 @@
+let adder ~bits =
+  let g = Aig.Network.create () in
+  let a = Vecops.inputs g bits and b = Vecops.inputs g bits in
+  Vecops.outputs g (Vecops.add g a b);
+  g
+
+let multiplier ~bits =
+  let g = Aig.Network.create () in
+  let a = Vecops.inputs g bits and b = Vecops.inputs g bits in
+  Vecops.outputs g (Vecops.mul g a b);
+  g
+
+let square ~bits =
+  let g = Aig.Network.create () in
+  let a = Vecops.inputs g bits in
+  Vecops.outputs g (Vecops.mul g a a);
+  g
+
+(* Restoring square-root digit recurrence on a network [g], reusable by
+   [hypot].  [x] must have even length. *)
+let sqrt_core g x =
+  let n = Array.length x in
+  assert (n mod 2 = 0);
+  let half = n / 2 in
+  let w = half + 2 in
+  let rem = ref (Vecops.const ~width:w 0) in
+  let root = ref (Vecops.const ~width:half 0) in
+  for i = half - 1 downto 0 do
+    (* rem = (rem << 2) | x[2i+1..2i] *)
+    let shifted = Vecops.resize (Vecops.shl !rem 2) ~width:w in
+    shifted.(0) <- x.(2 * i);
+    shifted.(1) <- x.((2 * i) + 1);
+    (* trial = (root << 2) | 1 *)
+    let trial = Vecops.resize (Vecops.shl !root 2) ~width:w in
+    trial.(0) <- Aig.Lit.const_true;
+    let diff, fits = Vecops.sub g shifted trial in
+    rem := Vecops.mux g fits diff shifted;
+    (* root = (root << 1) | fits *)
+    let r = Vecops.resize (Vecops.shl !root 1) ~width:half in
+    r.(0) <- fits;
+    root := r
+  done;
+  !root
+
+let sqrt ~bits =
+  if bits mod 2 <> 0 then invalid_arg "Arith.sqrt: bits must be even";
+  let g = Aig.Network.create () in
+  let x = Vecops.inputs g bits in
+  Vecops.outputs g (sqrt_core g x);
+  g
+
+let hypot ~bits =
+  let g = Aig.Network.create () in
+  let a = Vecops.inputs g bits and b = Vecops.inputs g bits in
+  let aa = Vecops.mul g a a and bb = Vecops.mul g b b in
+  let sum = Vecops.add g aa bb in
+  (* 2*bits + 1 bits; pad to the next even width for the root. *)
+  let w = Array.length sum in
+  let w = if w mod 2 = 0 then w else w + 1 in
+  Vecops.outputs g (sqrt_core g (Vecops.resize sum ~width:w));
+  g
+
+let log2 ~bits ~frac =
+  let g = Aig.Network.create () in
+  let x = Vecops.inputs g bits in
+  (* Leading-one detection (priority encoding from the MSB). *)
+  let found = ref Aig.Lit.const_false in
+  let is_leading = Array.make bits Aig.Lit.const_false in
+  for i = bits - 1 downto 0 do
+    is_leading.(i) <- Aig.Network.add_and g x.(i) (Aig.Lit.neg !found);
+    found := Aig.Network.add_or g !found x.(i)
+  done;
+  let pos_bits = max 1 (int_of_float (ceil (Float.log2 (float_of_int (max 2 bits))))) in
+  let pos = Array.make pos_bits Aig.Lit.const_false in
+  for k = 0 to pos_bits - 1 do
+    let terms = ref Aig.Lit.const_false in
+    for i = 0 to bits - 1 do
+      if (i lsr k) land 1 = 1 then terms := Aig.Network.add_or g !terms is_leading.(i)
+    done;
+    pos.(k) <- !terms
+  done;
+  (* Normalised mantissa: barrel shift so the leading one lands at the top
+     bit. *)
+  let mant = ref (Vecops.const ~width:bits 0) in
+  for i = 0 to bits - 1 do
+    let shifted = Vecops.resize (Vecops.shl x (bits - 1 - i)) ~width:bits in
+    let selected = Array.map (fun l -> Aig.Network.add_and g l is_leading.(i)) shifted in
+    mant := Array.map2 (fun acc l -> Aig.Network.add_or g acc l) !mant selected
+  done;
+  (* Fractional bits by repeated squaring: y in [1,2); y := y^2, emit the
+     overflow bit, renormalise. *)
+  let y = ref !mant in
+  let fbits = ref [] in
+  for _ = 1 to frac do
+    let sq = Vecops.mul g !y !y in
+    (* sq has 2*bits bits; value in [1,4): bit (2*bits-1) means >= 2. *)
+    let ge2 = sq.((2 * bits) - 1) in
+    let hi = Array.sub sq bits bits in
+    (* y' = ge2 ? sq >> (bits)   (keeps the leading 1 at top)
+           : sq >> (bits-1). *)
+    let lo = Array.sub sq (bits - 1) bits in
+    y := Vecops.mux g ge2 hi lo;
+    fbits := ge2 :: !fbits
+  done;
+  Aig.Network.add_po g !found;
+  Vecops.outputs g pos;
+  List.iter (fun b -> Aig.Network.add_po g b) (List.rev !fbits);
+  g
+
+(* Arithmetic shift right by [k] on a signed fixed-point vector. *)
+let asr_vec v k =
+  let n = Array.length v in
+  let sign = v.(n - 1) in
+  Array.init n (fun i -> if i + k < n then v.(i + k) else sign)
+
+let add_fixed g a b =
+  Vecops.resize (Vecops.add g a b) ~width:(Array.length a)
+
+let sub_fixed g a b =
+  let d, _ = Vecops.sub g a b in
+  d
+
+let sin ~bits ~iters =
+  let g = Aig.Network.create () in
+  let w = bits + 2 in
+  let angle = Vecops.inputs g bits in
+  let z = ref (Vecops.resize angle ~width:w) in
+  (* CORDIC gain-compensated start vector: x = K * 2^(bits-1), y = 0. *)
+  let k_scaled = int_of_float (0.6072529350088812 *. float_of_int (1 lsl (bits - 1))) in
+  let x = ref (Vecops.const ~width:w k_scaled) in
+  let y = ref (Vecops.const ~width:w 0) in
+  for i = 0 to iters - 1 do
+    let atan_i =
+      int_of_float (Float.atan (Float.pow 2. (float_of_int (-i)))
+                    *. float_of_int (1 lsl (bits - 1)))
+    in
+    let c = Vecops.const ~width:w atan_i in
+    let neg = (!z).(w - 1) in
+    (* d = -1 when z < 0. *)
+    let xs = asr_vec !x i and ys = asr_vec !y i in
+    let x_plus = add_fixed g !x ys and x_minus = sub_fixed g !x ys in
+    let y_plus = add_fixed g !y xs and y_minus = sub_fixed g !y xs in
+    let z_plus = add_fixed g !z c and z_minus = sub_fixed g !z c in
+    x := Vecops.mux g neg x_plus x_minus;
+    y := Vecops.mux g neg y_minus y_plus;
+    z := Vecops.mux g neg z_plus z_minus
+  done;
+  Vecops.outputs g !y;
+  g

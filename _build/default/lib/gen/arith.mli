@@ -1,0 +1,29 @@
+(** Arithmetic benchmark families, mirroring the EPFL arithmetic suite used
+    in the paper's evaluation (adder, multiplier, square, sqrt, hyp, log2,
+    sin) at parametric bit widths. *)
+
+(** Ripple-carry adder: [2n] PIs, [n+1] POs. *)
+val adder : bits:int -> Aig.Network.t
+
+(** Array multiplier: [2n] PIs, [2n] POs. *)
+val multiplier : bits:int -> Aig.Network.t
+
+(** Squarer [a*a]: [n] PIs, [2n] POs. *)
+val square : bits:int -> Aig.Network.t
+
+(** Restoring integer square root of an [n]-bit input ([n] even):
+    [n/2]-bit result.  Deep (quadratic-depth) circuit like EPFL [sqrt]. *)
+val sqrt : bits:int -> Aig.Network.t
+
+(** [hypot ~bits] computes [sqrt(a^2 + b^2)] — the [hyp]-style mix of
+    multipliers, an adder and a deep root extractor. *)
+val hypot : bits:int -> Aig.Network.t
+
+(** Binary logarithm: integer part is the leading-one position, [frac]
+    fractional bits come from the repeated-squaring recurrence — a chain of
+    multipliers, like EPFL [log2]. *)
+val log2 : bits:int -> frac:int -> Aig.Network.t
+
+(** Fixed-point sine via CORDIC rotations ([iters] stages of shift-add with
+    arctangent constants), like EPFL [sin]. *)
+val sin : bits:int -> iters:int -> Aig.Network.t

@@ -1,0 +1,23 @@
+let shifter ~bits ~rotate =
+  if bits land (bits - 1) <> 0 || bits < 2 then
+    invalid_arg "Barrel.shifter: bits must be a power of two";
+  let g = Aig.Network.create () in
+  let data = Vecops.inputs g bits in
+  let stages =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    log2 bits
+  in
+  let amount = Vecops.inputs g stages in
+  let cur = ref data in
+  for s = 0 to stages - 1 do
+    let k = 1 lsl s in
+    let shifted =
+      Array.init bits (fun i ->
+          if i >= k then !cur.(i - k)
+          else if rotate then !cur.(bits + i - k)
+          else Aig.Lit.const_false)
+    in
+    cur := Vecops.mux g amount.(s) shifted !cur
+  done;
+  Vecops.outputs g !cur;
+  g

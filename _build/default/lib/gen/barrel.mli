@@ -1,0 +1,8 @@
+(** Barrel shifter and rotator — logarithmic mux-stage structures, the
+    classic "wide but shallow" datapath shape (EPFL has a 128-bit barrel
+    shifter in its random/control set). *)
+
+(** [shifter ~bits ~rotate] shifts (or rotates) a [bits]-bit word left by a
+    [log2 bits]-bit amount; [bits] must be a power of two.  PIs: data then
+    amount; POs: the shifted word. *)
+val shifter : bits:int -> rotate:bool -> Aig.Network.t

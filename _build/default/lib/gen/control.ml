@@ -1,0 +1,115 @@
+let voter ~n =
+  let g = Aig.Network.create () in
+  let xs = Vecops.inputs g n in
+  (* Popcount by layered full-adder reduction of equal-weight columns. *)
+  let rec reduce (columns : Aig.Lit.t list array) =
+    if Array.for_all (fun c -> List.length c <= 1) columns then
+      Array.map (function [ l ] -> l | _ -> Aig.Lit.const_false) columns
+    else begin
+      let next = Array.make (Array.length columns + 1) [] in
+      Array.iteri
+        (fun w col ->
+          let rec take = function
+            | a :: b :: c :: rest ->
+                let s, cy = Vecops.full_adder g a b c in
+                next.(w) <- s :: next.(w);
+                next.(w + 1) <- cy :: next.(w + 1);
+                take rest
+            | [ a; b ] ->
+                let s, cy = Vecops.full_adder g a b Aig.Lit.const_false in
+                next.(w) <- s :: next.(w);
+                next.(w + 1) <- cy :: next.(w + 1)
+            | [ a ] -> next.(w) <- a :: next.(w)
+            | [] -> ()
+          in
+          take col)
+        columns;
+      reduce next
+    end
+  in
+  let count = reduce [| Array.to_list xs |] in
+  let majority = Vecops.geq g count (Vecops.const ~width:(Array.length count) ((n / 2) + 1)) in
+  Aig.Network.add_po g majority;
+  g
+
+let regfile ~regs ~width =
+  let g = Aig.Network.create () in
+  let abits = max 1 (int_of_float (ceil (Float.log2 (float_of_int regs)))) in
+  let waddr = Vecops.inputs g abits in
+  let raddr = Vecops.inputs g abits in
+  let wdata = Vecops.inputs g width in
+  let wen = Aig.Network.add_pi g in
+  let state = Array.init regs (fun _ -> Vecops.inputs g width) in
+  (* One-hot decode. *)
+  let decode addr i =
+    let sel = ref Aig.Lit.const_true in
+    Array.iteri
+      (fun k bit ->
+        let want = (i lsr k) land 1 = 1 in
+        sel := Aig.Network.add_and g !sel (Aig.Lit.xor_compl bit (not want)))
+      addr;
+    !sel
+  in
+  (* Next state of each register and the read port. *)
+  for i = 0 to regs - 1 do
+    let wsel = Aig.Network.add_and g (decode waddr i) wen in
+    Vecops.outputs g (Vecops.mux g wsel wdata state.(i))
+  done;
+  let rdata = ref (Vecops.const ~width 0) in
+  for i = 0 to regs - 1 do
+    let rsel = decode raddr i in
+    let masked = Array.map (fun b -> Aig.Network.add_and g b rsel) state.(i) in
+    rdata := Array.map2 (fun a b -> Aig.Network.add_or g a b) !rdata masked
+  done;
+  Vecops.outputs g !rdata;
+  g
+
+let display ~hbits ~vbits =
+  let g = Aig.Network.create () in
+  let h = Vecops.inputs g hbits and v = Vecops.inputs g vbits in
+  let h_active = Vecops.inputs g hbits and h_sync_start = Vecops.inputs g hbits in
+  let v_active = Vecops.inputs g vbits and v_sync_start = Vecops.inputs g vbits in
+  let rgb = Vecops.inputs g 12 in
+  let h_vis = Aig.Lit.neg (Vecops.geq g h h_active) in
+  let v_vis = Aig.Lit.neg (Vecops.geq g v v_active) in
+  let visible = Aig.Network.add_and g h_vis v_vis in
+  let hsync = Vecops.geq g h h_sync_start in
+  let vsync = Vecops.geq g v v_sync_start in
+  Aig.Network.add_po g hsync;
+  Aig.Network.add_po g vsync;
+  Aig.Network.add_po g (Aig.Lit.neg visible);
+  (* Pixel outputs gated by visibility; checkerboard pattern mixed in. *)
+  let checker = Aig.Network.add_xor g h.(0) v.(0) in
+  Array.iter
+    (fun c ->
+      let px = Aig.Network.add_mux g checker c (Aig.Lit.neg c) in
+      Aig.Network.add_po g (Aig.Network.add_and g px visible))
+    rgb;
+  (* Line address: v * 2^hbits + h as simple concatenation plus an adder
+     stage for realism. *)
+  let addr = Vecops.add g (Array.append (Vecops.const ~width:hbits 0) v) (Vecops.resize h ~width:(hbits + vbits)) in
+  Vecops.outputs g addr;
+  g
+
+let random_logic ~pis ~nodes ~pos ~seed =
+  let g = Aig.Network.create () in
+  let rng = Sim.Rng.create ~seed in
+  let lits = ref [] in
+  for _ = 1 to pis do
+    lits := Aig.Network.add_pi g :: !lits
+  done;
+  let arr = ref (Array.of_list !lits) in
+  for _ = 1 to nodes do
+    let a = !arr.(Sim.Rng.int rng (Array.length !arr)) in
+    let b = !arr.(Sim.Rng.int rng (Array.length !arr)) in
+    let a = Aig.Lit.xor_compl a (Sim.Rng.bool rng) in
+    let b = Aig.Lit.xor_compl b (Sim.Rng.bool rng) in
+    let l = Aig.Network.add_and g a b in
+    if Aig.Lit.node l > 0 then arr := Array.append !arr [| l |]
+  done;
+  let n = Array.length !arr in
+  for _ = 1 to pos do
+    Aig.Network.add_po g
+      (Aig.Lit.xor_compl !arr.(Sim.Rng.int rng n) (Sim.Rng.bool rng))
+  done;
+  g

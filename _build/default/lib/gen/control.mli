@@ -1,0 +1,20 @@
+(** Control-dominated benchmark families: the voter (majority) circuit of
+    the EPFL suite and shallow register-file / display-controller style
+    logic standing in for the IWLS [ac97_ctrl] and [vga_lcd] cases. *)
+
+(** Majority of [n] inputs (a popcount tree and a comparator). *)
+val voter : n:int -> Aig.Network.t
+
+(** Register-file style control block: address decode, write muxing and a
+    read port — wide, shallow (AC97-controller-like shape: depth around a
+    dozen levels, very many PIs/POs once doubled). *)
+val regfile : regs:int -> width:int -> Aig.Network.t
+
+(** Display-controller style logic: counters compared against programmable
+    thresholds, sync/blank decoding and pixel muxing (VGA/LCD-like
+    shape). *)
+val display : hbits:int -> vbits:int -> Aig.Network.t
+
+(** Random AIG over [pis] inputs with roughly [nodes] gates — fuzzing and
+    property-test workloads. *)
+val random_logic : pis:int -> nodes:int -> pos:int -> seed:int64 -> Aig.Network.t

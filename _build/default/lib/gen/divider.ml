@@ -1,0 +1,33 @@
+let divide ~bits =
+  let g = Aig.Network.create () in
+  let dividend = Vecops.inputs g bits and divisor = Vecops.inputs g bits in
+  let w = bits + 1 in
+  let divisor_w = Vecops.resize divisor ~width:w in
+  (* Restoring long division, MSB first. *)
+  let rem = ref (Vecops.const ~width:w 0) in
+  let quot = Array.make bits Aig.Lit.const_false in
+  for i = bits - 1 downto 0 do
+    (* rem = (rem << 1) | dividend[i] *)
+    let shifted = Vecops.resize (Vecops.shl !rem 1) ~width:w in
+    shifted.(0) <- dividend.(i);
+    let diff, fits = Vecops.sub g shifted divisor_w in
+    quot.(i) <- fits;
+    rem := Vecops.mux g fits diff shifted
+  done;
+  (* Division by zero: force quotient to all ones and remainder to the
+     dividend, making the function total and easily testable. *)
+  let zero_div =
+    Array.fold_left
+      (fun acc b -> Aig.Network.add_and g acc (Aig.Lit.neg b))
+      Aig.Lit.const_true divisor
+  in
+  let ones = Vecops.const ~width:bits (-1) in
+  let quot = Vecops.mux g zero_div ones quot in
+  let rem =
+    Vecops.mux g zero_div
+      (Vecops.resize dividend ~width:bits)
+      (Vecops.resize !rem ~width:bits)
+  in
+  Vecops.outputs g quot;
+  Vecops.outputs g rem;
+  g

@@ -1,0 +1,11 @@
+(** Restoring integer divider.
+
+    [divide ~bits] takes a [bits]-bit dividend and divisor and produces the
+    [bits]-bit quotient followed by the [bits]-bit remainder.  Division by
+    zero yields an all-ones quotient and the dividend as remainder (the
+    conventional hardware behaviour of an unguarded restoring divider is
+    normalised here for testability).  The circuit is deep — one
+    subtract/mux stage per quotient bit — which makes it a good stand-in
+    for the paper's "hard deep arithmetic" category alongside sqrt. *)
+
+val divide : bits:int -> Aig.Network.t

@@ -1,0 +1,12 @@
+let double g =
+  let d = Aig.Network.create ~capacity:(2 * Aig.Network.num_nodes g) () in
+  let n_pi = Aig.Network.num_pis g in
+  let pi1 = Array.init n_pi (fun _ -> Aig.Network.add_pi d) in
+  let pi2 = Array.init n_pi (fun _ -> Aig.Network.add_pi d) in
+  let out1 = Aig.Miter.append d g ~pi_map:pi1 in
+  let out2 = Aig.Miter.append d g ~pi_map:pi2 in
+  Array.iter (Aig.Network.add_po d) out1;
+  Array.iter (Aig.Network.add_po d) out2;
+  d
+
+let rec times n g = if n <= 0 then g else times (n - 1) (double g)

@@ -1,0 +1,9 @@
+(** ABC's [double] command: enlarge a benchmark by instantiating it twice
+    on disjoint fresh PIs and concatenating the outputs — the method the
+    paper (and earlier parallel-synthesis work) uses to scale circuits. *)
+
+(** One doubling. *)
+val double : Aig.Network.t -> Aig.Network.t
+
+(** [times n g] applies {!double} [n] times (size grows by [2^n]). *)
+val times : int -> Aig.Network.t -> Aig.Network.t

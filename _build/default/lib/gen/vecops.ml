@@ -1,0 +1,69 @@
+type vec = Aig.Lit.t array
+
+let inputs g n = Array.init n (fun _ -> Aig.Network.add_pi g)
+
+let const ~width v =
+  Array.init width (fun i ->
+      if (v lsr i) land 1 = 1 then Aig.Lit.const_true else Aig.Lit.const_false)
+
+let resize v ~width =
+  Array.init width (fun i ->
+      if i < Array.length v then v.(i) else Aig.Lit.const_false)
+
+let full_adder g a b c =
+  let ab = Aig.Network.add_xor g a b in
+  let sum = Aig.Network.add_xor g ab c in
+  let carry =
+    Aig.Network.add_or g (Aig.Network.add_and g a b) (Aig.Network.add_and g ab c)
+  in
+  (sum, carry)
+
+let add g a b =
+  let width = max (Array.length a) (Array.length b) in
+  let a = resize a ~width and b = resize b ~width in
+  let out = Array.make (width + 1) Aig.Lit.const_false in
+  let carry = ref Aig.Lit.const_false in
+  for i = 0 to width - 1 do
+    let s, c = full_adder g a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  out.(width) <- !carry;
+  out
+
+let sub g a b =
+  let width = Array.length a in
+  let b = resize b ~width in
+  let out = Array.make width Aig.Lit.const_false in
+  let carry = ref Aig.Lit.const_true in
+  for i = 0 to width - 1 do
+    let s, c = full_adder g a.(i) (Aig.Lit.neg b.(i)) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+let geq g a b =
+  let width = max (Array.length a) (Array.length b) in
+  let _, ok = sub g (resize a ~width) (resize b ~width) in
+  ok
+
+let shl v n = Array.append (Array.make n Aig.Lit.const_false) v
+
+let mux g sel a b =
+  if Array.length a <> Array.length b then invalid_arg "Vecops.mux: width mismatch";
+  Array.map2 (fun x y -> Aig.Network.add_mux g sel x y) a b
+
+let mul g a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let acc = ref (const ~width:(la + lb) 0) in
+    for j = 0 to lb - 1 do
+      let pp = Array.map (fun ai -> Aig.Network.add_and g ai b.(j)) a in
+      acc := resize (add g !acc (resize (shl pp j) ~width:(la + lb))) ~width:(la + lb)
+    done;
+    !acc
+  end
+
+let outputs g v = Array.iter (fun l -> Aig.Network.add_po g l) v

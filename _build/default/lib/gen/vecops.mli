@@ -1,0 +1,39 @@
+(** Word-level circuit construction helpers over arrays of AIG literals
+    (least significant bit first). *)
+
+type vec = Aig.Lit.t array
+
+(** [inputs g n] appends [n] fresh PIs. *)
+val inputs : Aig.Network.t -> int -> vec
+
+(** Constant vector of the integer's low [width] bits. *)
+val const : width:int -> int -> vec
+
+(** Zero-extend / truncate to [width]. *)
+val resize : vec -> width:int -> vec
+
+(** Full adder: returns (sum, carry). *)
+val full_adder : Aig.Network.t -> Aig.Lit.t -> Aig.Lit.t -> Aig.Lit.t -> Aig.Lit.t * Aig.Lit.t
+
+(** Ripple-carry addition; result is one bit wider than the widest input. *)
+val add : Aig.Network.t -> vec -> vec -> vec
+
+(** [sub g a b] is the two's-complement difference truncated to the width
+    of [a], together with the no-borrow flag ([a >= b] for unsigned
+    operands of equal width). *)
+val sub : Aig.Network.t -> vec -> vec -> vec * Aig.Lit.t
+
+(** Unsigned comparison [a >= b]. *)
+val geq : Aig.Network.t -> vec -> vec -> Aig.Lit.t
+
+(** Constant left shift (zero fill), keeping all bits. *)
+val shl : vec -> int -> vec
+
+(** Bitwise 2-to-1 multiplexer: [sel ? a : b], on equal widths. *)
+val mux : Aig.Network.t -> Aig.Lit.t -> vec -> vec -> vec
+
+(** Array multiplier; result width is [len a + len b]. *)
+val mul : Aig.Network.t -> vec -> vec -> vec
+
+(** Register the vector's bits as POs, LSB first. *)
+val outputs : Aig.Network.t -> vec -> unit

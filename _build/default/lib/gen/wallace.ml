@@ -1,0 +1,50 @@
+let multiplier ~bits =
+  let g = Aig.Network.create () in
+  let a = Vecops.inputs g bits and b = Vecops.inputs g bits in
+  let width = 2 * bits in
+  (* Partial products arranged by output column weight. *)
+  let columns = Array.make width [] in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      let pp = Aig.Network.add_and g a.(i) b.(j) in
+      columns.(i + j) <- pp :: columns.(i + j)
+    done
+  done;
+  (* Carry-save reduction: repeatedly compress columns with full/half
+     adders until every column holds at most two bits. *)
+  let rec compress columns =
+    if Array.for_all (fun c -> List.length c <= 2) columns then columns
+    else begin
+      let next = Array.make width [] in
+      Array.iteri
+        (fun w col ->
+          let rec take = function
+            | x :: y :: z :: rest ->
+                let s, c = Vecops.full_adder g x y z in
+                next.(w) <- s :: next.(w);
+                if w + 1 < width then next.(w + 1) <- c :: next.(w + 1);
+                take rest
+            | [ x; y ] ->
+                let s, c = Vecops.full_adder g x y Aig.Lit.const_false in
+                next.(w) <- s :: next.(w);
+                if w + 1 < width then next.(w + 1) <- c :: next.(w + 1);
+                take []
+            | [ x ] -> next.(w) <- x :: next.(w)
+            | [] -> ()
+          in
+          take col)
+        columns;
+      compress next
+    end
+  in
+  let columns = compress columns in
+  (* Final carry-propagate addition of the two remaining rows. *)
+  let row k =
+    Array.init width (fun w ->
+        match List.nth_opt columns.(w) k with
+        | Some l -> l
+        | None -> Aig.Lit.const_false)
+  in
+  let sum = Vecops.add g (row 0) (row 1) in
+  Vecops.outputs g (Array.sub sum 0 width);
+  g

@@ -1,0 +1,10 @@
+(** Wallace-tree multiplier — an architecturally different implementation
+    of multiplication.  Checking it against the array multiplier of
+    {!Arith.multiplier} is a classic hard CEC instance: the two circuits
+    share no internal structure, so sweeping finds few internal
+    equivalences and the checker must work for its answer. *)
+
+(** [multiplier ~bits]: same interface as {!Arith.multiplier} ([2n] PIs,
+    [2n] POs) built from a carry-save reduction tree and a final
+    ripple-carry adder. *)
+val multiplier : bits:int -> Aig.Network.t

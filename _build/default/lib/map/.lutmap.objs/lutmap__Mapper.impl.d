@@ -1,0 +1,1 @@
+lib/map/mapper.ml: Aig Array Bv Cuts Hashtbl List Opt

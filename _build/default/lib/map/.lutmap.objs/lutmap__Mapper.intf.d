@@ -1,0 +1,1 @@
+lib/map/mapper.mli: Aig Bv

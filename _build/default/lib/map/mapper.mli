@@ -1,0 +1,37 @@
+(** Priority-cut k-LUT technology mapping.
+
+    The cut machinery of the CEC engine descends from LUT mapping (priority
+    cuts, Mishchenko et al.; FineMap); this module closes the loop: it maps
+    an AIG into k-input LUTs with a depth-optimal first pass and an
+    area-recovery pass, and can resynthesise the mapped netlist back into
+    an AIG — post-mapping equivalence checking being the bread-and-butter
+    industrial CEC workload, the pair (original, [to_network (map g)])
+    makes an excellent realistic miter. *)
+
+type lut = {
+  root : int;  (** AIG node implemented by this LUT *)
+  inputs : int array;  (** AIG node ids of the LUT's inputs (the cut) *)
+  tt : Bv.Tt.t;  (** local function of [root] in terms of [inputs] *)
+}
+
+type mapping = {
+  luts : lut list;  (** topological order (inputs precede users) *)
+  outputs : Aig.Lit.t array;  (** original PO literals *)
+  num_pis : int;
+  depth : int;  (** LUT levels on the critical path *)
+  pi_nodes : int array;  (** source-AIG node ids of the PIs, in input order *)
+}
+
+(** [map ?k g] maps the network into LUTs of at most [k] (2–8, default 6)
+    inputs. *)
+val map : ?k:int -> Aig.Network.t -> mapping
+
+val lut_count : mapping -> int
+
+(** Histogram of LUT input counts, index [i] = LUTs with [i] inputs. *)
+val input_histogram : mapping -> int array
+
+(** Resynthesise the mapped netlist into a fresh AIG (each LUT becomes the
+    factored ISOP of its function) — functionally equivalent to the mapped
+    network's source by construction, structurally very different. *)
+val to_network : mapping -> Aig.Network.t

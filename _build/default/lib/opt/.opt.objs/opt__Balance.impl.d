@@ -1,0 +1,1 @@
+lib/opt/balance.ml: Aig Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/opt/balance.mli: Aig

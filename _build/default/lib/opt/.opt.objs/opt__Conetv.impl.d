@@ -1,0 +1,1 @@
+lib/opt/conetv.ml: Aig Array Bv Hashtbl List

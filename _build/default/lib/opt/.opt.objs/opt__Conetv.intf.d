@@ -1,0 +1,1 @@
+lib/opt/conetv.mli: Aig Bv

@@ -1,0 +1,1 @@
+lib/opt/drive.ml: Aig Array Bv Conetv

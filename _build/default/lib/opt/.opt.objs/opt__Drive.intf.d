@@ -1,0 +1,1 @@
+lib/opt/drive.mli: Aig Bv

@@ -1,0 +1,1 @@
+lib/opt/refactor.ml: Aig Array Bv Conetv Cuts Drive List

@@ -1,0 +1,1 @@
+lib/opt/refactor.mli: Aig

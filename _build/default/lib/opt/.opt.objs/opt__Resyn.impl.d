@@ -1,0 +1,1 @@
+lib/opt/resyn.ml: Balance Refactor Rewrite Xorflip

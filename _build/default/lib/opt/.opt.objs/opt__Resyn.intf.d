@@ -1,0 +1,1 @@
+lib/opt/resyn.mli: Aig

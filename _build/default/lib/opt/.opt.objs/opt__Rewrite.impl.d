@@ -1,0 +1,1 @@
+lib/opt/rewrite.ml: Aig Array Bv Conetv Cuts Drive Hashtbl List

@@ -1,0 +1,1 @@
+lib/opt/rewrite.mli: Aig

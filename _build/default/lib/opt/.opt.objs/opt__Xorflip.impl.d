@@ -1,0 +1,1 @@
+lib/opt/xorflip.ml: Aig Array

@@ -1,0 +1,1 @@
+lib/opt/xorflip.mli: Aig

@@ -1,0 +1,55 @@
+let run g =
+  let fanouts = Aig.Network.fanout_counts g in
+  let ng = Aig.Network.create ~capacity:(Aig.Network.num_nodes g) () in
+  let map = Array.make (Aig.Network.num_nodes g) (-1) in
+  map.(0) <- Aig.Lit.const_false;
+  let map_lit l = Aig.Lit.xor_compl map.(Aig.Lit.node l) (Aig.Lit.is_compl l) in
+  (* Levels of the network under construction, memoised on demand. *)
+  let lvl = Hashtbl.create 1024 in
+  let rec level_of_node n =
+    if not (Aig.Network.is_and ng n) then 0
+    else
+      match Hashtbl.find_opt lvl n with
+      | Some l -> l
+      | None ->
+          let l0 = level_of_node (Aig.Lit.node (Aig.Network.fanin0 ng n)) in
+          let l1 = level_of_node (Aig.Lit.node (Aig.Network.fanin1 ng n)) in
+          let l = 1 + max l0 l1 in
+          Hashtbl.replace lvl n l;
+          l
+  in
+  let level_of l = level_of_node (Aig.Lit.node l) in
+  (* Collect the conjunct leaves of the maximal AND tree rooted at [n]:
+     descend through non-complemented fanin edges into single-fanout AND
+     nodes. *)
+  let rec leaves acc l =
+    let n = Aig.Lit.node l in
+    if (not (Aig.Lit.is_compl l)) && Aig.Network.is_and g n && fanouts.(n) <= 1
+    then leaves (leaves acc (Aig.Network.fanin0 g n)) (Aig.Network.fanin1 g n)
+    else l :: acc
+  in
+  (* Combine the two shallowest operands first (Huffman-style), yielding a
+     depth-minimal conjunction tree. *)
+  let build_balanced lits =
+    let rec insert l = function
+      | [] -> [ l ]
+      | x :: rest as all ->
+          if level_of l <= level_of x then l :: all else x :: insert l rest
+    in
+    let rec go = function
+      | [] -> Aig.Lit.const_true
+      | [ l ] -> l
+      | a :: b :: rest -> go (insert (Aig.Network.add_and ng a b) rest)
+    in
+    go (List.fold_left (fun acc l -> insert l acc) [] lits)
+  in
+  Aig.Network.iter_nodes g (fun n ->
+      if Aig.Network.is_pi g n then map.(n) <- Aig.Network.add_pi ng
+      else if Aig.Network.is_and g n then begin
+        let ls =
+          leaves (leaves [] (Aig.Network.fanin0 g n)) (Aig.Network.fanin1 g n)
+        in
+        map.(n) <- build_balanced (List.map map_lit ls)
+      end);
+  Array.iter (fun l -> Aig.Network.add_po ng (map_lit l)) (Aig.Network.pos g);
+  (Aig.Reduce.sweep ng).Aig.Reduce.network

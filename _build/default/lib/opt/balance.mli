@@ -1,0 +1,9 @@
+(** AND-tree balancing (ABC [balance] analogue).
+
+    Maximal conjunction trees — chains of AND nodes reached through
+    non-complemented edges from single-fanout nodes — are collected and
+    rebuilt as depth-minimal balanced trees, pairing the shallowest
+    operands first.  The result is functionally equivalent with usually a
+    smaller network level. *)
+
+val run : Aig.Network.t -> Aig.Network.t

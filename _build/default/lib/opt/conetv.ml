@@ -1,0 +1,57 @@
+let cone_tt g ~inputs ~root =
+  let nvars = Array.length inputs in
+  if nvars > 16 then invalid_arg "Conetv.cone_tt: more than 16 inputs";
+  match Aig.Cone.extract g ~roots:[| root |] ~inputs with
+  | None -> None
+  | Some { Aig.Cone.inputs; nodes } ->
+      let tts = Hashtbl.create 32 in
+      Array.iteri
+        (fun i n -> Hashtbl.replace tts n (Bv.Tt.proj ~nvars i))
+        inputs;
+      Array.iter
+        (fun n ->
+          let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+          let t0 = Hashtbl.find tts (Aig.Lit.node f0) in
+          let t1 = Hashtbl.find tts (Aig.Lit.node f1) in
+          Hashtbl.replace tts n
+            (Bv.Tt.and_maybe_not ~c0:(Aig.Lit.is_compl f0) t0
+               ~c1:(Aig.Lit.is_compl f1) t1))
+        nodes;
+      (* The root may coincide with a cut input (trivial cone). *)
+      Hashtbl.find_opt tts root
+
+let mffc_size g ~fanouts ~inputs ~root =
+  match Aig.Cone.extract g ~roots:[| root |] ~inputs with
+  | None -> 0
+  | Some { Aig.Cone.nodes; _ } ->
+      let in_cone = Hashtbl.create 32 in
+      Array.iter (fun n -> Hashtbl.replace in_cone n ()) nodes;
+      (* Reference-count dereferencing from the root. *)
+      let refs = Hashtbl.create 32 in
+      Array.iter (fun n -> Hashtbl.replace refs n fanouts.(n)) nodes;
+      let count = ref 0 in
+      let rec deref n =
+        incr count;
+        List.iter
+          (fun f ->
+            let m = Aig.Lit.node f in
+            if Hashtbl.mem in_cone m then begin
+              let r = Hashtbl.find refs m - 1 in
+              Hashtbl.replace refs m r;
+              if r = 0 then deref m
+            end)
+          [ Aig.Network.fanin0 g n; Aig.Network.fanin1 g n ]
+      in
+      if Hashtbl.mem in_cone root then deref root;
+      !count
+
+let rec build_form dst form input_lits =
+  match form with
+  | Bv.Sop.Const b -> if b then Aig.Lit.const_true else Aig.Lit.const_false
+  | Bv.Sop.Lit (v, compl_) -> Aig.Lit.xor_compl input_lits.(v) compl_
+  | Bv.Sop.And (a, b) ->
+      Aig.Network.add_and dst (build_form dst a input_lits)
+        (build_form dst b input_lits)
+  | Bv.Sop.Or (a, b) ->
+      Aig.Network.add_or dst (build_form dst a input_lits)
+        (build_form dst b input_lits)

@@ -1,0 +1,18 @@
+(** Cone truth tables and MFFC sizing — shared helpers of the rewriting and
+    refactoring passes. *)
+
+(** [cone_tt g ~inputs ~root] is the local function of [root] in terms of
+    the cut [inputs] (at most 16 of them), or [None] when the cut does not
+    bound the cone. *)
+val cone_tt : Aig.Network.t -> inputs:int array -> root:int -> Bv.Tt.t option
+
+(** [mffc_size g ~fanouts ~inputs ~root] counts the AND nodes of the cone
+    that would become dangling if [root] were replaced (maximum fanout-free
+    cone restricted to the cut cone).  [fanouts] is
+    [Network.fanout_counts g]. *)
+val mffc_size :
+  Aig.Network.t -> fanouts:int array -> inputs:int array -> root:int -> int
+
+(** [build_form dst form input_lits] materialises a factored form in [dst],
+    feeding leaf variable [i] with [input_lits.(i)]. *)
+val build_form : Aig.Network.t -> Bv.Sop.form -> Aig.Lit.t array -> Aig.Lit.t

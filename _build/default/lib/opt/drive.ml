@@ -1,0 +1,30 @@
+type decision =
+  | Default
+  | Replace of { inputs : int array; form : Bv.Sop.form }
+
+let rebuild g ~decide =
+  let ng = Aig.Network.create ~capacity:(Aig.Network.num_nodes g) () in
+  let map = Array.make (Aig.Network.num_nodes g) (-1) in
+  map.(0) <- Aig.Lit.const_false;
+  for i = 0 to Aig.Network.num_pis g - 1 do
+    map.(Aig.Network.pi g i) <- Aig.Network.add_pi ng
+  done;
+  let rec map_node n =
+    if map.(n) >= 0 then map.(n)
+    else begin
+      let l =
+        match decide n with
+        | Replace { inputs; form } ->
+            let input_lits = Array.map (fun i -> map_node i) inputs in
+            Conetv.build_form ng form input_lits
+        | Default ->
+            Aig.Network.add_and ng
+              (map_lit (Aig.Network.fanin0 g n))
+              (map_lit (Aig.Network.fanin1 g n))
+      in
+      map.(n) <- l;
+      l
+    end
+  and map_lit l = Aig.Lit.xor_compl (map_node (Aig.Lit.node l)) (Aig.Lit.is_compl l) in
+  Array.iter (fun l -> Aig.Network.add_po ng (map_lit l)) (Aig.Network.pos g);
+  (Aig.Reduce.sweep ng).Aig.Reduce.network

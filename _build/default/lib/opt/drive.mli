@@ -1,0 +1,12 @@
+(** Shared rebuild driver for the rewriting passes: every node either maps
+    to a plain AND of its mapped fanins or is replaced by a resynthesised
+    factored form over a cut.  The new network is built lazily from the
+    POs, so logic made dangling by replacements is never constructed. *)
+
+type decision =
+  | Default
+  | Replace of { inputs : int array; form : Bv.Sop.form }
+      (** [inputs] are old-graph node ids (the cut); variable [i] of
+          [form] refers to [inputs.(i)]. *)
+
+val rebuild : Aig.Network.t -> decide:(int -> decision) -> Aig.Network.t

@@ -1,0 +1,40 @@
+let rec form_gates = function
+  | Bv.Sop.Const _ | Bv.Sop.Lit _ -> 0
+  | Bv.Sop.And (a, b) | Bv.Sop.Or (a, b) -> 1 + form_gates a + form_gates b
+
+let run ?(k = 8) g =
+  let fanouts = Aig.Network.fanout_counts g in
+  let levels = Aig.Network.levels g in
+  let prio = Array.make (Aig.Network.num_nodes g) [] in
+  for i = 0 to Aig.Network.num_pis g - 1 do
+    let p = Aig.Network.pi g i in
+    prio.(p) <- [ Cuts.Cut.trivial p ]
+  done;
+  let ecfg = { Cuts.Enumerate.k_l = k; c = 3 } in
+  Aig.Network.iter_ands g (fun n ->
+      prio.(n) <-
+        Cuts.Enumerate.node_cuts g ecfg ~pass:Cuts.Criteria.Small_level_first
+          ~fanouts ~levels ~prio ~sim_target:None n);
+  let decide n =
+    if not (Aig.Network.is_and g n) then Drive.Default
+    else begin
+      let best = ref Drive.Default and best_gain = ref 0 in
+      List.iter
+        (fun cut ->
+          if Array.length cut >= 3 then
+            let saved = Conetv.mffc_size g ~fanouts ~inputs:cut ~root:n in
+            if saved >= 3 then
+              match Conetv.cone_tt g ~inputs:cut ~root:n with
+              | None -> ()
+              | Some tt ->
+                  let form = Bv.Sop.factor (Bv.Isop.isop tt) in
+                  let gain = saved - form_gates form in
+                  if gain > !best_gain then begin
+                    best_gain := gain;
+                    best := Drive.Replace { inputs = cut; form }
+                  end)
+        prio.(n);
+      !best
+    end
+  in
+  Drive.rebuild g ~decide

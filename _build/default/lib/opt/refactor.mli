@@ -1,0 +1,8 @@
+(** Cone refactoring (ABC [refactor] analogue).
+
+    Like {!Rewrite} but with larger cuts (up to 8 inputs) and a direct
+    factored ISOP of the cone function — no NPN library, since the class
+    space is too large to cache.  Only cones with a sizeable fanout-free
+    core are replaced. *)
+
+val run : ?k:int -> Aig.Network.t -> Aig.Network.t

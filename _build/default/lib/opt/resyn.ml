@@ -1,0 +1,6 @@
+let resyn2 g =
+  g |> Xorflip.run |> Balance.run |> Rewrite.run |> Refactor.run |> Balance.run
+  |> Rewrite.run |> Rewrite.run |> Balance.run |> Refactor.run |> Rewrite.run
+  |> Balance.run
+
+let light g = g |> Xorflip.run |> Balance.run |> Rewrite.run |> Balance.run

@@ -1,0 +1,11 @@
+(** The [resyn2]-style optimisation script used to produce the "optimized"
+    circuit of every benchmark miter (the paper runs ABC [resyn2] — several
+    rounds of balancing, rewriting and refactoring). *)
+
+(** [resyn2 g]: balance; rewrite; refactor; balance; rewrite; rewrite;
+    balance; refactor; rewrite; balance. *)
+val resyn2 : Aig.Network.t -> Aig.Network.t
+
+(** A single light round: balance; rewrite; balance — cheaper, for large
+    inputs. *)
+val light : Aig.Network.t -> Aig.Network.t

@@ -1,0 +1,88 @@
+let rec form_gates = function
+  | Bv.Sop.Const _ | Bv.Sop.Lit _ -> 0
+  | Bv.Sop.And (a, b) | Bv.Sop.Or (a, b) -> 1 + form_gates a + form_gates b
+
+(* Factored form of the canonical representative of each NPN class,
+   computed once per class from its irredundant SOP. *)
+let class_form cache canon =
+  match Hashtbl.find_opt cache canon with
+  | Some f -> f
+  | None ->
+      let tt = Bv.Tt.of_uint16 canon in
+      let f = Bv.Sop.factor (Bv.Isop.isop tt) in
+      Hashtbl.replace cache canon f;
+      f
+
+let compute_priority_cuts g =
+  let fanouts = Aig.Network.fanout_counts g in
+  let levels = Aig.Network.levels g in
+  let prio = Array.make (Aig.Network.num_nodes g) [] in
+  for i = 0 to Aig.Network.num_pis g - 1 do
+    let p = Aig.Network.pi g i in
+    prio.(p) <- [ Cuts.Cut.trivial p ]
+  done;
+  let ecfg = { Cuts.Enumerate.k_l = 4; c = 5 } in
+  Aig.Network.iter_ands g (fun n ->
+      prio.(n) <-
+        Cuts.Enumerate.node_cuts g ecfg ~pass:Cuts.Criteria.Fanout_first
+          ~fanouts ~levels ~prio ~sim_target:None n);
+  (prio, fanouts)
+
+let run g =
+  let prio, fanouts = compute_priority_cuts g in
+  let cache = Hashtbl.create 256 in
+  let decide n =
+    if not (Aig.Network.is_and g n) then Drive.Default
+    else begin
+      (* Pick the cut with the best gain. *)
+      let best = ref Drive.Default and best_gain = ref 0 in
+      List.iter
+        (fun cut ->
+          if Array.length cut >= 2 then
+            match Conetv.cone_tt g ~inputs:cut ~root:n with
+            | None -> ()
+            | Some tt ->
+                let t16 = Bv.Tt.to_uint16 tt in
+                let canon, tf = Bv.Npn.canonize t16 in
+                let form = class_form cache canon in
+                let cost = form_gates form in
+                let saved = Conetv.mffc_size g ~fanouts ~inputs:cut ~root:n in
+                let gain = saved - cost in
+                if gain > !best_gain then begin
+                  best_gain := gain;
+                  (* Feed canonical variable [i] with original input
+                     [itf.perm.(i)], complemented per the inverse
+                     transform; complement the output when required. *)
+                  let itf = Bv.Npn.invert tf in
+                  let inputs4 =
+                    Array.init 4 (fun i ->
+                        let src = itf.Bv.Npn.perm.(i) in
+                        if src < Array.length cut then cut.(src) else 0)
+                  in
+                  ignore form;
+                  let wrap =
+                    Array.init 4 (fun i ->
+                        (itf.Bv.Npn.input_compl lsr i) land 1 = 1)
+                  in
+                  (* Complemented inputs fold into the form's leaves; an
+                     output complement is realised by factoring the ISOP of
+                     the complemented canonical function instead. *)
+                  let rec fix = function
+                    | Bv.Sop.Const b -> Bv.Sop.Const b
+                    | Bv.Sop.Lit (v, c) -> Bv.Sop.Lit (v, c <> wrap.(v))
+                    | Bv.Sop.And (a, b) -> Bv.Sop.And (fix a, fix b)
+                    | Bv.Sop.Or (a, b) -> Bv.Sop.Or (fix a, fix b)
+                  in
+                  let form =
+                    if itf.Bv.Npn.output_compl then
+                      let tt_c = Bv.Tt.bnot (Bv.Tt.of_uint16 canon) in
+                      fix (Bv.Sop.factor (Bv.Isop.isop tt_c))
+                    else fix (class_form cache canon)
+                  in
+                  best := Drive.Replace { inputs = inputs4; form }
+                end)
+        prio.(n);
+      !best
+    end
+  in
+  Drive.rebuild g ~decide

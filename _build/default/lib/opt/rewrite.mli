@@ -1,0 +1,9 @@
+(** DAG-aware 4-cut rewriting (ABC [rewrite] analogue).
+
+    For every node, 4-input cuts are enumerated; the cut function is
+    NPN-canonicalised and resynthesised from a cached factored irredundant
+    SOP of its class representative; the node is replaced when the new
+    structure costs fewer AND gates than the maximum fanout-free cone it
+    frees.  Functional equivalence is preserved by construction. *)
+
+val run : Aig.Network.t -> Aig.Network.t

@@ -1,0 +1,76 @@
+(* Detect n = AND(!x, !y) with x = AND(p, q), y = AND(r, s) over the same
+   two operand nodes {a, b}.  Polarity patterns (a&b | !a&!b) mean n = a^b;
+   (a&!b | !a&b) mean n = !(a^b). *)
+type shape = Xor of Aig.Lit.t * Aig.Lit.t | Xnor of Aig.Lit.t * Aig.Lit.t
+
+let detect g n =
+  if not (Aig.Network.is_and g n) then None
+  else begin
+    let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+    if not (Aig.Lit.is_compl f0 && Aig.Lit.is_compl f1) then None
+    else begin
+      let x = Aig.Lit.node f0 and y = Aig.Lit.node f1 in
+      if not (Aig.Network.is_and g x && Aig.Network.is_and g y) then None
+      else begin
+        let p = Aig.Network.fanin0 g x and q = Aig.Network.fanin1 g x in
+        let r = Aig.Network.fanin0 g y and s = Aig.Network.fanin1 g y in
+        (* Match operand nodes irrespective of order (fanins are sorted, so
+           p/r and q/s line up when the operand nodes agree). *)
+        if Aig.Lit.node p = Aig.Lit.node r && Aig.Lit.node q = Aig.Lit.node s
+        then begin
+          let cp = Aig.Lit.is_compl p <> Aig.Lit.is_compl r in
+          let cq = Aig.Lit.is_compl q <> Aig.Lit.is_compl s in
+          if cp && cq then
+            (* x = u&v, y = !u&!v (up to a consistent relabeling):
+               n = !(u&v) & !(!u&!v).  Whether this is XOR or XNOR depends
+               on the polarity pattern of x's fanins. *)
+            if Aig.Lit.is_compl p = Aig.Lit.is_compl q then
+              (* u&v or !u&!v in the same gate: n = u ^ v *)
+              Some (Xor (Aig.Lit.abs p, Aig.Lit.abs q))
+            else
+              (* u&!v pattern: n = !(u ^ v) *)
+              Some (Xnor (Aig.Lit.abs p, Aig.Lit.abs q))
+          else None
+        end
+        else None
+      end
+    end
+  end
+
+(* Flip a deterministic pseudo-random subset of the detected shapes.  Real
+   rewriting only restructures where it sees gain, so large parts of the
+   circuit keep their original structure; flipping everything would leave
+   the two circuits of a miter with no shared internal nodes, starving the
+   sweeping engine of candidate cuts — unrealistically adversarial. *)
+let should_flip n = (n * 2654435761) land 0x7fffffff mod 16 < 9
+
+let run g =
+  let ng = Aig.Network.create ~capacity:(Aig.Network.num_nodes g) () in
+  let map = Array.make (Aig.Network.num_nodes g) (-1) in
+  map.(0) <- Aig.Lit.const_false;
+  let map_lit l = Aig.Lit.xor_compl map.(Aig.Lit.node l) (Aig.Lit.is_compl l) in
+  let xor_alt a b =
+    (* (a & !b) | (!a & b), the dual of the (a&b)/(!a&!b) decomposition. *)
+    let u = Aig.Network.add_and ng a (Aig.Lit.neg b) in
+    let v = Aig.Network.add_and ng (Aig.Lit.neg a) b in
+    Aig.Lit.neg (Aig.Network.add_and ng (Aig.Lit.neg u) (Aig.Lit.neg v))
+  in
+  let xnor_alt a b =
+    (* (a & b) | (!a & !b). *)
+    let u = Aig.Network.add_and ng a b in
+    let v = Aig.Network.add_and ng (Aig.Lit.neg a) (Aig.Lit.neg b) in
+    Aig.Lit.neg (Aig.Network.add_and ng (Aig.Lit.neg u) (Aig.Lit.neg v))
+  in
+  Aig.Network.iter_nodes g (fun n ->
+      if Aig.Network.is_pi g n then map.(n) <- Aig.Network.add_pi ng
+      else if Aig.Network.is_and g n then
+        map.(n) <-
+          (match (if should_flip n then detect g n else None) with
+          | Some (Xor (a, b)) -> xor_alt (map_lit a) (map_lit b)
+          | Some (Xnor (a, b)) -> xnor_alt (map_lit a) (map_lit b)
+          | None ->
+              Aig.Network.add_and ng
+                (map_lit (Aig.Network.fanin0 g n))
+                (map_lit (Aig.Network.fanin1 g n))));
+  Array.iter (fun l -> Aig.Network.add_po ng (map_lit l)) (Aig.Network.pos g);
+  (Aig.Reduce.sweep ng).Aig.Reduce.network

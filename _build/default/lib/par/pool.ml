@@ -1,0 +1,178 @@
+type job = {
+  body : int -> unit;
+  cursor : int Atomic.t;
+  stop : int;
+  chunk : int;
+  pending : int Atomic.t;  (* spawned workers that have not finished yet *)
+  exn : exn option Atomic.t;
+}
+
+type t = {
+  spawned : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable current : job option;
+  mutable generation : int;
+  mutable stopping : bool;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+  mutable domains : unit Domain.t list;
+  in_loop : bool ref;  (* guards against nested parallel_for on this domain *)
+}
+
+let run_chunks job =
+  let rec loop () =
+    if Atomic.get job.exn <> None then ()
+    else begin
+      let i = Atomic.fetch_and_add job.cursor job.chunk in
+      if i < job.stop then begin
+        let hi = min job.stop (i + job.chunk) in
+        (try
+           for k = i to hi - 1 do
+             job.body k
+           done
+         with e -> ignore (Atomic.compare_and_set job.exn None (Some e)));
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let worker_loop t =
+  let seen = ref 0 in
+  let rec go () =
+    Mutex.lock t.mutex;
+    while t.generation = !seen && not t.stopping do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stopping then Mutex.unlock t.mutex
+    else begin
+      seen := t.generation;
+      let job = t.current in
+      Mutex.unlock t.mutex;
+      (match job with
+      | None -> ()
+      | Some job ->
+          run_chunks job;
+          if Atomic.fetch_and_add job.pending (-1) = 1 then begin
+            Mutex.lock t.done_mutex;
+            Condition.broadcast t.done_cond;
+            Mutex.unlock t.done_mutex
+          end);
+      go ()
+    end
+  in
+  go ()
+
+let env_domains () =
+  match Sys.getenv_opt "SIMSWEEP_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> Some n | _ -> None)
+  | None -> None
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Pool.create: num_domains must be >= 1"
+    | None -> (
+        match env_domains () with
+        | Some n -> n
+        | None -> min 8 (Domain.recommended_domain_count ()))
+  in
+  let t =
+    {
+      spawned = n - 1;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      current = None;
+      generation = 0;
+      stopping = false;
+      done_mutex = Mutex.create ();
+      done_cond = Condition.create ();
+      domains = [];
+      in_loop = ref false;
+    }
+  in
+  t.domains <- List.init t.spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let num_workers t = t.spawned + 1
+
+let parallel_for t ?chunk ~start ~stop body =
+  let n = stop - start in
+  if n <= 0 then ()
+  else if t.spawned = 0 || !(t.in_loop) || n <= 1 then
+    for i = start to stop - 1 do
+      body i
+    done
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | _ -> max 1 (n / (8 * (t.spawned + 1)))
+    in
+    let job =
+      {
+        body;
+        cursor = Atomic.make start;
+        stop;
+        chunk;
+        pending = Atomic.make t.spawned;
+        exn = Atomic.make None;
+      }
+    in
+    Mutex.lock t.mutex;
+    t.current <- Some job;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    t.in_loop := true;
+    run_chunks job;
+    t.in_loop := false;
+    Mutex.lock t.done_mutex;
+    while Atomic.get job.pending > 0 do
+      Condition.wait t.done_cond t.done_mutex
+    done;
+    Mutex.unlock t.done_mutex;
+    match Atomic.get job.exn with None -> () | Some e -> raise e
+  end
+
+let parallel_reduce t ~start ~stop ~neutral ~body ~combine =
+  let n = stop - start in
+  if n <= 0 then neutral
+  else begin
+    let nslots = t.spawned + 1 in
+    let slots = Array.make nslots neutral in
+    let slot_cursor = Atomic.make 0 in
+    let key = Domain.DLS.new_key (fun () -> -1) in
+    parallel_for t ~start ~stop (fun i ->
+        let s =
+          let s = Domain.DLS.get key in
+          if s >= 0 then s
+          else begin
+            let s = Atomic.fetch_and_add slot_cursor 1 in
+            Domain.DLS.set key s;
+            s
+          end
+        in
+        slots.(s) <- combine slots.(s) (body i));
+    Array.fold_left combine neutral slots
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create () in
+      default_pool := Some p;
+      p

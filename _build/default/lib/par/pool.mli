@@ -1,0 +1,36 @@
+(** Fork–join domain pool.
+
+    This is the stand-in for the paper's GPU runtime: data-parallel loops
+    with a barrier at the end, used for all three dimensions of parallelism
+    of the exhaustive simulator (words of a truth table, nodes of a
+    topological level, windows of a batch).  Workers self-schedule fixed
+    chunks off an atomic cursor, which matches the GPU grid-stride idiom. *)
+
+type t
+
+(** [create ~num_domains ()] spawns [num_domains - 1] worker domains; the
+    calling domain participates in every loop, so [num_domains = 1] gives a
+    purely sequential pool.  Defaults to [recommended_domain_count],
+    overridable with the [SIMSWEEP_DOMAINS] environment variable. *)
+val create : ?num_domains:int -> unit -> t
+
+(** Total workers, including the calling domain. *)
+val num_workers : t -> int
+
+(** [parallel_for t ~chunk ~start ~stop body] runs [body i] for
+    [start <= i < stop] across the pool and returns once every index is
+    done.  Exceptions raised by [body] are re-raised (first one wins) after
+    the barrier.  Nested calls from inside [body] run sequentially. *)
+val parallel_for : t -> ?chunk:int -> start:int -> stop:int -> (int -> unit) -> unit
+
+(** [parallel_reduce t ~start ~stop ~neutral ~body ~combine] folds the
+    values of [body i] with [combine]; [combine] must be associative and
+    [neutral] its unit. *)
+val parallel_reduce :
+  t -> start:int -> stop:int -> neutral:'a -> body:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+
+(** Terminate the worker domains.  The pool must not be used afterwards. *)
+val shutdown : t -> unit
+
+(** Lazily-created process-wide pool. *)
+val default : unit -> t

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Aig Array Buffer List Printf Solver String

@@ -1,0 +1,1 @@
+lib/sat/sweep.ml: Aig Array Cnf List Sim Solver

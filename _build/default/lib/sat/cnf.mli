@@ -1,0 +1,15 @@
+(** Tseitin encoding of an AIG into a SAT solver.
+
+    Every network node [n] maps to solver variable [n]; the constant node
+    is constrained to false with a unit clause, and each AND gate
+    contributes the three standard clauses. *)
+
+(** [load solver g] allocates variables and clauses for the whole network;
+    returns [false] when the instance is trivially unsatisfiable. *)
+val load : Solver.t -> Aig.Network.t -> bool
+
+(** Solver literal of an AIG literal. *)
+val lit : Aig.Lit.t -> Solver.lit
+
+(** Extract the PI assignment from the last model. *)
+val model_cex : Solver.t -> Aig.Network.t -> Sim.Cex.t

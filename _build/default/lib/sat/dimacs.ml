@@ -1,0 +1,90 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let nvars = ref (-1) in
+  let nclauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let fail m = if !error = None then error := Some m in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if !error <> None || line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+        | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some v, Some c when v >= 0 && c >= 0 ->
+                nvars := v;
+                nclauses := c
+            | _ -> fail "bad p line")
+        | _ -> fail "bad p line"
+      end
+      else if !nvars < 0 then fail "clause before p line"
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun w -> w <> "")
+        |> List.iter (fun w ->
+               match int_of_string_opt w with
+               | None -> fail ("bad literal " ^ w)
+               | Some 0 ->
+                   clauses := List.rev !current :: !clauses;
+                   current := []
+               | Some l ->
+                   if abs l > !nvars then fail ("literal out of range " ^ w)
+                   else current := l :: !current))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !nvars < 0 then Error "missing p line"
+      else begin
+        if !current <> [] then clauses := List.rev !current :: !clauses;
+        Ok (!nvars, List.rev !clauses)
+      end
+
+let to_string ~nvars clauses =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load solver text =
+  match parse text with
+  | Error e -> Error e
+  | Ok (nvars, clauses) ->
+      for _ = 1 to nvars do
+        ignore (Solver.new_var solver)
+      done;
+      let ok =
+        List.for_all
+          (fun clause ->
+            Solver.add_clause solver
+              (List.map (fun l -> Solver.mklit (abs l - 1) (l < 0)) clause))
+          clauses
+      in
+      Ok ok
+
+let of_miter g =
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  (* Node i maps to DIMACS variable i+1. *)
+  let dlit (l : Aig.Lit.t) =
+    let v = Aig.Lit.node l + 1 in
+    if Aig.Lit.is_compl l then -v else v
+  in
+  add [ -1 ] (* the constant node is false *);
+  Aig.Network.iter_ands g (fun n ->
+      let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+      let vn = n + 1 in
+      add [ -vn; dlit f0 ];
+      add [ -vn; dlit f1 ];
+      add [ vn; -dlit f0; -dlit f1 ]);
+  (* Some output must be set: UNSAT iff the miter is proved. *)
+  add (Array.to_list (Array.map dlit (Aig.Network.pos g)));
+  to_string ~nvars:(Aig.Network.num_nodes g) (List.rev !clauses)

@@ -1,0 +1,45 @@
+(** CDCL SAT solver (MiniSat-style).
+
+    Two-watched-literal propagation, EVSIDS variable activity, phase
+    saving, Luby restarts, first-UIP clause learning.  Supports incremental
+    solving under assumptions and per-call conflict limits — the two
+    features SAT sweeping relies on (the paper's baseline runs ABC [&cec]
+    with a conflict budget per call). *)
+
+type t
+
+(** Literals are [2*var] (positive) or [2*var+1] (negated). *)
+type lit = int
+
+val mklit : int -> bool -> lit
+
+(** [neg l] is the complement literal. *)
+val neg : lit -> lit
+
+val var_of_lit : lit -> int
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+(** Allocate a fresh variable; returns its index. *)
+val new_var : t -> int
+
+val num_vars : t -> int
+
+(** Add a clause (level-0 simplification applied).  Returns [false] when
+    the clause makes the instance trivially unsatisfiable. *)
+val add_clause : t -> lit list -> bool
+
+(** [solve t ~assumptions ~conflict_limit] runs CDCL search.  [Unknown] is
+    returned when the conflict budget is exhausted. *)
+val solve : ?assumptions:lit list -> ?conflict_limit:int -> t -> result
+
+(** Value of a variable in the last model (valid only after [Sat]). *)
+val model_value : t -> int -> bool
+
+(** Total conflicts since creation (statistics). *)
+val num_conflicts : t -> int
+
+(** Total propagations since creation (statistics). *)
+val num_propagations : t -> int

@@ -1,0 +1,232 @@
+type config = {
+  conflict_limit : int;
+  final_conflict_limit : int;
+  sim_words : int;
+  seed : int64;
+  max_rounds : int;
+  cex_batch : int;
+  use_distance_one : bool;
+  use_reverse_sim : bool;
+}
+
+let default_config =
+  {
+    conflict_limit = 1000;
+    final_conflict_limit = max_int;
+    sim_words = 4;
+    seed = 0x5eedL;
+    max_rounds = 30;
+    cex_batch = 48;
+    use_distance_one = false;
+    use_reverse_sim = false;
+  }
+
+type outcome = Equivalent | Inequivalent of Sim.Cex.t * int | Undecided
+
+type stats = {
+  mutable sat_calls : int;
+  mutable sat_unsat : int;
+  mutable sat_sat : int;
+  mutable sat_unknown : int;
+  mutable merged : int;
+  mutable rounds : int;
+  mutable cex_count : int;
+  mutable rsim_splits : int;
+}
+
+let new_stats () =
+  {
+    sat_calls = 0;
+    sat_unsat = 0;
+    sat_sat = 0;
+    sat_unknown = 0;
+    merged = 0;
+    rounds = 0;
+    cex_count = 0;
+    rsim_splits = 0;
+  }
+
+(* Prove [target = repr_lit] on [g] through two SAT calls; [solver] holds
+   the CNF of [g].  Returns [`Proved], [`Cex assignment] or [`Unknown]. *)
+let prove_pair solver stats ~conflict_limit g repr_lit target =
+  let a = Cnf.lit repr_lit and b = Cnf.lit target in
+  let query assumptions =
+    stats.sat_calls <- stats.sat_calls + 1;
+    match Solver.solve ~assumptions ~conflict_limit solver with
+    | Solver.Unsat ->
+        stats.sat_unsat <- stats.sat_unsat + 1;
+        `Unsat
+    | Solver.Sat ->
+        stats.sat_sat <- stats.sat_sat + 1;
+        `Sat (Cnf.model_cex solver g)
+    | Solver.Unknown ->
+        stats.sat_unknown <- stats.sat_unknown + 1;
+        `Unknown
+  in
+  (* repr_lit may be constant false (merging into the constant class). *)
+  let first =
+    if repr_lit = Aig.Lit.const_false then `Unsat
+    else if repr_lit = Aig.Lit.const_true then query [ Solver.neg b ]
+    else query [ a; Solver.neg b ]
+  in
+  match first with
+  | `Sat cex -> `Cex cex
+  | `Unknown -> `Unknown
+  | `Unsat -> (
+      let second =
+        if repr_lit = Aig.Lit.const_false then query [ b ]
+        else if repr_lit = Aig.Lit.const_true then `Unsat
+        else query [ Solver.neg a; b ]
+      in
+      match second with
+      | `Sat cex -> `Cex cex
+      | `Unknown -> `Unknown
+      | `Unsat -> `Proved)
+
+(* The shared sweeping core: round-based class refinement and SAT merging,
+   returning the reduced network.  [check] adds the final PO decision on
+   top; [fraig] returns the network as an optimisation result. *)
+let sweep_core ?(config = default_config) ?classes ~pool ~stats g0 =
+  let rng = Sim.Rng.create ~seed:config.seed in
+  let g = ref g0 in
+  let carried_classes = ref classes in
+  let pending_cexs = ref [] in
+  let finished = ref false in
+  let round = ref 0 in
+  while (not !finished) && !round < config.max_rounds do
+    incr round;
+    stats.rounds <- stats.rounds + 1;
+    let sigs =
+      Sim.Psim.run !g ~nwords:config.sim_words ~rng ~pool ~embed:!pending_cexs
+    in
+    pending_cexs := [];
+    let classes =
+      match !carried_classes with
+      | Some c ->
+          carried_classes := None;
+          Sim.Eclass.refine c sigs
+      | None -> Sim.Eclass.of_sigs !g sigs ()
+    in
+    let pairs =
+      Sim.Eclass.pairs classes
+      |> List.sort (fun a b -> compare a.Sim.Eclass.other b.Sim.Eclass.other)
+    in
+    if pairs = [] then finished := true
+    else begin
+      let solver = Solver.create () in
+      let loaded = Cnf.load solver !g in
+      assert loaded;
+      let repl = Array.make (Aig.Network.num_nodes !g) None in
+      let fresh_cexs = ref 0 in
+      let merged_round = ref 0 in
+      List.iter
+        (fun { Sim.Eclass.repr; other; compl_ } ->
+          if !fresh_cexs < config.cex_batch && repl.(other) = None then begin
+            let repr_lit = Aig.Lit.make repr compl_ in
+            let target = Aig.Lit.make other false in
+            (* Reverse simulation first: a justified distinguishing pattern
+               disproves the pair without any SAT effort. *)
+            let rsim_cex =
+              if not config.use_reverse_sim then None
+              else
+                match Sim.Rsim.justify_pair !g target repr_lit with
+                | Some c -> Some c
+                | None -> Sim.Rsim.justify_pair !g repr_lit target
+            in
+            match
+              match rsim_cex with
+              | Some cex ->
+                  stats.rsim_splits <- stats.rsim_splits + 1;
+                  `Cex cex
+              | None ->
+                  prove_pair solver stats ~conflict_limit:config.conflict_limit
+                    !g repr_lit target
+            with
+            | `Proved ->
+                repl.(other) <- Some repr_lit;
+                incr merged_round;
+                stats.merged <- stats.merged + 1
+            | `Cex cex ->
+                stats.cex_count <- stats.cex_count + 1;
+                incr fresh_cexs;
+                pending_cexs := cex :: !pending_cexs;
+                if config.use_distance_one then
+                  pending_cexs :=
+                    Sim.Cex.distance_one ~limit:8 cex @ !pending_cexs
+            | `Unknown -> ()
+          end)
+        pairs;
+      if !merged_round > 0 then begin
+        let r = Aig.Reduce.apply !g ~repl in
+        g := r.Aig.Reduce.network
+      end;
+      (* Fixed point: nothing merged and no new counter-example. *)
+      if !merged_round = 0 && !fresh_cexs = 0 then finished := true
+    end
+  done;
+  !g
+
+let check ?(config = default_config) ?classes ~pool g0 =
+  let stats = new_stats () in
+  let g = sweep_core ~config ?classes ~pool ~stats g0 in
+  (* Final PO checking on the reduced miter. *)
+  let outcome =
+    if Aig.Miter.solved g then Equivalent
+    else begin
+      let solver = Solver.create () in
+      let loaded = Cnf.load solver g in
+      if not loaded then Equivalent
+      else begin
+        let rec check_pos = function
+          | [] -> Equivalent
+          | po :: rest -> (
+              let l = Aig.Network.po g po in
+              if l = Aig.Lit.const_false then check_pos rest
+              else begin
+                stats.sat_calls <- stats.sat_calls + 1;
+                match
+                  Solver.solve
+                    ~assumptions:[ Cnf.lit l ]
+                    ~conflict_limit:config.final_conflict_limit solver
+                with
+                | Solver.Unsat ->
+                    stats.sat_unsat <- stats.sat_unsat + 1;
+                    check_pos rest
+                | Solver.Sat ->
+                    stats.sat_sat <- stats.sat_sat + 1;
+                    Inequivalent (Cnf.model_cex solver g, po)
+                | Solver.Unknown ->
+                    stats.sat_unknown <- stats.sat_unknown + 1;
+                    Undecided
+              end)
+        in
+        check_pos (Aig.Miter.unsolved_outputs g)
+      end
+    end
+  in
+  (outcome, stats)
+
+let fraig ?(config = default_config) ~pool g =
+  let stats = new_stats () in
+  (* Work on a copy: sweeping mutates nothing, but Reduce renumbers. *)
+  let reduced = sweep_core ~config ~pool ~stats (Aig.Network.copy g) in
+  (reduced, stats)
+
+let check_direct ?(conflict_limit = max_int) g =
+  if Aig.Miter.solved g then Equivalent
+  else begin
+    let solver = Solver.create () in
+    if not (Cnf.load solver g) then Equivalent
+    else begin
+      let rec go = function
+        | [] -> Equivalent
+        | po :: rest -> (
+            let l = Aig.Network.po g po in
+            match Solver.solve ~assumptions:[ Cnf.lit l ] ~conflict_limit solver with
+            | Solver.Unsat -> go rest
+            | Solver.Sat -> Inequivalent (Cnf.model_cex solver g, po)
+            | Solver.Unknown -> Undecided)
+      in
+      go (Aig.Miter.unsolved_outputs g)
+    end
+  end

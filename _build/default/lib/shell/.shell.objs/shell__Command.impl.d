@@ -1,0 +1,1 @@
+lib/shell/command.ml: Aig Array Bdd Buffer Format Gen Hashtbl Lazy List Lutmap Opt Par Printf Sat Sim Simsweep String

@@ -1,0 +1,1 @@
+lib/shell/command.mli: Par

@@ -1,0 +1,283 @@
+type state = {
+  mutable current : Aig.Network.t option;
+  store : (string, Aig.Network.t) Hashtbl.t;
+  pool : Par.Pool.t Lazy.t;
+}
+
+let create ?pool () =
+  {
+    current = None;
+    store = Hashtbl.create 8;
+    pool = (match pool with Some p -> lazy p | None -> lazy (Par.Pool.create ()));
+  }
+
+let help_text =
+  String.concat "\n"
+    [
+      "read FILE            load an AIGER file as the current network";
+      "write FILE           write the current network (.aig = binary)";
+      "gen FAMILY [N]       generate: adder multiplier wallace square sqrt";
+      "                     hypot log2 sin voter divider barrel alu regfile display";
+      "strash               sweep dangling nodes";
+      "balance rewrite refactor xorflip resyn2 light   optimisation passes";
+      "double [N]           enlarge N times";
+      "store NAME           save the current network";
+      "load NAME            recall a stored network";
+      "miter NAME           current := miter(current, NAME)";
+      "cec [ENGINE]         sim sat bdd portfolio combined partitioned";
+      "map [K]              map to K-input LUTs and resynthesise (default 6)";
+      "fraig                merge functionally equivalent internal nodes";
+      "certify              combined check with certificate validation";
+      "sim N                random simulation vectors";
+      "stats                print statistics";
+      "dot FILE             write Graphviz";
+      "help                 this text";
+    ]
+
+let stats_line g = Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network g)
+
+let with_current st f =
+  match st.current with
+  | None -> Error "no current network (use read or gen)"
+  | Some g -> f g
+
+let generate family size =
+  let size d = match size with Some n -> n | None -> d in
+  match family with
+  | "adder" -> Ok (Gen.Arith.adder ~bits:(size 8))
+  | "multiplier" -> Ok (Gen.Arith.multiplier ~bits:(size 8))
+  | "wallace" -> Ok (Gen.Wallace.multiplier ~bits:(size 8))
+  | "square" -> Ok (Gen.Arith.square ~bits:(size 8))
+  | "sqrt" -> Ok (Gen.Arith.sqrt ~bits:(size 16))
+  | "hypot" -> Ok (Gen.Arith.hypot ~bits:(size 8))
+  | "log2" -> Ok (Gen.Arith.log2 ~bits:(size 8) ~frac:3)
+  | "sin" -> Ok (Gen.Arith.sin ~bits:(size 8) ~iters:(size 8))
+  | "voter" -> Ok (Gen.Control.voter ~n:(size 15))
+  | "divider" -> Ok (Gen.Divider.divide ~bits:(size 8))
+  | "barrel" -> Ok (Gen.Barrel.shifter ~bits:(size 8) ~rotate:false)
+  | "alu" -> Ok (Gen.Alu.alu ~bits:(size 8))
+  | "regfile" -> Ok (Gen.Control.regfile ~regs:(size 8) ~width:8)
+  | "display" -> Ok (Gen.Control.display ~hbits:(size 8) ~vbits:(max 1 (size 8 - 1)))
+  | _ -> Error ("unknown family " ^ family)
+
+let outcome_string = function
+  | Simsweep.Engine.Proved -> "EQUIVALENT"
+  | Simsweep.Engine.Disproved (cex, po) ->
+      let bits =
+        String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0')
+      in
+      Printf.sprintf "NOT EQUIVALENT (output %d, inputs %s)" po bits
+  | Simsweep.Engine.Undecided -> "UNDECIDED"
+
+let run_cec st g engine =
+  let pool = Lazy.force st.pool in
+  match engine with
+  | "sim" ->
+      let r = Simsweep.Engine.run ~config:Simsweep.Config.scaled ~pool g in
+      Ok
+        (Printf.sprintf "%s (reduced %.1f%%)"
+           (outcome_string r.Simsweep.Engine.outcome)
+           (Simsweep.Engine.reduction_percent r))
+  | "sat" -> (
+      match Sat.Sweep.check ~pool (Aig.Network.copy g) with
+      | Sat.Sweep.Equivalent, st_ ->
+          Ok (Printf.sprintf "EQUIVALENT (%d SAT calls)" st_.Sat.Sweep.sat_calls)
+      | Sat.Sweep.Inequivalent (cex, po), _ ->
+          Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
+      | Sat.Sweep.Undecided, _ -> Ok "UNDECIDED")
+  | "bdd" -> (
+      match Bdd.check g with
+      | `Equivalent -> Ok "EQUIVALENT"
+      | `Inequivalent (cex, po) ->
+          Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
+      | `Node_limit -> Ok "UNDECIDED (BDD node limit)")
+  | "portfolio" ->
+      let r = Simsweep.Portfolio.check ~config:Simsweep.Config.scaled ~pool g in
+      Ok
+        (Printf.sprintf "%s (winner: %s)"
+           (outcome_string r.Simsweep.Portfolio.outcome)
+           (match r.Simsweep.Portfolio.winner with
+           | Some e -> Simsweep.Portfolio.engine_name e
+           | None -> "none"))
+  | "combined" ->
+      let c =
+        Simsweep.Engine.check_with_fallback ~config:Simsweep.Config.scaled ~pool g
+      in
+      Ok (outcome_string c.Simsweep.Engine.final)
+  | "partitioned" ->
+      let outcome, n =
+        Simsweep.Partition.check ~config:Simsweep.Config.scaled ~pool g
+      in
+      Ok (Printf.sprintf "%s (%d groups)" (outcome_string outcome) n)
+  | other -> Error ("unknown engine " ^ other)
+
+let exec st line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  let set g out =
+    st.current <- Some g;
+    Ok out
+  in
+  let pass name f =
+    with_current st (fun g ->
+        let g' = f g in
+        set g' (Printf.sprintf "%s: %s" name (stats_line g')))
+  in
+  try
+    match words with
+    | [] -> Ok ""
+    | [ "help" ] -> Ok help_text
+    | [ "read"; file ] ->
+        let g = Aig.Aiger_io.read_file file in
+        set g (stats_line g)
+    | [ "write"; file ] ->
+        with_current st (fun g ->
+            Aig.Aiger_io.write_file file g;
+            Ok ("written " ^ file))
+    | "gen" :: family :: rest -> (
+        let size =
+          match rest with
+          | [] -> Ok None
+          | [ n ] -> (
+              match int_of_string_opt n with
+              | Some v when v > 0 -> Ok (Some v)
+              | _ -> Error ("bad size " ^ n))
+          | _ -> Error "usage: gen FAMILY [N]"
+        in
+        match size with
+        | Error e -> Error e
+        | Ok size -> (
+            match generate family size with
+            | Ok g -> set g (stats_line g)
+            | Error e -> Error e))
+    | [ "strash" ] -> pass "strash" (fun g -> (Aig.Reduce.sweep g).Aig.Reduce.network)
+    | [ "balance" ] -> pass "balance" Opt.Balance.run
+    | [ "rewrite" ] -> pass "rewrite" Opt.Rewrite.run
+    | [ "refactor" ] -> pass "refactor" (fun g -> Opt.Refactor.run g)
+    | [ "xorflip" ] -> pass "xorflip" Opt.Xorflip.run
+    | [ "resyn2" ] -> pass "resyn2" Opt.Resyn.resyn2
+    | [ "light" ] -> pass "light" Opt.Resyn.light
+    | [ "double" ] -> pass "double" Gen.Double.double
+    | [ "double"; n ] -> (
+        match int_of_string_opt n with
+        | Some k when k >= 0 -> pass "double" (Gen.Double.times k)
+        | _ -> Error ("bad count " ^ n))
+    | [ "store"; name ] ->
+        with_current st (fun g ->
+            Hashtbl.replace st.store name (Aig.Network.copy g);
+            Ok ("stored " ^ name))
+    | [ "load"; name ] -> (
+        match Hashtbl.find_opt st.store name with
+        | Some g -> set (Aig.Network.copy g) (stats_line g)
+        | None -> Error ("no stored network " ^ name))
+    | [ "miter"; name ] -> (
+        match Hashtbl.find_opt st.store name with
+        | None -> Error ("no stored network " ^ name)
+        | Some other ->
+            with_current st (fun g ->
+                let m = Aig.Miter.build g other in
+                set m ("miter: " ^ stats_line m)))
+    | [ "cec" ] -> with_current st (fun g -> run_cec st g "combined")
+    | [ "cec"; engine ] -> with_current st (fun g -> run_cec st g engine)
+    | [ "certify" ] ->
+        with_current st (fun g ->
+            let pool = Lazy.force st.pool in
+            let result, cert =
+              Simsweep.Certificate.generate ~config:Simsweep.Config.scaled ~pool g
+            in
+            let verdict = outcome_string result.Simsweep.Engine.outcome in
+            if not cert.Simsweep.Certificate.claims_proved then
+              Ok (verdict ^ " (no full certificate)")
+            else begin
+              match Simsweep.Certificate.validate g cert with
+              | Ok _ ->
+                  Ok
+                    (Printf.sprintf "%s (certificate with %d steps validated)"
+                       verdict
+                       (List.length cert.Simsweep.Certificate.steps))
+              | Error e -> Error ("certificate INVALID: " ^ e)
+            end)
+    | [ "sim"; n ] -> (
+        match int_of_string_opt n with
+        | Some k when k > 0 ->
+            with_current st (fun g ->
+                let rng = Sim.Rng.create ~seed:9L in
+                let buf = Buffer.create 256 in
+                for _ = 1 to k do
+                  let cex =
+                    Array.init (Aig.Network.num_pis g) (fun _ -> Sim.Rng.bool rng)
+                  in
+                  Array.iter (fun v -> Buffer.add_char buf (if v then '1' else '0')) cex;
+                  Buffer.add_char buf ' ';
+                  Array.iter
+                    (fun l ->
+                      Buffer.add_char buf
+                        (if Sim.Cex.eval_lit g cex l then '1' else '0'))
+                    (Aig.Network.pos g);
+                  Buffer.add_char buf '\n'
+                done;
+                Ok (String.trim (Buffer.contents buf)))
+        | _ -> Error ("bad count " ^ n))
+    | [ "fraig" ] ->
+        with_current st (fun g ->
+            let pool = Lazy.force st.pool in
+            let g', fstats = Sat.Sweep.fraig ~pool g in
+            set g'
+              (Printf.sprintf "fraig: %s (%d merges)" (stats_line g')
+                 fstats.Sat.Sweep.merged))
+    | [ "map" ] | [ "map"; _ ] -> (
+        let k =
+          match words with
+          | [ "map" ] -> Ok 6
+          | [ "map"; n ] -> (
+              match int_of_string_opt n with
+              | Some v -> Ok v
+              | None -> Error ("bad k " ^ n))
+          | _ -> assert false
+        in
+        match k with
+        | Error e -> Error e
+        | Ok k ->
+            with_current st (fun g ->
+                let m = Lutmap.Mapper.map ~k g in
+                let g' = Lutmap.Mapper.to_network m in
+                set g'
+                  (Printf.sprintf "mapped: %d LUTs, depth %d; resynthesised: %s"
+                     (Lutmap.Mapper.lut_count m) m.Lutmap.Mapper.depth
+                     (stats_line g'))))
+    | [ "stats" ] -> with_current st (fun g -> Ok (stats_line g))
+    | [ "dot"; file ] ->
+        with_current st (fun g ->
+            Aig.Dot.write_file file g;
+            Ok ("written " ^ file))
+    | cmd :: _ -> Error ("unknown command " ^ cmd ^ " (try help)")
+  with
+  | Aig.Aiger_io.Parse_error e -> Error ("parse error: " ^ e)
+  | Sys_error e -> Error e
+  | Invalid_argument e -> Error e
+
+let exec_script st text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.concat_map (String.split_on_char ';')
+  in
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | [] -> Ok (Buffer.contents buf)
+    | line :: rest -> (
+        match exec st line with
+        | Ok "" -> go rest
+        | Ok out ->
+            Buffer.add_string buf out;
+            Buffer.add_char buf '\n';
+            go rest
+        | Error e -> Error e)
+  in
+  go lines

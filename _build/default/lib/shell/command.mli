@@ -1,0 +1,44 @@
+(** An ABC-style command interpreter over the whole toolkit.
+
+    The interpreter keeps a {e current network} plus a store of named
+    networks, and executes line-oriented commands — reading/generating
+    circuits, running optimisation passes, building miters and invoking the
+    checkers.  It backs the [simsweep-shell] binary and is a plain library
+    so scripts are unit-testable.
+
+    Commands (see [exec _ "help"] for the same list):
+    {v
+    read FILE              load an AIGER file as the current network
+    write FILE             write the current network (.aig = binary)
+    gen FAMILY [N]         generate a circuit (adder, multiplier, wallace,
+                           square, sqrt, hypot, log2, sin, voter, divider,
+                           barrel, alu, regfile, display); N = width/size
+    strash                 sweep dangling nodes
+    balance | rewrite | refactor | xorflip | resyn2 | light
+                           optimisation passes
+    double [N]             enlarge N times (default 1)
+    store NAME             save the current network under NAME
+    load NAME              make a stored network current
+    miter NAME             replace current with miter(current, NAME)
+    cec [sim|sat|bdd|portfolio|combined|partitioned]
+                           check the current miter (default combined)
+    certify                check with certificate generation + validation
+    sim N                  print N random simulation vectors
+    stats                  print size statistics
+    dot FILE               write Graphviz
+    help                   this list
+    v}  *)
+
+type state
+
+(** Fresh interpreter state.  When [pool] is omitted a private pool is
+    created lazily and shut down by [Gc] finalisation at exit. *)
+val create : ?pool:Par.Pool.t -> unit -> state
+
+(** [exec state line] runs one command; returns its printable output or an
+    error message.  Empty lines and [#] comments yield [Ok ""]. *)
+val exec : state -> string -> (string, string) result
+
+(** Run a whole script (newline- or [;]-separated), stopping at the first
+    error; returns the concatenated output. *)
+val exec_script : state -> string -> (string, string) result

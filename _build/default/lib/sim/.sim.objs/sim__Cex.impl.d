@@ -1,0 +1,1 @@
+lib/sim/cex.ml: Aig Array List

@@ -1,0 +1,1 @@
+lib/sim/cex.mli: Aig

@@ -1,0 +1,1 @@
+lib/sim/eclass.ml: Aig Array Hashtbl List Psim

@@ -1,0 +1,1 @@
+lib/sim/eclass.mli: Aig Hashtbl Psim

@@ -1,0 +1,1 @@
+lib/sim/psim.ml: Aig Array Bytes Int64 List Par Rng

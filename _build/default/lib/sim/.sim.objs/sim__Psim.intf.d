@@ -1,0 +1,1 @@
+lib/sim/psim.mli: Aig Par Rng

@@ -1,0 +1,1 @@
+lib/sim/rsim.ml: Aig Array Cex List Rng

@@ -1,0 +1,1 @@
+lib/sim/rsim.mli: Aig Cex Rng

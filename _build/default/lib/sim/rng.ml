@@ -1,0 +1,17 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let x = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L

@@ -1,0 +1,17 @@
+(** Deterministic SplitMix64 random generator.
+
+    The engine must be reproducible run-to-run (simulation patterns decide
+    which pairs become candidates), so all randomness flows through this
+    seeded generator rather than [Random]. *)
+
+type t
+
+val create : seed:int64 -> t
+
+(** Next 64 pseudo-random bits. *)
+val next64 : t -> int64
+
+(** Uniform integer in [0, bound). *)
+val int : t -> int -> int
+
+val bool : t -> bool

@@ -1,0 +1,82 @@
+(* Node requirements during backward justification: unassigned, or required
+   to take a definite value. *)
+
+(* Shared backward-justification core: demand a set of (literal, value)
+   requirements, fill free PIs randomly, and verify forward. *)
+let justify_core g rng demands verify =
+  let req = Array.make (Aig.Network.num_nodes g) 0 in
+  (* 0 = free, 1 = must be true, -1 = must be false *)
+  let exception Conflict in
+  let rec demand n want =
+    let w = if want then 1 else -1 in
+    if req.(n) = w then ()
+    else if req.(n) <> 0 then raise Conflict
+    else begin
+      req.(n) <- w;
+      if Aig.Network.is_and g n then begin
+        let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+        if want then begin
+          demand (Aig.Lit.node f0) (not (Aig.Lit.is_compl f0));
+          demand (Aig.Lit.node f1) (not (Aig.Lit.is_compl f1))
+        end
+        else begin
+          let first, second = if Rng.bool rng then (f0, f1) else (f1, f0) in
+          let saved = Array.copy req in
+          try demand (Aig.Lit.node first) (Aig.Lit.is_compl first)
+          with Conflict ->
+            Array.blit saved 0 req 0 (Array.length req);
+            req.(n) <- w;
+            demand (Aig.Lit.node second) (Aig.Lit.is_compl second)
+        end
+      end
+      else if n = 0 && want then raise Conflict
+    end
+  in
+  match List.iter (fun (l, v) -> demand (Aig.Lit.node l) (v <> Aig.Lit.is_compl l)) demands with
+  | () ->
+      let cex =
+        Array.init (Aig.Network.num_pis g) (fun i ->
+            match req.(Aig.Network.pi g i) with
+            | 1 -> true
+            | -1 -> false
+            | _ -> Rng.bool rng)
+      in
+      if verify cex then Some cex else None
+  | exception Conflict -> None
+
+let justify_pair g ?rng a b =
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:0x9a17L in
+  justify_core g rng
+    [ (a, true); (b, false) ]
+    (fun cex -> Cex.eval_lit g cex a && not (Cex.eval_lit g cex b))
+
+let justify g ?rng lit v =
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:0x5151L in
+  justify_core g rng [ (lit, v) ] (fun cex -> Cex.eval_lit g cex lit = v)
+
+let distinguishing_patterns g ?rng ~a ~b n =
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed:0xd15eL in
+  let candidates = ref [] in
+  let tries = max 1 (n * 2) in
+  for _ = 1 to tries do
+    let node, v =
+      match Rng.int rng 4 with
+      | 0 -> (a, true)
+      | 1 -> (a, false)
+      | 2 -> (b, true)
+      | _ -> (b, false)
+    in
+    match justify g ~rng (Aig.Lit.make node false) v with
+    | Some cex -> candidates := cex :: !candidates
+    | None -> ()
+  done;
+  let distinguishes cex =
+    Cex.eval_lit g cex (Aig.Lit.make a false)
+    <> Cex.eval_lit g cex (Aig.Lit.make b false)
+  in
+  let good, rest = List.partition distinguishes !candidates in
+  let rec take k = function
+    | [] -> []
+    | x :: xs -> if k = 0 then [] else x :: take (k - 1) xs
+  in
+  take n (good @ rest)

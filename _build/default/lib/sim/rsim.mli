@@ -1,0 +1,27 @@
+(** Reverse simulation — heuristic backward justification (paper §V cites
+    it as an integration candidate, after Zhang et al.).
+
+    [justify g ?rng lit v] searches for an input assignment that sets
+    [lit] to [v] by walking the cone backwards, choosing controlling
+    values: an AND that must be 1 forces both fanins to 1; an AND that
+    must be 0 picks one fanin to force to 0 ([rng] breaks the tie).  The
+    procedure is incomplete — conflicting requirements abort with [None] —
+    but when it succeeds the returned assignment provably sets the
+    literal, which makes such patterns far better class-splitters than
+    random ones. *)
+val justify :
+  Aig.Network.t -> ?rng:Rng.t -> Aig.Lit.t -> bool -> Cex.t option
+
+(** [justify_pair g ?rng a b] searches for an assignment making literal
+    [a] true and literal [b] false simultaneously — i.e. a witness that the
+    two literals differ.  Incomplete like {!justify}; a returned assignment
+    is always forward-verified. *)
+val justify_pair :
+  Aig.Network.t -> ?rng:Rng.t -> Aig.Lit.t -> Aig.Lit.t -> Cex.t option
+
+(** [distinguishing_patterns g ?rng ~a ~b n] generates up to [n]
+    candidate patterns aimed at distinguishing nodes [a] and [b]:
+    justifications of [a=1], [a=0], [b=1], [b=0] with varied tie-breaks.
+    Patterns where the two nodes indeed differ are listed first. *)
+val distinguishing_patterns :
+  Aig.Network.t -> ?rng:Rng.t -> a:int -> b:int -> int -> Cex.t list

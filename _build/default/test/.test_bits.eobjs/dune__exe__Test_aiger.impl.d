@@ -1,0 +1,1 @@
+test/test_aiger.ml: Aig Alcotest Filename Fun Gen List QCheck QCheck_alcotest Sim String Sys Util

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Aig Alcotest Array Bdd Gen Opt Printf QCheck QCheck_alcotest Sim Util

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bv Fun List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_certificate.ml: Aig Alcotest Gen List Opt QCheck QCheck_alcotest Simsweep Util

@@ -1,0 +1,1 @@
+test/test_cex.ml: Aig Alcotest Array Bool Bv Gen List Printf QCheck QCheck_alcotest Sim Util

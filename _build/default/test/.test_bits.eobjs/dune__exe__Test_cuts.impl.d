@@ -1,0 +1,1 @@
+test/test_cuts.ml: Aig Alcotest Array Cuts Gen List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Aig Alcotest Array Fun Gen List Opt QCheck QCheck_alcotest Sat Sim Util

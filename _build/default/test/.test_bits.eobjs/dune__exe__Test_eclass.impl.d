@@ -1,0 +1,1 @@
+test/test_eclass.ml: Aig Alcotest Array Hashtbl List QCheck QCheck_alcotest Sim Util

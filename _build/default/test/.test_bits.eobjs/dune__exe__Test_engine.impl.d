@@ -1,0 +1,1 @@
+test/test_engine.ml: Aig Alcotest Gen List Opt QCheck QCheck_alcotest Sim Simsweep Util

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Aig Alcotest Array Bv Fun Gen List Opt Printf QCheck QCheck_alcotest Sim Simsweep Util

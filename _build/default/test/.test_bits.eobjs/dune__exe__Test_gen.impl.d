@@ -1,0 +1,1 @@
+test/test_gen.ml: Aig Alcotest Array Bool Float Gen Int64 List Printf QCheck QCheck_alcotest Random Sim Util

@@ -1,0 +1,1 @@
+test/test_gen2.ml: Aig Alcotest Array Gen List Opt Printf QCheck QCheck_alcotest Random Sat Sim Simsweep Util

@@ -1,0 +1,1 @@
+test/test_gen2.mli:

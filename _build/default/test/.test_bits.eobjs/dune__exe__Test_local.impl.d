@@ -1,0 +1,1 @@
+test/test_local.ml: Aig Alcotest Array Bv Cuts Gen Int64 List Opt QCheck QCheck_alcotest Sim Simsweep Util

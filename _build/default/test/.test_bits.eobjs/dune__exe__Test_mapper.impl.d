@@ -1,0 +1,1 @@
+test/test_mapper.ml: Aig Alcotest Array Bv Cuts Gen Hashtbl List Lutmap QCheck QCheck_alcotest Sim Simsweep Util

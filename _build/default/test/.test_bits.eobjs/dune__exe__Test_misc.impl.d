@@ -1,0 +1,1 @@
+test/test_misc.ml: Aig Alcotest Array Gen List Printf Simsweep Str String Util

@@ -1,0 +1,1 @@
+test/test_miter_reduce.ml: Aig Alcotest Array Bv Int64 List Printf QCheck QCheck_alcotest Sim Util

@@ -1,0 +1,1 @@
+test/test_network.ml: Aig Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Sim Util

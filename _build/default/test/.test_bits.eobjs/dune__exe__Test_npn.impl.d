@@ -1,0 +1,1 @@
+test/test_npn.ml: Alcotest Bv Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_opt.ml: Aig Alcotest Array Bv Gen List Opt QCheck QCheck_alcotest Util

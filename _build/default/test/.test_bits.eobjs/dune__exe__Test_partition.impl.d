@@ -1,0 +1,1 @@
+test/test_partition.ml: Aig Alcotest Array Fun Gen Int64 List Opt QCheck QCheck_alcotest Sim Simsweep Util

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Atomic Fun Par QCheck QCheck_alcotest

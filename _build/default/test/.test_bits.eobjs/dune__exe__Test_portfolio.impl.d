@@ -1,0 +1,1 @@
+test/test_portfolio.ml: Aig Alcotest Gen Opt QCheck QCheck_alcotest Sim Simsweep Util

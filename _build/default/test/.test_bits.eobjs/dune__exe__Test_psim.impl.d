@@ -1,0 +1,1 @@
+test/test_psim.ml: Aig Alcotest Array Fun Gen List Par QCheck QCheck_alcotest Sim Util

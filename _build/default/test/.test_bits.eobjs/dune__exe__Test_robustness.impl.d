@@ -1,0 +1,1 @@
+test/test_robustness.ml: Aig Alcotest Array Bytes Char Fun Gen Int64 List Opt Par QCheck QCheck_alcotest Sat Shell Sim Simsweep String Util

@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Filename Fun List Printf Shell String Sys Util

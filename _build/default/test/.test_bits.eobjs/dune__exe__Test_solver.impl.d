@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Int64 List QCheck QCheck_alcotest Sat Sim Util

@@ -1,0 +1,1 @@
+test/test_sop_isop.ml: Alcotest Array Bv List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_support_cone.ml: Aig Alcotest Array Gen List QCheck QCheck_alcotest Util

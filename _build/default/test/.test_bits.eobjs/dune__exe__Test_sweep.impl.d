@@ -1,0 +1,1 @@
+test/test_sweep.ml: Aig Alcotest Array Gen List Opt Printf QCheck QCheck_alcotest Sat Sim Util

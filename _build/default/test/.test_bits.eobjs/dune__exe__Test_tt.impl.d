@@ -1,0 +1,1 @@
+test/test_tt.ml: Alcotest Array Bool Bv Int64 List QCheck QCheck_alcotest Random

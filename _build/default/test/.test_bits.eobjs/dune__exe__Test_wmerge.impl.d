@@ -1,0 +1,1 @@
+test/test_wmerge.ml: Aig Alcotest Array Fun Int64 List QCheck QCheck_alcotest Sim Simsweep Util

@@ -1,0 +1,1 @@
+test/util.ml: Aig Array Bv Fun Gen Int64 Par QCheck Sim

@@ -1,0 +1,118 @@
+(* ROBDD package. *)
+
+let test_basic_ops () =
+  let m = Bdd.create ~num_vars:3 () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.bdd_and m x y in
+  Alcotest.(check bool) "canonical and" true
+    (Bdd.equal f (Bdd.bdd_and m y x));
+  Alcotest.(check bool) "x & !x = 0" true
+    (Bdd.is_false m (Bdd.bdd_and m x (Bdd.bdd_not m x)));
+  Alcotest.(check bool) "x | !x = 1" true
+    (Bdd.is_true m (Bdd.bdd_or m x (Bdd.bdd_not m x)));
+  Alcotest.(check bool) "xor self" true (Bdd.is_false m (Bdd.bdd_xor m f f));
+  Alcotest.(check bool) "double not" true (Bdd.equal f (Bdd.bdd_not m (Bdd.bdd_not m f)))
+
+let test_eval_count () =
+  let m = Bdd.create ~num_vars:3 () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  let maj =
+    Bdd.bdd_or m
+      (Bdd.bdd_or m (Bdd.bdd_and m x y) (Bdd.bdd_and m x z))
+      (Bdd.bdd_and m y z)
+  in
+  Alcotest.(check (float 0.01)) "majority count" 4. (Bdd.count_sat m maj);
+  Alcotest.(check bool) "110" true (Bdd.eval m maj [| true; true; false |]);
+  Alcotest.(check bool) "100" false (Bdd.eval m maj [| true; false; false |]);
+  match Bdd.any_sat m maj with
+  | Some a -> Alcotest.(check bool) "witness" true (Bdd.eval m maj a)
+  | None -> Alcotest.fail "majority is satisfiable"
+
+let test_ite () =
+  let m = Bdd.create ~num_vars:3 () in
+  let s = Bdd.var m 0 and a = Bdd.var m 1 and b = Bdd.var m 2 in
+  let f = Bdd.ite m s a b in
+  for p = 0 to 7 do
+    let v = Array.init 3 (fun i -> (p lsr i) land 1 = 1) in
+    Alcotest.(check bool)
+      (Printf.sprintf "ite %d" p)
+      (if v.(0) then v.(1) else v.(2))
+      (Bdd.eval m f v)
+  done
+
+let test_of_output_matches_aig () =
+  let g = Util.random_network ~pis:6 ~nodes:50 ~pos:3 31 in
+  let m = Bdd.create ~num_vars:6 () in
+  for po = 0 to 2 do
+    let b = Bdd.of_output m g po in
+    for p = 0 to 63 do
+      let v = Array.init 6 (fun i -> (p lsr i) land 1 = 1) in
+      if Bdd.eval m b v <> Sim.Cex.check g v po then
+        Alcotest.failf "po %d pattern %d" po p
+    done
+  done
+
+let test_check_equivalence () =
+  let g = Gen.Arith.adder ~bits:4 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  (match Bdd.check m with
+  | `Equivalent -> ()
+  | _ -> Alcotest.fail "adder vs optimised adder");
+  let bad = Aig.Network.copy g in
+  Aig.Network.set_po bad 2 (Aig.Lit.neg (Aig.Network.po bad 2));
+  match Bdd.check (Aig.Miter.build g bad) with
+  | `Inequivalent (cex, po) ->
+      Alcotest.(check bool) "cex valid" true
+        (Sim.Cex.check (Aig.Miter.build g bad) cex po)
+  | _ -> Alcotest.fail "expected inequivalence"
+
+let test_node_limit () =
+  (* Multipliers have exponential BDDs: a small budget must abort. *)
+  let g = Gen.Arith.multiplier ~bits:8 in
+  let m = Aig.Miter.build g (Aig.Network.copy g) in
+  (* A miter of identical circuits strashes to constants; use a
+     non-trivially optimised one instead. *)
+  let m2 = Aig.Miter.build g (Opt.Xorflip.run g) in
+  ignore m;
+  match Bdd.check ~node_limit:2000 m2 with
+  | `Node_limit -> ()
+  | `Equivalent -> Alcotest.fail "expected node-limit abort (got equivalent)"
+  | `Inequivalent _ -> Alcotest.fail "multiplier miter is equivalent"
+
+let test_voter_friendly () =
+  (* Symmetric functions have polynomial BDDs: the voter must verify within
+     a modest budget — this is the portfolio's Table II crossover. *)
+  let g = Gen.Control.voter ~n:21 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  match Bdd.check ~node_limit:200_000 m with
+  | `Equivalent -> ()
+  | `Node_limit -> Alcotest.fail "voter BDD should stay small"
+  | `Inequivalent _ -> Alcotest.fail "voter miter is equivalent"
+
+let prop_matches_brute =
+  QCheck.Test.make ~name:"bdd check agrees with brute force" ~count:25
+    Util.arb_seed (fun seed ->
+      let g1 = Util.random_network ~pis:5 ~nodes:30 ~pos:2 seed in
+      let g2 = Util.random_network ~pis:5 ~nodes:30 ~pos:2 (seed + 7) in
+      let miter = Aig.Miter.build g1 g2 in
+      match Bdd.check miter with
+      | `Equivalent -> Util.equivalent_brute g1 g2
+      | `Inequivalent (cex, po) ->
+          (not (Util.equivalent_brute g1 g2)) && Sim.Cex.check miter cex po
+      | `Node_limit -> false)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic ops" `Quick test_basic_ops;
+          Alcotest.test_case "eval/count" `Quick test_eval_count;
+          Alcotest.test_case "ite" `Quick test_ite;
+          Alcotest.test_case "of_output" `Quick test_of_output_matches_aig;
+          Alcotest.test_case "check" `Quick test_check_equivalence;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "voter friendly" `Quick test_voter_friendly;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_matches_brute ]);
+    ]

@@ -1,0 +1,163 @@
+(* Unit and property tests for Bv.Bits: the packed bit-vectors every
+   simulator in the repo is built on. *)
+
+let bits_gen =
+  (* A length and a random vector of that length, as (len, bool list). *)
+  QCheck.Gen.(
+    sized_size (int_range 1 300) (fun len ->
+        map (fun bools -> (len, bools)) (list_size (return len) bool)))
+
+let arb_bits =
+  QCheck.make
+    ~print:(fun (len, bs) ->
+      Printf.sprintf "len=%d %s" len
+        (String.concat "" (List.map (fun b -> if b then "1" else "0") bs)))
+    bits_gen
+
+let of_bools (len, bs) =
+  let v = Bv.Bits.create ~len false in
+  List.iteri (fun i b -> Bv.Bits.set v i b) bs;
+  v
+
+let test_create_get () =
+  let v = Bv.Bits.create ~len:100 false in
+  Alcotest.(check int) "length" 100 (Bv.Bits.length v);
+  Alcotest.(check bool) "zero" true (Bv.Bits.is_zero v);
+  let w = Bv.Bits.create ~len:100 true in
+  Alcotest.(check bool) "ones" true (Bv.Bits.is_ones w);
+  Alcotest.(check int) "popcount" 100 (Bv.Bits.popcount w);
+  Bv.Bits.set v 63 true;
+  Bv.Bits.set v 64 true;
+  Alcotest.(check bool) "bit63" true (Bv.Bits.get v 63);
+  Alcotest.(check bool) "bit64" true (Bv.Bits.get v 64);
+  Alcotest.(check bool) "bit65" false (Bv.Bits.get v 65);
+  Alcotest.(check int) "popcount2" 2 (Bv.Bits.popcount v)
+
+let test_bounds () =
+  let v = Bv.Bits.create ~len:10 false in
+  Alcotest.check_raises "get oob" (Invalid_argument "Bits.get: index out of range")
+    (fun () -> ignore (Bv.Bits.get v 10));
+  Alcotest.check_raises "set oob" (Invalid_argument "Bits.set: index out of range")
+    (fun () -> Bv.Bits.set v (-1) true)
+
+let test_string_roundtrip () =
+  let s = "01101001" in
+  let v = Bv.Bits.of_string s in
+  Alcotest.(check string) "roundtrip" s (Bv.Bits.to_string v);
+  (* Paper convention: leftmost char is the highest pattern index. *)
+  Alcotest.(check bool) "bit0" true (Bv.Bits.get v 0);
+  Alcotest.(check bool) "bit7" false (Bv.Bits.get v 7)
+
+let test_tail_mask () =
+  (* bnot must not set bits beyond the length. *)
+  let v = Bv.Bits.create ~len:70 false in
+  let n = Bv.Bits.bnot v in
+  Alcotest.(check bool) "is_ones" true (Bv.Bits.is_ones n);
+  Alcotest.(check int) "popcount" 70 (Bv.Bits.popcount n);
+  Alcotest.(check bool) "equal create" true (Bv.Bits.equal n (Bv.Bits.create ~len:70 true))
+
+let test_first_diff () =
+  let a = Bv.Bits.create ~len:200 false in
+  let b = Bv.Bits.create ~len:200 false in
+  Alcotest.(check (option int)) "same" None (Bv.Bits.first_diff a b);
+  Bv.Bits.set b 131 true;
+  Alcotest.(check (option int)) "diff" (Some 131) (Bv.Bits.first_diff a b);
+  Bv.Bits.set b 7 true;
+  Alcotest.(check (option int)) "first" (Some 7) (Bv.Bits.first_diff a b)
+
+let test_equal_mod_compl () =
+  let a = Bv.Bits.of_string "1010" in
+  Alcotest.(check bool) "equal" true (Bv.Bits.equal_mod_compl a a = `Equal);
+  Alcotest.(check bool) "compl" true
+    (Bv.Bits.equal_mod_compl a (Bv.Bits.bnot a) = `Compl);
+  Alcotest.(check bool) "diff" true
+    (Bv.Bits.equal_mod_compl a (Bv.Bits.of_string "1011") = `Diff)
+
+let prop_not_involution =
+  QCheck.Test.make ~name:"bnot involution" ~count:200 arb_bits (fun input ->
+      let v = of_bools input in
+      Bv.Bits.equal v (Bv.Bits.bnot (Bv.Bits.bnot v)))
+
+let prop_demorgan =
+  QCheck.Test.make ~name:"de morgan" ~count:200
+    (QCheck.pair arb_bits arb_bits)
+    (fun ((l1, b1), (_, b2)) ->
+      (* Force equal lengths by reusing l1 and padding/truncating b2. *)
+      let b2 =
+        let rec fit n = function
+          | _ when n = 0 -> []
+          | [] -> false :: fit (n - 1) []
+          | x :: rest -> x :: fit (n - 1) rest
+        in
+        fit l1 b2
+      in
+      let a = of_bools (l1, b1) and b = of_bools (l1, b2) in
+      Bv.Bits.equal
+        (Bv.Bits.bnot (Bv.Bits.band a b))
+        (Bv.Bits.bor (Bv.Bits.bnot a) (Bv.Bits.bnot b)))
+
+let prop_popcount_xor =
+  QCheck.Test.make ~name:"popcount of self-xor is 0" ~count:200 arb_bits
+    (fun input ->
+      let v = of_bools input in
+      Bv.Bits.popcount (Bv.Bits.bxor v v) = 0)
+
+let prop_get_matches_list =
+  QCheck.Test.make ~name:"get matches source bools" ~count:200 arb_bits
+    (fun (len, bs) ->
+      let v = of_bools (len, bs) in
+      List.for_all2
+        (fun i b -> Bv.Bits.get v i = b)
+        (List.init len Fun.id) bs)
+
+let prop_and_maybe_not =
+  QCheck.Test.make ~name:"and_maybe_not covers all four polarities" ~count:100
+    (QCheck.pair arb_bits QCheck.(pair bool bool))
+    (fun ((len, bs), (c0, c1)) ->
+      let a = of_bools (len, bs) in
+      let b = Bv.Bits.bnot a in
+      let r = Bv.Bits.and_maybe_not ~c0 a ~c1 b in
+      let expect =
+        Bv.Bits.band
+          (if c0 then Bv.Bits.bnot a else a)
+          (if c1 then Bv.Bits.bnot b else b)
+      in
+      Bv.Bits.equal r expect)
+
+let prop_first_one =
+  QCheck.Test.make ~name:"first_one finds lowest set bit" ~count:200 arb_bits
+    (fun (len, bs) ->
+      let v = of_bools (len, bs) in
+      let expect =
+        let rec go i = function
+          | [] -> None
+          | true :: _ -> Some i
+          | false :: rest -> go (i + 1) rest
+        in
+        go 0 bs
+      in
+      Bv.Bits.first_one v = expect)
+
+let () =
+  Alcotest.run "bits"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create/get/set" `Quick test_create_get;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "tail mask" `Quick test_tail_mask;
+          Alcotest.test_case "first_diff" `Quick test_first_diff;
+          Alcotest.test_case "equal_mod_compl" `Quick test_equal_mod_compl;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_not_involution;
+            prop_demorgan;
+            prop_popcount_xor;
+            prop_get_matches_list;
+            prop_and_maybe_not;
+            prop_first_one;
+          ] );
+    ]

@@ -1,0 +1,186 @@
+(* Cut data structure, Table I selection criteria and priority-cut
+   enumeration. *)
+
+let test_cut_ops () =
+  let a = [| 1; 3; 5 |] and b = [| 3; 4 |] in
+  (match Cuts.Cut.merge ~cap:4 a b with
+  | Some u -> Alcotest.(check (list int)) "union" [ 1; 3; 4; 5 ] (Array.to_list u)
+  | None -> Alcotest.fail "merge fits");
+  Alcotest.(check bool) "over cap" true (Cuts.Cut.merge ~cap:3 a b = None);
+  Alcotest.(check bool) "subset" true (Cuts.Cut.subset [| 3 |] a);
+  Alcotest.(check bool) "not subset" false (Cuts.Cut.subset [| 2 |] a);
+  Alcotest.(check int) "trivial" 1 (Cuts.Cut.size (Cuts.Cut.trivial 9))
+
+let test_similarity () =
+  (* s({a,b}, [{a,b},{a,c}]) = 1 + 1/3. *)
+  let s = Cuts.Cut.similarity [| 1; 2 |] [ [| 1; 2 |]; [| 1; 3 |] ] in
+  Alcotest.(check (float 1e-9)) "jaccard sum" (1. +. (1. /. 3.)) s
+
+let test_criteria_orders () =
+  let fanouts = [| 0; 5; 1; 1 |] and levels = [| 0; 0; 2; 4 |] in
+  let m c = Cuts.Criteria.metrics ~fanouts ~levels c in
+  let hi_fanout = m [| 1 |] (* fanout 5, level 0, size 1 *)
+  and lo_level = m [| 2 |] (* fanout 1, level 2 *)
+  and hi_level = m [| 3 |] (* fanout 1, level 4 *) in
+  let better pass a b = Cuts.Criteria.compare_metrics pass a b < 0 in
+  Alcotest.(check bool) "pass1 prefers fanout" true
+    (better Cuts.Criteria.Fanout_first hi_fanout lo_level);
+  Alcotest.(check bool) "pass2 prefers small level" true
+    (better Cuts.Criteria.Small_level_first lo_level hi_level);
+  Alcotest.(check bool) "pass3 prefers large level" true
+    (better Cuts.Criteria.Large_level_first hi_level lo_level);
+  (* Tie on the main metric falls back to size. *)
+  let small = m [| 2 |] and big = m [| 2; 3 |] in
+  ignore big;
+  let big' = Cuts.Criteria.metrics ~fanouts ~levels [| 2; 2 |] in
+  Alcotest.(check bool) "size tie-break" true
+    (Cuts.Criteria.compare_metrics Cuts.Criteria.Fanout_first small big' <= 0)
+
+let compute_prio g ~k_l ~c ~pass =
+  let fanouts = Aig.Network.fanout_counts g in
+  let levels = Aig.Network.levels g in
+  let prio = Array.make (Aig.Network.num_nodes g) [] in
+  for i = 0 to Aig.Network.num_pis g - 1 do
+    let p = Aig.Network.pi g i in
+    prio.(p) <- [ Cuts.Cut.trivial p ]
+  done;
+  let cfg = { Cuts.Enumerate.k_l; c } in
+  Aig.Network.iter_ands g (fun n ->
+      prio.(n) <-
+        Cuts.Enumerate.node_cuts g cfg ~pass ~fanouts ~levels ~prio
+          ~sim_target:None n);
+  prio
+
+let prop_cuts_are_valid =
+  QCheck.Test.make ~name:"every priority cut bounds its node" ~count:30
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:50 seed in
+      let prio = compute_prio g ~k_l:4 ~c:6 ~pass:Cuts.Criteria.Fanout_first in
+      let ok = ref true in
+      Aig.Network.iter_ands g (fun n ->
+          List.iter
+            (fun cut ->
+              if Array.length cut > 4 then ok := false;
+              if not (Cuts.Cut.check g ~root:n cut) then ok := false)
+            prio.(n));
+      !ok)
+
+let prop_cut_count_bounded =
+  QCheck.Test.make ~name:"at most C cuts per node" ~count:30 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:50 seed in
+      let prio = compute_prio g ~k_l:4 ~c:3 ~pass:Cuts.Criteria.Small_level_first in
+      let ok = ref true in
+      Aig.Network.iter_ands g (fun n ->
+          if List.length prio.(n) > 3 then ok := false);
+      !ok)
+
+let test_enum_levels () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  let x = Aig.Network.add_and g a b in
+  let y = Aig.Network.add_and g x (Aig.Lit.neg b) in
+  let z = Aig.Network.add_and g (Aig.Lit.neg x) b in
+  Aig.Network.add_po g y;
+  Aig.Network.add_po g z;
+  (* Make z a non-representative whose representative is y. *)
+  let repr_of n = if n = Aig.Lit.node z then Aig.Lit.node y else n in
+  let el = Cuts.Enumerate.enum_levels g ~repr_of in
+  Alcotest.(check int) "pi level" 0 el.(Aig.Lit.node a);
+  Alcotest.(check int) "x" 1 el.(Aig.Lit.node x);
+  Alcotest.(check int) "y (repr)" 2 el.(Aig.Lit.node y);
+  (* z structurally has level 2 but must wait for its representative y. *)
+  Alcotest.(check int) "z waits for repr" 3 el.(Aig.Lit.node z)
+
+let prop_enum_levels_dependencies =
+  QCheck.Test.make ~name:"enum levels respect fanin+repr dependencies"
+    ~count:30 Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 seed in
+      (* Arbitrary repr assignment: even AND nodes point to an earlier odd
+         AND node when possible. *)
+      let ands = ref [] in
+      Aig.Network.iter_ands g (fun n -> ands := n :: !ands);
+      let ands = Array.of_list (List.rev !ands) in
+      let repr_of n =
+        if Array.length ands > 0 && n mod 3 = 0 && Aig.Network.is_and g n then begin
+          let r = ands.(0) in
+          if r < n then r else n
+        end
+        else n
+      in
+      let el = Cuts.Enumerate.enum_levels g ~repr_of in
+      let ok = ref true in
+      Aig.Network.iter_ands g (fun n ->
+          let f0 = Aig.Lit.node (Aig.Network.fanin0 g n) in
+          let f1 = Aig.Lit.node (Aig.Network.fanin1 g n) in
+          if el.(n) <= max el.(f0) el.(f1) then ok := false;
+          let r = repr_of n in
+          if r <> n && el.(n) <= el.(r) then ok := false);
+      !ok)
+
+let prop_common_cuts_valid_for_both =
+  QCheck.Test.make ~name:"common cuts bound both pair nodes" ~count:20
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 seed in
+      let prio = compute_prio g ~k_l:5 ~c:4 ~pass:Cuts.Criteria.Fanout_first in
+      (* Pick two AND nodes and intersect their cut spaces. *)
+      let ands = ref [] in
+      Aig.Network.iter_ands g (fun n -> ands := n :: !ands);
+      match !ands with
+      | n1 :: n2 :: _ ->
+          let common = Cuts.Enumerate.common_cuts ~k_l:5 prio.(n2) prio.(n1) in
+          List.for_all
+            (fun cut ->
+              Cuts.Cut.check g ~root:n1 cut && Cuts.Cut.check g ~root:n2 cut)
+            common
+      | _ -> true)
+
+let test_similarity_steering () =
+  (* With similarity steering, a non-representative prefers cuts close to
+     its representative's. *)
+  let g = Gen.Arith.adder ~bits:4 in
+  let fanouts = Aig.Network.fanout_counts g in
+  let levels = Aig.Network.levels g in
+  let prio = compute_prio g ~k_l:4 ~c:4 ~pass:Cuts.Criteria.Fanout_first in
+  (* Choose some node with at least two cuts; steer toward its own set. *)
+  let target = ref None in
+  Aig.Network.iter_ands g (fun n ->
+      if !target = None && List.length prio.(n) >= 3 then target := Some n);
+  match !target with
+  | None -> Alcotest.fail "no node with enough cuts"
+  | Some n ->
+      let cfg = { Cuts.Enumerate.k_l = 4; c = 2 } in
+      let steered =
+        Cuts.Enumerate.node_cuts g cfg ~pass:Cuts.Criteria.Fanout_first ~fanouts
+          ~levels ~prio ~sim_target:(Some prio.(n)) n
+      in
+      let sim_of cuts =
+        List.fold_left (fun acc c -> acc +. Cuts.Cut.similarity c prio.(n)) 0. cuts
+      in
+      let unsteered =
+        Cuts.Enumerate.node_cuts g cfg ~pass:Cuts.Criteria.Large_level_first
+          ~fanouts ~levels ~prio ~sim_target:None n
+      in
+      Alcotest.(check bool) "steered similarity at least as high" true
+        (sim_of steered +. 1e-9 >= sim_of unsteered)
+
+let () =
+  Alcotest.run "cuts"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cut ops" `Quick test_cut_ops;
+          Alcotest.test_case "similarity" `Quick test_similarity;
+          Alcotest.test_case "criteria" `Quick test_criteria_orders;
+          Alcotest.test_case "enum levels" `Quick test_enum_levels;
+          Alcotest.test_case "similarity steering" `Quick test_similarity_steering;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cuts_are_valid;
+            prop_cut_count_bounded;
+            prop_enum_levels_dependencies;
+            prop_common_cuts_valid_for_both;
+          ] );
+    ]

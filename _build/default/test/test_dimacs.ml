@@ -1,0 +1,111 @@
+(* DIMACS parsing, rendering and miter export. *)
+
+let test_parse_basic () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  match Sat.Dimacs.parse text with
+  | Ok (3, [ [ 1; -2 ]; [ 2; 3 ] ]) -> ()
+  | Ok (v, cs) -> Alcotest.failf "wrong parse: %d vars %d clauses" v (List.length cs)
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_parse_multiline_clause () =
+  (* A clause may span lines; 0 terminates. *)
+  let text = "p cnf 4 1\n1 2\n3 4 0\n" in
+  match Sat.Dimacs.parse text with
+  | Ok (4, [ [ 1; 2; 3; 4 ] ]) -> ()
+  | _ -> Alcotest.fail "expected one 4-literal clause"
+
+let test_parse_errors () =
+  let bad text =
+    match Sat.Dimacs.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error for %S" text
+  in
+  bad "";
+  bad "1 2 0\n";
+  bad "p cnf x 1\n";
+  bad "p cnf 2 1\n1 5 0\n";
+  bad "p cnf 2 1\n1 two 0\n"
+
+let test_roundtrip () =
+  let clauses = [ [ 1; -2 ]; [ 3 ]; [ -1; -3; 2 ] ] in
+  let text = Sat.Dimacs.to_string ~nvars:3 clauses in
+  match Sat.Dimacs.parse text with
+  | Ok (3, cs) -> Alcotest.(check bool) "same clauses" true (cs = clauses)
+  | _ -> Alcotest.fail "roundtrip failed"
+
+let test_load_and_solve () =
+  let s = Sat.Solver.create () in
+  (match Sat.Dimacs.load s "p cnf 2 3\n1 2 0\n-1 0\n-2 0\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "load: %s" e);
+  Alcotest.(check bool) "unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+
+let test_of_miter_equivalent () =
+  (* Equivalent pair: the exported formula must be UNSAT. *)
+  let g = Gen.Arith.adder ~bits:4 in
+  let m = Aig.Miter.build g (Opt.Xorflip.run g) in
+  let text = Sat.Dimacs.of_miter m in
+  let s = Sat.Solver.create () in
+  (match Sat.Dimacs.load s text with
+  | Ok true -> Alcotest.(check bool) "unsat" true (Sat.Solver.solve s = Sat.Solver.Unsat)
+  | Ok false -> () (* trivially unsat is also a proof *)
+  | Error e -> Alcotest.failf "load: %s" e)
+
+let test_of_miter_inequivalent () =
+  let g = Gen.Arith.adder ~bits:4 in
+  let bad = Aig.Network.copy g in
+  Aig.Network.set_po bad 2 (Aig.Lit.neg (Aig.Network.po bad 2));
+  let m = Aig.Miter.build g bad in
+  let text = Sat.Dimacs.of_miter m in
+  let s = Sat.Solver.create () in
+  match Sat.Dimacs.load s text with
+  | Ok true -> (
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat ->
+          (* The model restricted to the PIs must be a genuine CEX. *)
+          let cex =
+            Array.init (Aig.Network.num_pis m) (fun i ->
+                Sat.Solver.model_value s (Aig.Network.pi m i))
+          in
+          Alcotest.(check bool) "model is a cex" true
+            (List.exists (fun po -> Sim.Cex.check m cex po)
+               (List.init (Aig.Network.num_pos m) Fun.id))
+      | _ -> Alcotest.fail "expected SAT")
+  | Ok false -> Alcotest.fail "unexpected trivial unsat"
+  | Error e -> Alcotest.failf "load: %s" e
+
+let prop_export_matches_sweep =
+  QCheck.Test.make ~name:"of_miter verdict matches the sweeping checker"
+    ~count:20 Util.arb_seed (fun seed ->
+      Util.with_pool (fun pool ->
+          let g1 = Util.random_network ~pis:5 ~nodes:30 ~pos:3 seed in
+          let g2 =
+            if seed mod 2 = 0 then Opt.Xorflip.run g1
+            else Util.random_network ~pis:5 ~nodes:30 ~pos:3 (seed + 2)
+          in
+          let m = Aig.Miter.build g1 g2 in
+          let s = Sat.Solver.create () in
+          let dimacs_unsat =
+            match Sat.Dimacs.load s (Sat.Dimacs.of_miter m) with
+            | Ok false -> true
+            | Ok true -> Sat.Solver.solve s = Sat.Solver.Unsat
+            | Error _ -> false
+          in
+          let sweep_eq = fst (Sat.Sweep.check ~pool m) = Sat.Sweep.Equivalent in
+          dimacs_unsat = sweep_eq))
+
+let () =
+  Alcotest.run "dimacs"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "parse basic" `Quick test_parse_basic;
+          Alcotest.test_case "multiline clause" `Quick test_parse_multiline_clause;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "load+solve" `Quick test_load_and_solve;
+          Alcotest.test_case "miter equivalent" `Quick test_of_miter_equivalent;
+          Alcotest.test_case "miter inequivalent" `Quick test_of_miter_inequivalent;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_export_matches_sweep ]);
+    ]

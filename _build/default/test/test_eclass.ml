@@ -1,0 +1,178 @@
+(* Equivalence-class manager: grouping, refinement, pair generation,
+   renaming across reductions. *)
+
+let mk_xor_copies () =
+  (* Network with two structurally different XORs and one unrelated node. *)
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  let x1 = Aig.Network.add_xor g a b in
+  let u = Aig.Network.add_and g a (Aig.Lit.neg b) in
+  let v = Aig.Network.add_and g (Aig.Lit.neg a) b in
+  let nxor = Aig.Network.add_and g (Aig.Lit.neg u) (Aig.Lit.neg v) in
+  (* nxor is the complement of x1's node function *)
+  let other = Aig.Network.add_and g a b in
+  Aig.Network.add_po g x1;
+  Aig.Network.add_po g (Aig.Lit.neg nxor);
+  Aig.Network.add_po g other;
+  (g, Aig.Lit.node x1, Aig.Lit.node nxor)
+
+let classes_of g =
+  Util.with_pool (fun pool ->
+      let rng = Sim.Rng.create ~seed:123L in
+      let sigs = Sim.Psim.run g ~nwords:4 ~rng ~pool ~embed:[] in
+      Sim.Eclass.of_sigs g sigs ())
+
+let test_grouping_with_phase () =
+  let g, nx, nnx = mk_xor_copies () in
+  let classes = classes_of g in
+  (* x1 and nxor must share a class with complementary phases. *)
+  let found =
+    List.exists
+      (fun c ->
+        let members = Array.to_list c in
+        List.mem_assoc nx members && List.mem_assoc nnx members
+        && List.assoc nx members <> List.assoc nnx members)
+      (Sim.Eclass.classes classes)
+  in
+  Alcotest.(check bool) "xor and xnor grouped with opposite phase" true found
+
+let test_pairs () =
+  let g, nx, nnx = mk_xor_copies () in
+  let classes = classes_of g in
+  let pairs = Sim.Eclass.pairs classes in
+  let p =
+    List.find_opt
+      (fun { Sim.Eclass.repr; other; _ } -> repr = min nx nnx && other = max nx nnx)
+      pairs
+  in
+  match p with
+  | Some { Sim.Eclass.compl_; _ } ->
+      Alcotest.(check bool) "complement flag" true compl_
+  | None -> Alcotest.fail "expected the xor/xnor pair"
+
+let test_refine_splits () =
+  Util.with_pool (fun pool ->
+      (* a&b and a&c look identical if b=c on all patterns; embedding a
+         distinguishing pattern must split them. *)
+      let g = Aig.Network.create () in
+      let a = Aig.Network.add_pi g
+      and b = Aig.Network.add_pi g
+      and c = Aig.Network.add_pi g in
+      let x = Aig.Network.add_and g a b in
+      let y = Aig.Network.add_and g a c in
+      Aig.Network.add_po g x;
+      Aig.Network.add_po g y;
+      (* Craft signatures where b = c: embed all patterns explicitly. *)
+      let rng = Sim.Rng.create ~seed:9L in
+      let same = List.init 8 (fun i -> [| i land 1 = 1; i land 2 = 2; i land 2 = 2 |]) in
+      let sigs0 =
+        Sim.Psim.run g ~nwords:1 ~rng ~pool
+          ~embed:(same @ List.init 56 (fun _ -> [| false; false; false |]))
+      in
+      let classes = Sim.Eclass.of_sigs g sigs0 () in
+      let in_same_class =
+        List.exists
+          (fun cl ->
+            let ms = Array.to_list cl in
+            List.mem_assoc (Aig.Lit.node x) ms && List.mem_assoc (Aig.Lit.node y) ms)
+          (Sim.Eclass.classes classes)
+      in
+      Alcotest.(check bool) "initially together" true in_same_class;
+      (* Distinguishing pattern a=1 b=1 c=0 splits them. *)
+      let rng = Sim.Rng.create ~seed:10L in
+      let sigs1 =
+        Sim.Psim.run g ~nwords:1 ~rng ~pool ~embed:[ [| true; true; false |] ]
+      in
+      let refined = Sim.Eclass.refine classes sigs1 in
+      let still_together =
+        List.exists
+          (fun cl ->
+            let ms = Array.to_list cl in
+            List.mem_assoc (Aig.Lit.node x) ms && List.mem_assoc (Aig.Lit.node y) ms)
+          (Sim.Eclass.classes refined)
+      in
+      Alcotest.(check bool) "split after refinement" false still_together)
+
+let test_remove () =
+  let g, nx, nnx = mk_xor_copies () in
+  let classes = classes_of g in
+  let dropped = Hashtbl.create 4 in
+  Hashtbl.replace dropped (max nx nnx) ();
+  let classes' = Sim.Eclass.remove classes dropped in
+  let any_left =
+    List.exists
+      (fun c -> Array.exists (fun (n, _) -> n = max nx nnx) c)
+      (Sim.Eclass.classes classes')
+  in
+  Alcotest.(check bool) "node removed" false any_left
+
+let test_map_nodes () =
+  let g, nx, nnx = mk_xor_copies () in
+  let classes = classes_of g in
+  (* Rename with a shift and a complement: phases must adjust. *)
+  let f n = Some (Aig.Lit.make (n + 100) (n = nnx)) in
+  let mapped = Sim.Eclass.map_nodes classes f in
+  let found =
+    List.exists
+      (fun c ->
+        let ms = Array.to_list c in
+        match (List.assoc_opt (nx + 100) ms, List.assoc_opt (nnx + 100) ms) with
+        | Some p1, Some p2 ->
+            (* Original phases differed; the extra complement on nnx makes
+               them equal now. *)
+            p1 = p2
+        | _ -> false)
+      (Sim.Eclass.classes mapped)
+  in
+  Alcotest.(check bool) "phase folded through complement" true found;
+  (* Dropping a node via None removes it. *)
+  let dropped = Sim.Eclass.map_nodes classes (fun n -> if n = nx then None else Some (Aig.Lit.make n false)) in
+  let still =
+    List.exists
+      (fun c -> Array.exists (fun (n, _) -> n = nx) c)
+      (Sim.Eclass.classes dropped)
+  in
+  Alcotest.(check bool) "dropped node gone" false still
+
+let prop_representative_is_min =
+  QCheck.Test.make ~name:"representative is the class minimum" ~count:40
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:5 ~nodes:60 seed in
+      let classes = classes_of g in
+      List.for_all
+        (fun c ->
+          let repr, ph = c.(0) in
+          (not ph)
+          && Array.for_all (fun (n, _) -> n >= repr) c
+          && Array.length c >= 2)
+        (Sim.Eclass.classes classes))
+
+let prop_classes_disjoint =
+  QCheck.Test.make ~name:"classes are disjoint" ~count:40 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~pis:5 ~nodes:60 seed in
+      let classes = classes_of g in
+      let seen = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (Array.iter (fun (n, _) ->
+             if Hashtbl.mem seen n then ok := false;
+             Hashtbl.replace seen n ()))
+        (Sim.Eclass.classes classes);
+      !ok)
+
+let () =
+  Alcotest.run "eclass"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "grouping with phase" `Quick test_grouping_with_phase;
+          Alcotest.test_case "pairs" `Quick test_pairs;
+          Alcotest.test_case "refine splits" `Quick test_refine_splits;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "map_nodes" `Quick test_map_nodes;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_representative_is_min; prop_classes_disjoint ] );
+    ]

@@ -1,0 +1,203 @@
+(* Benchmark generators: functional correctness of the arithmetic circuits
+   against integer reference computations, interface shapes, doubling and
+   the Table II suite. *)
+
+let eval_vec g cex lo len =
+  (* Integer value of POs [lo, lo+len) under the assignment. *)
+  let v = ref 0 in
+  for i = 0 to len - 1 do
+    if Sim.Cex.check g cex (lo + i) then v := !v lor (1 lsl i)
+  done;
+  !v
+
+let input_assignment widths values total =
+  let cex = Array.make total false in
+  let off = ref 0 in
+  List.iter2
+    (fun w v ->
+      for i = 0 to w - 1 do
+        cex.(!off + i) <- (v lsr i) land 1 = 1
+      done;
+      off := !off + w)
+    widths values;
+  cex
+
+let test_adder () =
+  let bits = 5 in
+  let g = Gen.Arith.adder ~bits in
+  for _ = 1 to 50 do
+    let a = Random.int 32 and b = Random.int 32 in
+    let cex = input_assignment [ bits; bits ] [ a; b ] (2 * bits) in
+    Alcotest.(check int) (Printf.sprintf "%d+%d" a b) (a + b)
+      (eval_vec g cex 0 (bits + 1))
+  done
+
+let test_multiplier_square () =
+  let bits = 5 in
+  let g = Gen.Arith.multiplier ~bits in
+  let s = Gen.Arith.square ~bits in
+  for _ = 1 to 50 do
+    let a = Random.int 32 and b = Random.int 32 in
+    let cex = input_assignment [ bits; bits ] [ a; b ] (2 * bits) in
+    Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b)
+      (eval_vec g cex 0 (2 * bits));
+    let cexs = input_assignment [ bits ] [ a ] bits in
+    Alcotest.(check int) (Printf.sprintf "%d^2" a) (a * a)
+      (eval_vec s cexs 0 (2 * bits))
+  done
+
+let test_sqrt () =
+  let bits = 10 in
+  let g = Gen.Arith.sqrt ~bits in
+  for x = 0 to 1023 do
+    let cex = input_assignment [ bits ] [ x ] bits in
+    let expect = int_of_float (Float.sqrt (float_of_int x)) in
+    (* Guard against float rounding at perfect squares. *)
+    let expect = if (expect + 1) * (expect + 1) <= x then expect + 1 else expect in
+    let expect = if expect * expect > x then expect - 1 else expect in
+    Alcotest.(check int) (Printf.sprintf "isqrt %d" x) expect (eval_vec g cex 0 (bits / 2))
+  done
+
+let test_hypot () =
+  let bits = 4 in
+  let g = Gen.Arith.hypot ~bits in
+  let out_bits = Aig.Network.num_pos g in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let cex = input_assignment [ bits; bits ] [ a; b ] (2 * bits) in
+      let s = (a * a) + (b * b) in
+      let expect =
+        let r = int_of_float (Float.sqrt (float_of_int s)) in
+        let r = if (r + 1) * (r + 1) <= s then r + 1 else r in
+        if r * r > s then r - 1 else r
+      in
+      Alcotest.(check int) (Printf.sprintf "hypot %d %d" a b) expect
+        (eval_vec g cex 0 out_bits)
+    done
+  done
+
+let test_log2_integer_part () =
+  let bits = 8 in
+  let g = Gen.Arith.log2 ~bits ~frac:2 in
+  (* PO 0 is the validity flag; POs 1..3 the leading-one position. *)
+  for x = 1 to 255 do
+    let cex = input_assignment [ bits ] [ x ] bits in
+    Alcotest.(check bool) "valid" true (Sim.Cex.check g cex 0);
+    let expect = int_of_float (Float.log2 (float_of_int x)) in
+    Alcotest.(check int) (Printf.sprintf "ilog2 %d" x) expect (eval_vec g cex 1 3)
+  done;
+  let zero = input_assignment [ bits ] [ 0 ] bits in
+  Alcotest.(check bool) "invalid on zero" false (Sim.Cex.check g zero 0)
+
+let test_voter () =
+  let n = 9 in
+  let g = Gen.Control.voter ~n in
+  for m = 0 to (1 lsl n) - 1 do
+    let cex = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+    let pop = Array.fold_left (fun acc b -> acc + Bool.to_int b) 0 cex in
+    if Sim.Cex.check g cex 0 <> (pop > n / 2) then
+      Alcotest.failf "voter wrong at %d" m
+  done
+
+let test_regfile_read () =
+  let g = Gen.Control.regfile ~regs:4 ~width:4 in
+  (* Interface: waddr(2) raddr(2) wdata(4) wen(1) regs(4*4). *)
+  let total = Aig.Network.num_pis g in
+  Alcotest.(check int) "pis" (2 + 2 + 4 + 1 + 16) total;
+  (* With wen=0 the next state equals the current state, and the read port
+     returns the addressed register. *)
+  let cex = Array.make total false in
+  (* raddr = 2 *)
+  cex.(3) <- true;
+  (* reg2 = 0b1010: regs start at index 9, reg2 at 9 + 8. *)
+  cex.(9 + 8 + 1) <- true;
+  cex.(9 + 8 + 3) <- true;
+  (* Outputs: 4 regs * 4 bits of next-state, then 4 bits of rdata. *)
+  let rdata = eval_vec g cex 16 4 in
+  Alcotest.(check int) "read reg2" 0b1010 rdata;
+  (* Next state of reg2 unchanged. *)
+  Alcotest.(check int) "reg2 kept" 0b1010 (eval_vec g cex 8 4)
+
+let test_display_interface () =
+  let g = Gen.Control.display ~hbits:6 ~vbits:5 in
+  Alcotest.(check bool) "pos" true (Aig.Network.num_pos g > 10);
+  Alcotest.(check bool) "shallow" true (Aig.Network.depth g < 30)
+
+let test_sin_shape () =
+  let g = Gen.Arith.sin ~bits:6 ~iters:6 in
+  Alcotest.(check int) "pis" 6 (Aig.Network.num_pis g);
+  Alcotest.(check bool) "substantial" true (Aig.Network.num_ands g > 200)
+
+let test_double () =
+  let g = Gen.Arith.adder ~bits:3 in
+  let d = Gen.Double.double g in
+  Alcotest.(check int) "pis doubled" (2 * Aig.Network.num_pis g) (Aig.Network.num_pis d);
+  Alcotest.(check int) "pos doubled" (2 * Aig.Network.num_pos g) (Aig.Network.num_pos d);
+  (* The two halves are independent: evaluate different sums. *)
+  let cex = Array.make 12 false in
+  (* first copy: 3 + 2; second copy: 7 + 1 *)
+  cex.(0) <- true; cex.(1) <- true; (* a1 = 3 *)
+  cex.(4) <- true; (* b1 = 2 *)
+  cex.(6) <- true; cex.(7) <- true; cex.(8) <- true; (* a2 = 7 *)
+  cex.(9) <- true; (* b2 = 1 *)
+  let v1 = ref 0 and v2 = ref 0 in
+  for i = 0 to 3 do
+    if Sim.Cex.check d cex i then v1 := !v1 lor (1 lsl i);
+    if Sim.Cex.check d cex (4 + i) then v2 := !v2 lor (1 lsl i)
+  done;
+  Alcotest.(check int) "copy 1" 5 !v1;
+  Alcotest.(check int) "copy 2" 8 !v2;
+  let t2 = Gen.Double.times 2 g in
+  Alcotest.(check int) "times 2" (4 * Aig.Network.num_pis g) (Aig.Network.num_pis t2)
+
+let test_suite_names () =
+  Alcotest.(check int) "nine cases" 9 (List.length Gen.Suite.names);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("known name " ^ n) true (List.mem n Gen.Suite.names))
+    [ "hyp"; "log2"; "multiplier"; "sqrt"; "square"; "voter"; "sin"; "ac97_ctrl"; "vga_lcd" ]
+
+let test_suite_miters_nontrivial () =
+  (* Scale 0 (no doubling) keeps this fast; each miter must be a real
+     problem: correct interface, unsolved initially. *)
+  List.iter
+    (fun name ->
+      let case = Gen.Suite.build ~scale:0 name in
+      Alcotest.(check int) (name ^ " pis")
+        (Aig.Network.num_pis case.Gen.Suite.original)
+        (Aig.Network.num_pis case.Gen.Suite.miter);
+      Alcotest.(check bool) (name ^ " non-trivial") false
+        (Aig.Miter.solved case.Gen.Suite.miter))
+    [ "multiplier"; "square"; "voter"; "ac97_ctrl" ]
+
+let prop_random_logic_shape =
+  QCheck.Test.make ~name:"random_logic respects interface" ~count:30
+    Util.arb_seed (fun seed ->
+      let g =
+        Gen.Control.random_logic ~pis:7 ~nodes:30 ~pos:5 ~seed:(Int64.of_int seed)
+      in
+      Aig.Network.num_pis g = 7
+      && Aig.Network.num_pos g = 5
+      && Aig.Network.check g = Ok ())
+
+let () =
+  Random.self_init ();
+  Alcotest.run "gen"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "adder" `Quick test_adder;
+          Alcotest.test_case "multiplier/square" `Quick test_multiplier_square;
+          Alcotest.test_case "sqrt" `Quick test_sqrt;
+          Alcotest.test_case "hypot" `Quick test_hypot;
+          Alcotest.test_case "log2 integer part" `Quick test_log2_integer_part;
+          Alcotest.test_case "voter" `Quick test_voter;
+          Alcotest.test_case "regfile" `Quick test_regfile_read;
+          Alcotest.test_case "display" `Quick test_display_interface;
+          Alcotest.test_case "sin shape" `Quick test_sin_shape;
+          Alcotest.test_case "double" `Quick test_double;
+          Alcotest.test_case "suite names" `Quick test_suite_names;
+          Alcotest.test_case "suite miters" `Quick test_suite_miters_nontrivial;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_random_logic_shape ]);
+    ]

@@ -1,0 +1,109 @@
+(* k-LUT mapping: structural legality, quality orderings and — the part
+   that matters for this repo — post-mapping equivalence checking. *)
+
+let test_legal_mapping () =
+  let g = Gen.Arith.multiplier ~bits:6 in
+  let m = Lutmap.Mapper.map ~k:6 g in
+  (* Every LUT obeys the input bound and its cut bounds its root. *)
+  List.iter
+    (fun (l : Lutmap.Mapper.lut) ->
+      Alcotest.(check bool) "within k" true (Array.length l.Lutmap.Mapper.inputs <= 6);
+      Alcotest.(check bool) "valid cut" true
+        (Cuts.Cut.check g ~root:l.Lutmap.Mapper.root l.Lutmap.Mapper.inputs))
+    m.Lutmap.Mapper.luts;
+  (* The cover is closed: every non-PI LUT input is some LUT's root. *)
+  let roots = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Lutmap.Mapper.lut) -> Hashtbl.replace roots l.Lutmap.Mapper.root ())
+    m.Lutmap.Mapper.luts;
+  List.iter
+    (fun (l : Lutmap.Mapper.lut) ->
+      Array.iter
+        (fun i ->
+          if Aig.Network.is_and g i then
+            Alcotest.(check bool) "input covered" true (Hashtbl.mem roots i))
+        l.Lutmap.Mapper.inputs)
+    m.Lutmap.Mapper.luts;
+  Alcotest.(check bool) "fewer LUTs than ANDs" true
+    (Lutmap.Mapper.lut_count m < Aig.Network.num_ands g);
+  Alcotest.(check bool) "depth shrinks" true
+    (m.Lutmap.Mapper.depth < Aig.Network.depth g);
+  let hist = Lutmap.Mapper.input_histogram m in
+  Alcotest.(check int) "histogram total" (Lutmap.Mapper.lut_count m)
+    (Array.fold_left ( + ) 0 hist)
+
+let test_k_ordering () =
+  (* Wider LUTs can only help area and depth. *)
+  let g = Gen.Arith.adder ~bits:12 in
+  let m4 = Lutmap.Mapper.map ~k:4 g in
+  let m6 = Lutmap.Mapper.map ~k:6 g in
+  Alcotest.(check bool) "k6 area <= k4" true
+    (Lutmap.Mapper.lut_count m6 <= Lutmap.Mapper.lut_count m4);
+  Alcotest.(check bool) "k6 depth <= k4" true
+    (m6.Lutmap.Mapper.depth <= m4.Lutmap.Mapper.depth)
+
+let test_bad_k () =
+  Alcotest.check_raises "k too big" (Invalid_argument "Mapper.map: k must be in [2, 8]")
+    (fun () -> ignore (Lutmap.Mapper.map ~k:9 (Gen.Arith.adder ~bits:2)))
+
+let prop_to_network_equivalent =
+  QCheck.Test.make ~name:"mapped netlist is functionally equivalent" ~count:30
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 ~pos:4 seed in
+      let m = Lutmap.Mapper.map ~k:4 g in
+      Util.equivalent_brute g (Lutmap.Mapper.to_network m))
+
+let prop_arith_equivalent =
+  QCheck.Test.make ~name:"mapping arithmetic circuits is sound" ~count:6
+    (QCheck.int_range 3 6) (fun bits ->
+      let g = Gen.Arith.multiplier ~bits in
+      Util.equivalent_brute g (Lutmap.Mapper.to_network (Lutmap.Mapper.map ~k:5 g)))
+
+let test_post_mapping_cec () =
+  (* The industrial workload: original RTL-ish AIG vs its mapped netlist,
+     decided by the simulation engine with SAT fallback. *)
+  Util.with_pool (fun pool ->
+      let g = Gen.Arith.multiplier ~bits:7 in
+      let mapped = Lutmap.Mapper.to_network (Lutmap.Mapper.map ~k:6 g) in
+      let miter = Aig.Miter.build g mapped in
+      Alcotest.(check bool) "non-trivial miter" false (Aig.Miter.solved miter);
+      let c = Simsweep.Engine.check_with_fallback ~pool miter in
+      Alcotest.(check bool) "post-mapping check passes" true
+        (c.Simsweep.Engine.final = Simsweep.Engine.Proved))
+
+let test_broken_mapping_caught () =
+  (* Corrupt one LUT's function: the checker must catch it. *)
+  Util.with_pool (fun pool ->
+      let g = Gen.Arith.adder ~bits:6 in
+      let m = Lutmap.Mapper.map ~k:4 g in
+      let broken =
+        {
+          m with
+          Lutmap.Mapper.luts =
+            (match m.Lutmap.Mapper.luts with
+            | l :: rest -> { l with Lutmap.Mapper.tt = Bv.Tt.bnot l.Lutmap.Mapper.tt } :: rest
+            | [] -> []);
+        }
+      in
+      let miter = Aig.Miter.build g (Lutmap.Mapper.to_network broken) in
+      match (Simsweep.Engine.check_with_fallback ~pool miter).Simsweep.Engine.final with
+      | Simsweep.Engine.Disproved (cex, po) ->
+          Alcotest.(check bool) "cex valid" true (Sim.Cex.check miter cex po)
+      | Simsweep.Engine.Proved -> Alcotest.fail "broken mapping accepted"
+      | Simsweep.Engine.Undecided -> Alcotest.fail "undecided")
+
+let () =
+  Alcotest.run "mapper"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "legal mapping" `Quick test_legal_mapping;
+          Alcotest.test_case "k ordering" `Quick test_k_ordering;
+          Alcotest.test_case "bad k" `Quick test_bad_k;
+          Alcotest.test_case "post-mapping CEC" `Quick test_post_mapping_cec;
+          Alcotest.test_case "broken mapping caught" `Quick test_broken_mapping_caught;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_to_network_equivalent; prop_arith_equivalent ] );
+    ]

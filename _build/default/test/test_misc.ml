@@ -1,0 +1,85 @@
+(* Remaining public surface: the int vector, Dot export, configuration
+   invariants and a full-suite integration run of the combined checker. *)
+
+let test_vec () =
+  let v = Aig.Vec.create () in
+  Alcotest.(check int) "empty" 0 (Aig.Vec.length v);
+  for i = 0 to 99 do
+    Aig.Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Aig.Vec.length v);
+  Alcotest.(check int) "get" 81 (Aig.Vec.get v 9);
+  Aig.Vec.set v 9 7;
+  Alcotest.(check int) "set" 7 (Aig.Vec.get v 9);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get: index out of range")
+    (fun () -> ignore (Aig.Vec.get v 100));
+  let sum = ref 0 in
+  Aig.Vec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check bool) "iter" true (!sum > 0);
+  let arr = Aig.Vec.to_array v in
+  Alcotest.(check int) "to_array" 100 (Array.length arr);
+  let v2 = Aig.Vec.of_array arr in
+  Alcotest.(check int) "of_array" 7 (Aig.Vec.get v2 9);
+  Aig.Vec.clear v;
+  Alcotest.(check int) "clear" 0 (Aig.Vec.length v)
+
+let test_dot () =
+  let g = Gen.Arith.adder ~bits:2 in
+  let s = Aig.Dot.to_string g in
+  Alcotest.(check bool) "digraph" true
+    (String.length s > 20 && String.sub s 0 7 = "digraph");
+  (* Every PI, PO and AND must appear. *)
+  for i = 0 to Aig.Network.num_pis g - 1 do
+    let needle = Printf.sprintf "label=\"x%d\"" i in
+    if
+      not
+        (let re = Str.regexp_string needle in
+         try
+           ignore (Str.search_forward re s 0);
+           true
+         with Not_found -> false)
+    then Alcotest.failf "missing PI %d" i
+  done;
+  Alcotest.check_raises "size limit"
+    (Invalid_argument "Dot.to_string: network too large to plot") (fun () ->
+      ignore (Aig.Dot.to_string ~max_nodes:10 (Gen.Arith.multiplier ~bits:8)))
+
+let test_config_defaults () =
+  let c = Simsweep.Config.default in
+  (* The paper's parameter values (§IV). *)
+  Alcotest.(check int) "k_P" 32 c.Simsweep.Config.k_cap_p;
+  Alcotest.(check int) "k_p" 16 c.Simsweep.Config.k_p;
+  Alcotest.(check int) "k_g" 16 c.Simsweep.Config.k_g;
+  Alcotest.(check int) "k_l" 8 c.Simsweep.Config.k_l;
+  Alcotest.(check int) "C" 8 c.Simsweep.Config.c;
+  Alcotest.(check bool) "k_P > k_p (paper requires)" true
+    (c.Simsweep.Config.k_cap_p > c.Simsweep.Config.k_p);
+  Alcotest.(check int) "three passes" 3 (List.length c.Simsweep.Config.passes);
+  let s = Simsweep.Config.scaled in
+  Alcotest.(check bool) "scaled keeps ordering" true
+    (s.Simsweep.Config.k_cap_p > s.Simsweep.Config.k_p)
+
+let suite_case name =
+  Util.with_pool (fun pool ->
+      let case = Gen.Suite.build ~scale:0 name in
+      let c =
+        Simsweep.Engine.check_with_fallback ~config:Simsweep.Config.scaled ~pool
+          case.Gen.Suite.miter
+      in
+      Alcotest.(check bool) (name ^ " verified") true
+        (c.Simsweep.Engine.final = Simsweep.Engine.Proved))
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "vec" `Quick test_vec;
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "config defaults" `Quick test_config_defaults;
+        ] );
+      ( "suite-integration",
+        List.map
+          (fun name -> Alcotest.test_case name `Slow (fun () -> suite_case name))
+          Gen.Suite.names );
+    ]

@@ -1,0 +1,133 @@
+(* Miter construction and miter reduction (node merging + sweep). *)
+
+let test_miter_identical () =
+  (* Two copies of the same network strash together: trivially solved. *)
+  let g = Util.random_network ~pis:5 ~nodes:30 17 in
+  let m = Aig.Miter.build g (Aig.Network.copy g) in
+  Alcotest.(check bool) "solved" true (Aig.Miter.solved m);
+  Alcotest.(check bool) "no unsolved" true (Aig.Miter.unsolved_outputs m = [])
+
+let test_miter_semantics () =
+  (* The miter output is the XOR of the two circuits' outputs. *)
+  let g1 = Util.random_network ~pis:5 ~nodes:30 ~pos:2 3 in
+  let g2 = Util.random_network ~pis:5 ~nodes:30 ~pos:2 4 in
+  let m = Aig.Miter.build g1 g2 in
+  for pat = 0 to 31 do
+    let cex = Array.init 5 (fun i -> (pat lsr i) land 1 = 1) in
+    let o1 = Util.eval_outputs g1 cex
+    and o2 = Util.eval_outputs g2 cex
+    and om = Util.eval_outputs m cex in
+    Array.iteri
+      (fun i x ->
+        Alcotest.(check bool)
+          (Printf.sprintf "po %d pat %d" i pat)
+          (o1.(i) <> o2.(i))
+          x)
+      om
+  done
+
+let test_miter_interface_mismatch () =
+  let g1 = Util.random_network ~pis:4 ~nodes:10 1 in
+  let g2 = Util.random_network ~pis:5 ~nodes:10 1 in
+  Alcotest.check_raises "pi mismatch"
+    (Invalid_argument "Miter.build: PI count mismatch") (fun () ->
+      ignore (Aig.Miter.build g1 g2))
+
+let test_sweep_removes_dangling () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  let x = Aig.Network.add_and g a b in
+  let _dangling = Aig.Network.add_and g (Aig.Lit.neg a) (Aig.Lit.neg b) in
+  Aig.Network.add_po g x;
+  Alcotest.(check int) "before" 2 (Aig.Network.num_ands g);
+  let r = Aig.Reduce.sweep g in
+  Alcotest.(check int) "after" 1 (Aig.Network.num_ands r.Aig.Reduce.network);
+  Alcotest.(check int) "pis preserved" 2 (Aig.Network.num_pis r.Aig.Reduce.network)
+
+let test_merge_equivalent () =
+  (* Build two structurally different XOR decompositions and merge them. *)
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  let x1 = Aig.Network.add_xor g a b in
+  let u = Aig.Network.add_and g a (Aig.Lit.neg b) in
+  let v = Aig.Network.add_and g (Aig.Lit.neg a) b in
+  let x2 = Aig.Lit.neg (Aig.Network.add_and g (Aig.Lit.neg u) (Aig.Lit.neg v)) in
+  Aig.Network.add_po g x1;
+  Aig.Network.add_po g x2;
+  let before = Util.global_tt g (Aig.Network.po g 1) in
+  (* Merge node(x2) into x1 with the appropriate phase. *)
+  let repl = Array.make (Aig.Network.num_nodes g) None in
+  repl.(Aig.Lit.node x2) <- Some (Aig.Lit.xor_compl x1 (Aig.Lit.is_compl x2));
+  let r = Aig.Reduce.apply g ~repl in
+  let ng = r.Aig.Reduce.network in
+  Alcotest.(check bool) "function preserved" true
+    (Bv.Tt.equal before (Util.global_tt ng (Aig.Network.po ng 1)));
+  Alcotest.(check bool) "network shrank" true
+    (Aig.Network.num_ands ng < Aig.Network.num_ands g);
+  (* Both POs now share the same driver node. *)
+  Alcotest.(check int) "shared driver"
+    (Aig.Lit.node (Aig.Network.po ng 0))
+    (Aig.Lit.node (Aig.Network.po ng 1))
+
+let test_node_map_translates () =
+  let g = Util.random_network ~pis:4 ~nodes:20 ~pos:2 9 in
+  let r = Aig.Reduce.sweep g in
+  let ng = r.Aig.Reduce.network in
+  (* Every PO driver must map consistently. *)
+  Array.iteri
+    (fun i l ->
+      let m = r.Aig.Reduce.node_map.(Aig.Lit.node l) in
+      let expect = Aig.Lit.xor_compl m (Aig.Lit.is_compl l) in
+      Alcotest.(check int) (Printf.sprintf "po %d" i) (Aig.Network.po ng i) expect)
+    (Aig.Network.pos g)
+
+let prop_sweep_preserves_function =
+  QCheck.Test.make ~name:"sweep preserves all outputs" ~count:60 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:50 ~pos:4 seed in
+      let r = Aig.Reduce.sweep g in
+      Util.equivalent_brute g r.Aig.Reduce.network)
+
+let prop_merge_chain =
+  QCheck.Test.make ~name:"replacement chains resolve" ~count:60 Util.arb_seed
+    (fun seed ->
+      (* Three equivalent nodes merged in a chain c -> b -> a. *)
+      let g = Aig.Network.create () in
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      let x = Aig.Network.add_pi g and y = Aig.Network.add_pi g in
+      let mk () =
+        (* same function x&y built with spurious structure *)
+        let t = Aig.Network.add_and g x y in
+        if Sim.Rng.bool rng then t else Aig.Network.add_and g t Aig.Lit.const_true
+      in
+      let a = mk () in
+      let u = Aig.Network.add_and g x (Aig.Lit.neg y) in
+      let b = Aig.Network.add_and g (Aig.Lit.neg u) x in
+      (* b = x & !(x & !y) = x & y as well *)
+      let c = Aig.Network.add_and g b Aig.Lit.const_true in
+      Aig.Network.add_po g c;
+      let before = Util.global_tt g (Aig.Network.po g 0) in
+      let repl = Array.make (Aig.Network.num_nodes g) None in
+      if Aig.Lit.node b <> Aig.Lit.node a && Aig.Lit.node b > Aig.Lit.node a then
+        repl.(Aig.Lit.node b) <- Some a;
+      if Aig.Lit.node c <> Aig.Lit.node b && Aig.Lit.node c > Aig.Lit.node b then
+        repl.(Aig.Lit.node c) <- Some b;
+      let r = Aig.Reduce.apply g ~repl in
+      Bv.Tt.equal before (Util.global_tt r.Aig.Reduce.network (Aig.Network.po r.Aig.Reduce.network 0)))
+
+let () =
+  Alcotest.run "miter-reduce"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "identical miter" `Quick test_miter_identical;
+          Alcotest.test_case "miter semantics" `Quick test_miter_semantics;
+          Alcotest.test_case "interface mismatch" `Quick test_miter_interface_mismatch;
+          Alcotest.test_case "sweep dangling" `Quick test_sweep_removes_dangling;
+          Alcotest.test_case "merge equivalent" `Quick test_merge_equivalent;
+          Alcotest.test_case "node map" `Quick test_node_map_translates;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sweep_preserves_function; prop_merge_chain ] );
+    ]

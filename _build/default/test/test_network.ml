@@ -1,0 +1,132 @@
+(* AIG construction: structural hashing, constant propagation, derived
+   gates, levels, fanouts and invariants. *)
+
+let test_const_prop () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g in
+  Alcotest.(check int) "a&0" Aig.Lit.const_false
+    (Aig.Network.add_and g a Aig.Lit.const_false);
+  Alcotest.(check int) "a&1" a (Aig.Network.add_and g a Aig.Lit.const_true);
+  Alcotest.(check int) "a&a" a (Aig.Network.add_and g a a);
+  Alcotest.(check int) "a&!a" Aig.Lit.const_false
+    (Aig.Network.add_and g a (Aig.Lit.neg a));
+  Alcotest.(check int) "no nodes added" 0 (Aig.Network.num_ands g)
+
+let test_strash () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  let x = Aig.Network.add_and g a b in
+  let y = Aig.Network.add_and g b a in
+  Alcotest.(check int) "commutative hash" x y;
+  Alcotest.(check int) "one node" 1 (Aig.Network.num_ands g);
+  let z = Aig.Network.add_and g (Aig.Lit.neg a) b in
+  Alcotest.(check bool) "different polarity differs" true (x <> z);
+  Alcotest.(check int) "two nodes" 2 (Aig.Network.num_ands g)
+
+let test_derived_gates () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  let xor_ = Aig.Network.add_xor g a b in
+  let or_ = Aig.Network.add_or g a b in
+  Aig.Network.add_po g xor_;
+  Aig.Network.add_po g or_;
+  let s = Aig.Network.add_pi g in
+  Aig.Network.add_po g (Aig.Network.add_mux g s a b);
+  let check_fn name po f =
+    for m = 0 to 7 do
+      let vals = Array.init 3 (fun i -> (m lsr i) land 1 = 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s m=%d" name m)
+        (f vals.(0) vals.(1) vals.(2))
+        (Sim.Cex.eval_lit g vals (Aig.Network.po g po))
+    done
+  in
+  check_fn "xor" 0 (fun a b _ -> a <> b);
+  check_fn "or" 1 (fun a b _ -> a || b);
+  check_fn "mux" 2 (fun a b s -> if s then a else b)
+
+let test_levels_fanouts () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  let x = Aig.Network.add_and g a b in
+  let y = Aig.Network.add_and g x (Aig.Lit.neg a) in
+  Aig.Network.add_po g y;
+  let lv = Aig.Network.levels g in
+  Alcotest.(check int) "pi level" 0 lv.(Aig.Lit.node a);
+  Alcotest.(check int) "x level" 1 lv.(Aig.Lit.node x);
+  Alcotest.(check int) "y level" 2 lv.(Aig.Lit.node y);
+  Alcotest.(check int) "depth" 2 (Aig.Network.depth g);
+  let fo = Aig.Network.fanout_counts g in
+  Alcotest.(check int) "a fanouts" 2 fo.(Aig.Lit.node a);
+  Alcotest.(check int) "x fanouts" 1 fo.(Aig.Lit.node x);
+  Alcotest.(check int) "y fanouts (po)" 1 fo.(Aig.Lit.node y)
+
+let test_level_batches () =
+  let g = Util.random_network ~pis:5 ~nodes:60 ~pos:3 42 in
+  let batches = Aig.Network.level_batches g in
+  let lv = Aig.Network.levels g in
+  let count = ref 0 in
+  Array.iteri
+    (fun l batch ->
+      Array.iter
+        (fun n ->
+          incr count;
+          Alcotest.(check int) "level matches" l lv.(n))
+        batch)
+    batches;
+  Alcotest.(check int) "all ANDs covered" (Aig.Network.num_ands g) !count
+
+let test_check_invariants () =
+  let g = Util.random_network 7 in
+  Alcotest.(check bool) "check ok" true (Aig.Network.check g = Ok ())
+
+let test_copy_independent () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g in
+  Aig.Network.add_po g (Aig.Network.add_and g a b);
+  let c = Aig.Network.copy g in
+  ignore (Aig.Network.add_pi c);
+  Alcotest.(check int) "original pis" 2 (Aig.Network.num_pis g);
+  Alcotest.(check int) "copy pis" 3 (Aig.Network.num_pis c)
+
+let prop_ids_topological =
+  QCheck.Test.make ~name:"fanin ids below node id" ~count:100 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network seed in
+      let ok = ref true in
+      Aig.Network.iter_ands g (fun n ->
+          if
+            Aig.Lit.node (Aig.Network.fanin0 g n) >= n
+            || Aig.Lit.node (Aig.Network.fanin1 g n) >= n
+          then ok := false);
+      !ok)
+
+let prop_strash_no_duplicates =
+  QCheck.Test.make ~name:"no two ANDs share fanins" ~count:50 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~nodes:80 seed in
+      let seen = Hashtbl.create 64 in
+      let ok = ref true in
+      Aig.Network.iter_ands g (fun n ->
+          let key = (Aig.Network.fanin0 g n, Aig.Network.fanin1 g n) in
+          if Hashtbl.mem seen key then ok := false;
+          Hashtbl.replace seen key ());
+      !ok)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "const propagation" `Quick test_const_prop;
+          Alcotest.test_case "strash" `Quick test_strash;
+          Alcotest.test_case "derived gates" `Quick test_derived_gates;
+          Alcotest.test_case "levels/fanouts" `Quick test_levels_fanouts;
+          Alcotest.test_case "level batches" `Quick test_level_batches;
+          Alcotest.test_case "invariants" `Quick test_check_invariants;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_ids_topological; prop_strash_no_duplicates ] );
+    ]

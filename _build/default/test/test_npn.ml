@@ -1,0 +1,98 @@
+(* NPN canonicalization: transform algebra and canonical-form invariance. *)
+
+let arb_tt = QCheck.int_bound 65535
+
+let arb_transform =
+  let gen =
+    QCheck.Gen.(
+      let* p = int_bound 23 in
+      let* ic = int_bound 15 in
+      let* oc = bool in
+      let perms =
+        [
+          [| 0; 1; 2; 3 |]; [| 0; 1; 3; 2 |]; [| 0; 2; 1; 3 |]; [| 0; 2; 3; 1 |];
+          [| 0; 3; 1; 2 |]; [| 0; 3; 2; 1 |]; [| 1; 0; 2; 3 |]; [| 1; 0; 3; 2 |];
+          [| 1; 2; 0; 3 |]; [| 1; 2; 3; 0 |]; [| 1; 3; 0; 2 |]; [| 1; 3; 2; 0 |];
+          [| 2; 0; 1; 3 |]; [| 2; 0; 3; 1 |]; [| 2; 1; 0; 3 |]; [| 2; 1; 3; 0 |];
+          [| 2; 3; 0; 1 |]; [| 2; 3; 1; 0 |]; [| 3; 0; 1; 2 |]; [| 3; 0; 2; 1 |];
+          [| 3; 1; 0; 2 |]; [| 3; 1; 2; 0 |]; [| 3; 2; 0; 1 |]; [| 3; 2; 1; 0 |];
+        ]
+      in
+      return
+        { Bv.Npn.perm = List.nth perms p; input_compl = ic; output_compl = oc })
+  in
+  QCheck.make gen
+
+let prop_identity =
+  QCheck.Test.make ~name:"identity transform" ~count:200 arb_tt (fun tt ->
+      Bv.Npn.apply Bv.Npn.identity tt = tt)
+
+let prop_invert =
+  QCheck.Test.make ~name:"invert undoes apply" ~count:500
+    (QCheck.pair arb_tt arb_transform) (fun (tt, tf) ->
+      Bv.Npn.apply (Bv.Npn.invert tf) (Bv.Npn.apply tf tt) = tt)
+
+let prop_compose =
+  QCheck.Test.make ~name:"compose = nested apply" ~count:500
+    (QCheck.triple arb_tt arb_transform arb_transform) (fun (tt, a, b) ->
+      Bv.Npn.apply (Bv.Npn.compose a b) tt = Bv.Npn.apply a (Bv.Npn.apply b tt))
+
+let prop_canon_witness =
+  QCheck.Test.make ~name:"canonize returns a correct witness" ~count:300 arb_tt
+    (fun tt ->
+      let canon, tf = Bv.Npn.canonize tt in
+      Bv.Npn.apply tf tt = canon)
+
+let prop_canon_invariant =
+  QCheck.Test.make ~name:"canonical form is transform-invariant" ~count:300
+    (QCheck.pair arb_tt arb_transform) (fun (tt, tf) ->
+      let c1, _ = Bv.Npn.canonize tt in
+      let c2, _ = Bv.Npn.canonize (Bv.Npn.apply tf tt) in
+      c1 = c2)
+
+let prop_canon_minimal =
+  QCheck.Test.make ~name:"canonical form is <= the function" ~count:300 arb_tt
+    (fun tt ->
+      let c, _ = Bv.Npn.canonize tt in
+      c <= tt)
+
+let test_known_classes () =
+  (* Constants are their own classes: canon(0x0000) = 0, and the constant-1
+     function canonizes to 0 via output complement. *)
+  Alcotest.(check int) "const0" 0 (fst (Bv.Npn.canonize 0x0000));
+  Alcotest.(check int) "const1" 0 (fst (Bv.Npn.canonize 0xffff));
+  (* All single-variable projections share a class. *)
+  let c0 = fst (Bv.Npn.canonize 0xaaaa) in
+  Alcotest.(check int) "x1 class" c0 (fst (Bv.Npn.canonize 0xcccc));
+  Alcotest.(check int) "x2 class" c0 (fst (Bv.Npn.canonize 0xf0f0));
+  Alcotest.(check int) "x3 class" c0 (fst (Bv.Npn.canonize 0xff00));
+  Alcotest.(check int) "!x0 class" c0 (fst (Bv.Npn.canonize 0x5555))
+
+let test_class_count () =
+  (* The number of NPN classes of 4-variable functions is 222 — a classical
+     result; a full sweep doubles as a stress test of [canonize]. *)
+  let seen = Hashtbl.create 256 in
+  for tt = 0 to 65535 do
+    Hashtbl.replace seen (fst (Bv.Npn.canonize tt)) ()
+  done;
+  Alcotest.(check int) "222 classes" 222 (Hashtbl.length seen)
+
+let () =
+  Alcotest.run "npn"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "known classes" `Quick test_known_classes;
+          Alcotest.test_case "222 classes" `Slow test_class_count;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_identity;
+            prop_invert;
+            prop_compose;
+            prop_canon_witness;
+            prop_canon_invariant;
+            prop_canon_minimal;
+          ] );
+    ]

@@ -1,0 +1,124 @@
+(* Optimisation passes: every pass must preserve function exactly;
+   structural effects are also checked. *)
+
+let passes =
+  [
+    ("balance", Opt.Balance.run);
+    ("rewrite", Opt.Rewrite.run);
+    ("refactor", fun g -> Opt.Refactor.run g);
+    ("xorflip", Opt.Xorflip.run);
+    ("light", Opt.Resyn.light);
+  ]
+
+let prop_pass_preserves name pass =
+  QCheck.Test.make
+    ~name:(name ^ " preserves function")
+    ~count:40 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 ~pos:4 seed in
+      Util.equivalent_brute g (pass g))
+
+let prop_resyn2_preserves =
+  QCheck.Test.make ~name:"resyn2 preserves function" ~count:10 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:50 ~pos:3 seed in
+      Util.equivalent_brute g (Opt.Resyn.resyn2 g))
+
+let test_arith_preserved () =
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) name true (Util.equivalent_brute g (Opt.Resyn.resyn2 g)))
+    [
+      ("adder6", Gen.Arith.adder ~bits:6);
+      ("mult5", Gen.Arith.multiplier ~bits:5);
+      ("sqrt8", Gen.Arith.sqrt ~bits:8);
+      ("voter11", Gen.Control.voter ~n:11);
+    ]
+
+let test_balance_reduces_chain_depth () =
+  (* A long AND chain must balance to logarithmic depth. *)
+  let g = Aig.Network.create () in
+  let xs = Array.init 16 (fun _ -> Aig.Network.add_pi g) in
+  let chain = Array.fold_left (fun acc x -> Aig.Network.add_and g acc x) xs.(0) (Array.sub xs 1 15) in
+  Aig.Network.add_po g chain;
+  Alcotest.(check int) "chain depth" 15 (Aig.Network.depth g);
+  let b = Opt.Balance.run g in
+  Alcotest.(check int) "balanced depth" 4 (Aig.Network.depth b);
+  Alcotest.(check bool) "function" true (Util.equivalent_brute g b)
+
+let test_xorflip_restructures () =
+  (* The flipped circuit must differ structurally (the miter with the
+     original is non-trivial) while remaining equivalent. *)
+  let g = Gen.Arith.adder ~bits:6 in
+  let f = Opt.Xorflip.run g in
+  Alcotest.(check bool) "equivalent" true (Util.equivalent_brute g f);
+  let m = Aig.Miter.build g f in
+  Alcotest.(check bool) "non-trivial miter" true (Aig.Network.num_ands m > 0);
+  Alcotest.(check bool) "not all outputs const" false (Aig.Miter.solved m)
+
+let test_xorflip_involution_function () =
+  (* Flipping twice returns to the original decomposition family. *)
+  let g = Gen.Arith.adder ~bits:4 in
+  let ff = Opt.Xorflip.run (Opt.Xorflip.run g) in
+  Alcotest.(check bool) "still equivalent" true (Util.equivalent_brute g ff)
+
+let test_rewrite_finds_redundancy () =
+  (* A circuit with a redundant reconvergent cone: rewriting must shrink
+     it.  f = (a & b) | (a & b & c) == a & b. *)
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g and c = Aig.Network.add_pi g in
+  let ab = Aig.Network.add_and g a b in
+  let abc = Aig.Network.add_and g ab c in
+  let f = Aig.Network.add_or g ab abc in
+  Aig.Network.add_po g f;
+  let before = Aig.Network.num_ands g in
+  let r = Opt.Rewrite.run g in
+  Alcotest.(check bool) "shrank" true (Aig.Network.num_ands r < before);
+  Alcotest.(check bool) "function" true (Util.equivalent_brute g r)
+
+let test_drive_rebuild_default () =
+  let g = Util.random_network ~pis:5 ~nodes:40 ~pos:3 77 in
+  let r = Opt.Drive.rebuild g ~decide:(fun _ -> Opt.Drive.Default) in
+  Alcotest.(check bool) "identity rebuild equivalent" true (Util.equivalent_brute g r);
+  Alcotest.(check bool) "no growth" true (Aig.Network.num_ands r <= Aig.Network.num_ands g)
+
+let test_conetv () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g and c = Aig.Network.add_pi g in
+  let x = Aig.Network.add_and g a b in
+  let y = Aig.Network.add_and g x (Aig.Lit.neg c) in
+  Aig.Network.add_po g y;
+  let inputs = [| Aig.Lit.node a; Aig.Lit.node b; Aig.Lit.node c |] in
+  (match Opt.Conetv.cone_tt g ~inputs ~root:(Aig.Lit.node y) with
+  | Some tt ->
+      Alcotest.(check bool) "tt correct" true
+        (Bv.Tt.equal tt (Util.global_tt g (Aig.Lit.make (Aig.Lit.node y) false)))
+  | None -> Alcotest.fail "valid cut");
+  let fanouts = Aig.Network.fanout_counts g in
+  Alcotest.(check int) "mffc covers private cone" 2
+    (Opt.Conetv.mffc_size g ~fanouts ~inputs ~root:(Aig.Lit.node y))
+
+let prop_opt_shrinks_or_equal =
+  QCheck.Test.make ~name:"rewrite never increases size" ~count:30 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:80 ~pos:4 seed in
+      Aig.Network.num_ands (Opt.Rewrite.run g) <= Aig.Network.num_ands g)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "arith preserved" `Quick test_arith_preserved;
+          Alcotest.test_case "balance chain" `Quick test_balance_reduces_chain_depth;
+          Alcotest.test_case "xorflip restructures" `Quick test_xorflip_restructures;
+          Alcotest.test_case "xorflip twice" `Quick test_xorflip_involution_function;
+          Alcotest.test_case "rewrite redundancy" `Quick test_rewrite_finds_redundancy;
+          Alcotest.test_case "drive default" `Quick test_drive_rebuild_default;
+          Alcotest.test_case "conetv" `Quick test_conetv;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          (prop_resyn2_preserves :: prop_opt_shrinks_or_equal
+          :: List.map (fun (n, p) -> prop_pass_preserves n p) passes) );
+    ]

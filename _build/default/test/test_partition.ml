@@ -1,0 +1,163 @@
+(* Output partitioning and reverse simulation. *)
+
+let test_groups_doubled () =
+  (* A doubled adder has two independent halves: exactly two groups. *)
+  let g = Gen.Double.double (Gen.Arith.adder ~bits:4) in
+  let gs = Simsweep.Partition.groups g in
+  Alcotest.(check int) "two groups" 2 (List.length gs);
+  let sizes = List.map List.length gs |> List.sort compare in
+  Alcotest.(check (list int)) "five POs each" [ 5; 5 ] sizes
+
+let test_groups_cover_all () =
+  let g = Gen.Control.regfile ~regs:4 ~width:4 in
+  let gs = Simsweep.Partition.groups g in
+  let all = List.concat gs |> List.sort compare in
+  Alcotest.(check (list int)) "all POs covered"
+    (List.init (Aig.Network.num_pos g) Fun.id)
+    all
+
+let test_extract () =
+  let g = Gen.Double.double (Gen.Arith.adder ~bits:3) in
+  (* Extract only the second copy's outputs (POs 4..7). *)
+  let sub, origin = Simsweep.Partition.extract g [ 4; 5; 6; 7 ] in
+  Alcotest.(check int) "pis" 6 (Aig.Network.num_pis sub);
+  Alcotest.(check int) "pos" 4 (Aig.Network.num_pos sub);
+  (* Original PI indices of the second copy are 6..11. *)
+  Alcotest.(check (list int)) "origin" [ 6; 7; 8; 9; 10; 11 ]
+    (Array.to_list origin);
+  (* The extracted network computes the same functions. *)
+  for m = 0 to 63 do
+    let sub_cex = Array.init 6 (fun i -> (m lsr i) land 1 = 1) in
+    let full_cex = Array.make 12 false in
+    Array.iteri (fun j orig -> full_cex.(orig) <- sub_cex.(j)) origin;
+    for k = 0 to 3 do
+      if Sim.Cex.check sub sub_cex k <> Sim.Cex.check g full_cex (4 + k) then
+        Alcotest.failf "extract mismatch m=%d k=%d" m k
+    done
+  done
+
+let test_partition_check_equivalent () =
+  Util.with_pool (fun pool ->
+      let g = Gen.Double.double (Gen.Arith.multiplier ~bits:4) in
+      let m = Aig.Miter.build g (Opt.Resyn.light g) in
+      let outcome, ngroups = Simsweep.Partition.check ~pool m in
+      Alcotest.(check bool) "proved" true (outcome = Simsweep.Engine.Proved);
+      Alcotest.(check bool) "multiple groups" true (ngroups >= 2))
+
+let test_partition_check_inequivalent () =
+  Util.with_pool (fun pool ->
+      let g = Gen.Double.double (Gen.Arith.adder ~bits:3) in
+      let bad = Aig.Network.copy g in
+      (* Break an output in the SECOND half: the lifted CEX must still
+         validate on the full miter. *)
+      Aig.Network.set_po bad 6 (Aig.Lit.neg (Aig.Network.po bad 6));
+      let m = Aig.Miter.build g bad in
+      match Simsweep.Partition.check ~pool m with
+      | Simsweep.Engine.Disproved (cex, po), _ ->
+          Alcotest.(check int) "right PO" 6 po;
+          Alcotest.(check bool) "lifted CEX valid" true (Sim.Cex.check m cex po)
+      | _ -> Alcotest.fail "expected disproof")
+
+let prop_partition_agrees =
+  QCheck.Test.make ~name:"partitioned check = monolithic check" ~count:15
+    Util.arb_seed (fun seed ->
+      Util.with_pool (fun pool ->
+          let half1 = Util.random_network ~pis:4 ~nodes:25 ~pos:2 seed in
+          let half2 = Util.random_network ~pis:4 ~nodes:25 ~pos:2 (seed + 1) in
+          (* Two independent halves glued into one network. *)
+          let g = Aig.Network.create () in
+          let p1 = Array.init 4 (fun _ -> Aig.Network.add_pi g) in
+          let p2 = Array.init 4 (fun _ -> Aig.Network.add_pi g) in
+          Array.iter (Aig.Network.add_po g) (Aig.Miter.append g half1 ~pi_map:p1);
+          Array.iter (Aig.Network.add_po g) (Aig.Miter.append g half2 ~pi_map:p2);
+          let opt = if seed mod 2 = 0 then Opt.Xorflip.run g else Aig.Network.copy g in
+          let opt =
+            if seed mod 3 = 0 then begin
+              let b = Aig.Network.copy opt in
+              Aig.Network.set_po b 1 (Aig.Lit.neg (Aig.Network.po b 1));
+              b
+            end
+            else opt
+          in
+          let m = Aig.Miter.build g opt in
+          let mono = (Simsweep.Engine.check_with_fallback ~pool m).Simsweep.Engine.final in
+          let part, _ = Simsweep.Partition.check ~pool m in
+          match (mono, part) with
+          | Simsweep.Engine.Proved, Simsweep.Engine.Proved -> true
+          | Simsweep.Engine.Disproved _, Simsweep.Engine.Disproved (cex, po) ->
+              Sim.Cex.check m cex po
+          | _ -> false))
+
+let test_justify () =
+  let g = Gen.Arith.adder ~bits:4 in
+  let rng = Sim.Rng.create ~seed:3L in
+  (* Justify the carry-out to 1 and to 0. *)
+  let carry = Aig.Network.po g 4 in
+  (match Sim.Rsim.justify g ~rng carry true with
+  | Some cex -> Alcotest.(check bool) "carry=1" true (Sim.Cex.eval_lit g cex carry)
+  | None -> Alcotest.fail "carry=1 should be justifiable");
+  match Sim.Rsim.justify g ~rng carry false with
+  | Some cex -> Alcotest.(check bool) "carry=0" false (Sim.Cex.eval_lit g cex carry)
+  | None -> Alcotest.fail "carry=0 should be justifiable"
+
+let test_justify_constant () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g in
+  let z = Aig.Network.add_and g a (Aig.Lit.neg a) in
+  Aig.Network.add_po g z;
+  (* z is the constant node: it can never be 1. *)
+  Alcotest.(check bool) "const cannot be 1" true
+    (Sim.Rsim.justify g z true = None)
+
+let prop_justify_sound =
+  QCheck.Test.make ~name:"justified patterns set the literal" ~count:60
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:40 seed in
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      let l = Aig.Network.po g 0 in
+      let ok v =
+        match Sim.Rsim.justify g ~rng l v with
+        | Some cex -> Sim.Cex.eval_lit g cex l = v
+        | None -> true (* incomplete is fine; wrong is not *)
+      in
+      ok true && ok false)
+
+let test_distinguishing () =
+  let g = Aig.Network.create () in
+  let a = Aig.Network.add_pi g and b = Aig.Network.add_pi g and c = Aig.Network.add_pi g in
+  let x = Aig.Network.add_and g a b in
+  let y = Aig.Network.add_and g a c in
+  Aig.Network.add_po g x;
+  Aig.Network.add_po g y;
+  let pats =
+    Sim.Rsim.distinguishing_patterns g ~a:(Aig.Lit.node x) ~b:(Aig.Lit.node y) 8
+  in
+  Alcotest.(check bool) "some patterns" true (pats <> []);
+  (* At least one pattern must actually distinguish a&b from a&c. *)
+  let distinguishes cex =
+    Sim.Cex.eval_lit g cex x <> Sim.Cex.eval_lit g cex y
+  in
+  Alcotest.(check bool) "a distinguishing pattern found" true
+    (List.exists distinguishes pats)
+
+let () =
+  Alcotest.run "partition-rsim"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "groups doubled" `Quick test_groups_doubled;
+          Alcotest.test_case "groups cover" `Quick test_groups_cover_all;
+          Alcotest.test_case "extract" `Quick test_extract;
+          Alcotest.test_case "check equivalent" `Quick test_partition_check_equivalent;
+          Alcotest.test_case "check inequivalent" `Quick test_partition_check_inequivalent;
+        ] );
+      ( "rsim",
+        [
+          Alcotest.test_case "justify" `Quick test_justify;
+          Alcotest.test_case "justify constant" `Quick test_justify_constant;
+          Alcotest.test_case "distinguishing" `Quick test_distinguishing;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_partition_agrees; prop_justify_sound ] );
+    ]

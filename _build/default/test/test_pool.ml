@@ -1,0 +1,111 @@
+(* Domain pool: the GPU stand-in must produce exactly the same results as
+   a sequential loop, propagate exceptions, and survive reuse. *)
+
+let with_pool n f =
+  let pool = Par.Pool.create ~num_domains:n () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
+
+let test_parallel_sum () =
+  with_pool 4 (fun pool ->
+      let n = 10_000 in
+      let out = Array.make n 0 in
+      Par.Pool.parallel_for pool ~start:0 ~stop:n (fun i -> out.(i) <- i * i);
+      let expect = Array.init n (fun i -> i * i) in
+      Alcotest.(check bool) "all cells written" true (out = expect))
+
+let test_empty_range () =
+  with_pool 2 (fun pool ->
+      let hit = ref false in
+      Par.Pool.parallel_for pool ~start:5 ~stop:5 (fun _ -> hit := true);
+      Par.Pool.parallel_for pool ~start:9 ~stop:3 (fun _ -> hit := true);
+      Alcotest.(check bool) "body never runs" false !hit)
+
+let test_sequential_pool () =
+  with_pool 1 (fun pool ->
+      Alcotest.(check int) "workers" 1 (Par.Pool.num_workers pool);
+      let acc = ref 0 in
+      Par.Pool.parallel_for pool ~start:0 ~stop:100 (fun i -> acc := !acc + i);
+      Alcotest.(check int) "sum" 4950 !acc)
+
+let test_exception () =
+  with_pool 4 (fun pool ->
+      let raised =
+        try
+          Par.Pool.parallel_for pool ~start:0 ~stop:1000 (fun i ->
+              if i = 321 then failwith "boom");
+          false
+        with Failure m -> m = "boom"
+      in
+      Alcotest.(check bool) "exception propagates" true raised;
+      (* The pool must remain usable after a failed loop. *)
+      let acc = Atomic.make 0 in
+      Par.Pool.parallel_for pool ~start:0 ~stop:100 (fun _ ->
+          ignore (Atomic.fetch_and_add acc 1));
+      Alcotest.(check int) "pool survives" 100 (Atomic.get acc))
+
+let test_reuse_many () =
+  with_pool 4 (fun pool ->
+      for round = 1 to 50 do
+        let acc = Atomic.make 0 in
+        Par.Pool.parallel_for pool ~start:0 ~stop:round (fun i ->
+            ignore (Atomic.fetch_and_add acc i));
+        Alcotest.(check int) "triangular" (round * (round - 1) / 2) (Atomic.get acc)
+      done)
+
+let test_nested () =
+  (* Nested parallel_for must degrade to sequential, not deadlock. *)
+  with_pool 4 (fun pool ->
+      let acc = Atomic.make 0 in
+      Par.Pool.parallel_for pool ~start:0 ~stop:8 (fun _ ->
+          Par.Pool.parallel_for pool ~start:0 ~stop:8 (fun _ ->
+              ignore (Atomic.fetch_and_add acc 1)));
+      Alcotest.(check int) "64 iterations" 64 (Atomic.get acc))
+
+let test_reduce () =
+  with_pool 4 (fun pool ->
+      let s =
+        Par.Pool.parallel_reduce pool ~start:1 ~stop:1001 ~neutral:0
+          ~body:(fun i -> i)
+          ~combine:( + )
+      in
+      Alcotest.(check int) "sum 1..1000" 500500 s;
+      let m =
+        Par.Pool.parallel_reduce pool ~start:0 ~stop:100 ~neutral:min_int
+          ~body:(fun i -> (i * 37) mod 101)
+          ~combine:max
+      in
+      let expect = ref min_int in
+      for i = 0 to 99 do
+        expect := max !expect ((i * 37) mod 101)
+      done;
+      Alcotest.(check int) "max" !expect m)
+
+let prop_matches_sequential =
+  QCheck.Test.make ~name:"parallel_for equals sequential map" ~count:30
+    QCheck.(pair (int_range 0 500) (int_range 1 64))
+    (fun (n, chunk) ->
+      with_pool 3 (fun pool ->
+          let a = Array.make (max n 1) 0 in
+          Par.Pool.parallel_for pool ~chunk ~start:0 ~stop:n (fun i ->
+              a.(i) <- (i * 17) lxor 5);
+          let ok = ref true in
+          for i = 0 to n - 1 do
+            if a.(i) <> (i * 17) lxor 5 then ok := false
+          done;
+          !ok))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "parallel sum" `Quick test_parallel_sum;
+          Alcotest.test_case "empty range" `Quick test_empty_range;
+          Alcotest.test_case "sequential pool" `Quick test_sequential_pool;
+          Alcotest.test_case "exception" `Quick test_exception;
+          Alcotest.test_case "reuse" `Quick test_reuse_many;
+          Alcotest.test_case "nested" `Quick test_nested;
+          Alcotest.test_case "reduce" `Quick test_reduce;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_matches_sequential ]);
+    ]

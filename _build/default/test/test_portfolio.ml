@@ -1,0 +1,73 @@
+(* Portfolio checker (Conformal stand-in): engine selection and
+   correctness. *)
+
+let check ?bdd_node_limit m =
+  Util.with_pool (fun pool -> Simsweep.Portfolio.check ?bdd_node_limit ~pool m)
+
+let test_bdd_wins_on_voter () =
+  (* Symmetric control logic: the BDD engine should answer first — the
+     Table II crossover where Conformal beats the GPU engine on voter. *)
+  let g = Gen.Control.voter ~n:15 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  let r = check m in
+  Alcotest.(check bool) "proved" true (r.Simsweep.Portfolio.outcome = Simsweep.Engine.Proved);
+  match r.Simsweep.Portfolio.winner with
+  | Some Simsweep.Portfolio.Bdd_engine -> ()
+  | w ->
+      Alcotest.failf "expected bdd winner, got %s"
+        (match w with Some e -> Simsweep.Portfolio.engine_name e | None -> "none")
+
+let test_sim_engine_on_multiplier () =
+  (* Multipliers blow the BDD budget; the simulation engine takes over. *)
+  let g = Gen.Arith.multiplier ~bits:6 in
+  let m = Aig.Miter.build g (Opt.Resyn.resyn2 g) in
+  let r = check ~bdd_node_limit:1000 m in
+  Alcotest.(check bool) "proved" true (r.Simsweep.Portfolio.outcome = Simsweep.Engine.Proved);
+  match r.Simsweep.Portfolio.winner with
+  | Some Simsweep.Portfolio.Sim_engine | Some Simsweep.Portfolio.Sat_engine -> ()
+  | _ -> Alcotest.fail "expected a non-bdd winner"
+
+let test_disproof () =
+  let g = Gen.Arith.adder ~bits:5 in
+  let bad = Aig.Network.copy g in
+  Aig.Network.set_po bad 2 (Aig.Lit.neg (Aig.Network.po bad 2));
+  let m = Aig.Miter.build g bad in
+  let r = check m in
+  match r.Simsweep.Portfolio.outcome with
+  | Simsweep.Engine.Disproved (cex, po) ->
+      Alcotest.(check bool) "cex valid" true (Sim.Cex.check m cex po)
+  | _ -> Alcotest.fail "expected disproof"
+
+let test_engine_names () =
+  Alcotest.(check string) "bdd" "bdd" (Simsweep.Portfolio.engine_name Simsweep.Portfolio.Bdd_engine);
+  Alcotest.(check string) "sim" "sim" (Simsweep.Portfolio.engine_name Simsweep.Portfolio.Sim_engine);
+  Alcotest.(check string) "sat" "sat" (Simsweep.Portfolio.engine_name Simsweep.Portfolio.Sat_engine)
+
+let prop_agrees_with_brute =
+  QCheck.Test.make ~name:"portfolio agrees with brute force" ~count:15
+    Util.arb_seed (fun seed ->
+      let g1 = Util.random_network ~pis:5 ~nodes:35 ~pos:3 seed in
+      let g2 =
+        if seed mod 2 = 0 then Opt.Xorflip.run g1
+        else Util.random_network ~pis:5 ~nodes:35 ~pos:3 (seed + 3)
+      in
+      let m = Aig.Miter.build g1 g2 in
+      let expect = Util.equivalent_brute g1 g2 in
+      let r = check m in
+      match r.Simsweep.Portfolio.outcome with
+      | Simsweep.Engine.Proved -> expect
+      | Simsweep.Engine.Disproved (cex, po) -> (not expect) && Sim.Cex.check m cex po
+      | Simsweep.Engine.Undecided -> false)
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bdd wins voter" `Quick test_bdd_wins_on_voter;
+          Alcotest.test_case "sim engine on multiplier" `Quick test_sim_engine_on_multiplier;
+          Alcotest.test_case "disproof" `Quick test_disproof;
+          Alcotest.test_case "names" `Quick test_engine_names;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_agrees_with_brute ]);
+    ]

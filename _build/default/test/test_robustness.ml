@@ -1,0 +1,175 @@
+(* Robustness: fuzzed inputs never crash (they fail cleanly), degenerate
+   networks flow through every component, and the engine is deterministic
+   run-to-run. *)
+
+let test_aiger_fuzz () =
+  (* Random garbage must raise Parse_error, never anything else. *)
+  let rng = Sim.Rng.create ~seed:0xf00dL in
+  for _ = 1 to 500 do
+    let len = Sim.Rng.int rng 200 in
+    let s =
+      String.init len (fun _ ->
+          Char.chr (32 + Sim.Rng.int rng 95))
+    in
+    match Aig.Aiger_io.of_string s with
+    | _ -> ()
+    | exception Aig.Aiger_io.Parse_error _ -> ()
+  done
+
+let test_aiger_mutation_fuzz () =
+  (* Mutate a VALID file: must either parse (to something) or fail with
+     Parse_error — no crashes, no assert failures. *)
+  let base = Aig.Aiger_io.to_string (Gen.Arith.adder ~bits:3) in
+  let rng = Sim.Rng.create ~seed:0xbeefL in
+  for _ = 1 to 500 do
+    let b = Bytes.of_string base in
+    for _ = 0 to Sim.Rng.int rng 4 do
+      Bytes.set b
+        (Sim.Rng.int rng (Bytes.length b))
+        (Char.chr (32 + Sim.Rng.int rng 95))
+    done;
+    match Aig.Aiger_io.of_string (Bytes.to_string b) with
+    | _ -> ()
+    | exception Aig.Aiger_io.Parse_error _ -> ()
+  done
+
+let test_binary_fuzz () =
+  let base = Aig.Aiger_io.to_binary_string (Gen.Arith.adder ~bits:3) in
+  let rng = Sim.Rng.create ~seed:0xabcdL in
+  for _ = 1 to 500 do
+    let b = Bytes.of_string base in
+    let cut = 1 + Sim.Rng.int rng (Bytes.length b - 1) in
+    let s = Bytes.sub_string b 0 cut in
+    match Aig.Aiger_io.of_string s with
+    | _ -> ()
+    | exception Aig.Aiger_io.Parse_error _ -> ()
+  done
+
+let test_degenerate_networks () =
+  Util.with_pool (fun pool ->
+      (* No POs at all. *)
+      let g = Aig.Network.create () in
+      let _ = Aig.Network.add_pi g in
+      let m = Aig.Miter.build g (Aig.Network.copy g) in
+      Alcotest.(check bool) "empty miter solved" true (Aig.Miter.solved m);
+      let r = Simsweep.Engine.run ~pool m in
+      Alcotest.(check bool) "proved" true (r.Simsweep.Engine.outcome = Simsweep.Engine.Proved);
+      (* Constant-output network. *)
+      let c = Aig.Network.create () in
+      let _ = Aig.Network.add_pi c in
+      Aig.Network.add_po c Aig.Lit.const_false;
+      Aig.Network.add_po c Aig.Lit.const_true;
+      let c2 = Aig.Network.copy c in
+      let m = Aig.Miter.build c c2 in
+      let r = Simsweep.Engine.run ~pool m in
+      Alcotest.(check bool) "const POs proved" true
+        (r.Simsweep.Engine.outcome = Simsweep.Engine.Proved);
+      (* PO fed directly by a PI. *)
+      let p = Aig.Network.create () in
+      let a = Aig.Network.add_pi p in
+      Aig.Network.add_po p a;
+      Aig.Network.add_po p (Aig.Lit.neg a);
+      let m = Aig.Miter.build p (Aig.Network.copy p) in
+      let r = Simsweep.Engine.run ~pool m in
+      Alcotest.(check bool) "pi-driven POs proved" true
+        (r.Simsweep.Engine.outcome = Simsweep.Engine.Proved))
+
+let test_pi_po_mismatch_detected () =
+  Util.with_pool (fun pool ->
+      (* Same interface, one PO swapped with its neighbour: must disprove. *)
+      let g = Gen.Arith.adder ~bits:4 in
+      let bad = Aig.Network.copy g in
+      let l0 = Aig.Network.po bad 0 and l1 = Aig.Network.po bad 1 in
+      Aig.Network.set_po bad 0 l1;
+      Aig.Network.set_po bad 1 l0;
+      let m = Aig.Miter.build g bad in
+      match (Simsweep.Engine.check_with_fallback ~pool m).Simsweep.Engine.final with
+      | Simsweep.Engine.Disproved (cex, po) ->
+          Alcotest.(check bool) "cex valid" true (Sim.Cex.check m cex po)
+      | _ -> Alcotest.fail "swapped outputs must be detected")
+
+let test_engine_deterministic () =
+  Util.with_pool (fun pool ->
+      let g = Gen.Arith.multiplier ~bits:6 in
+      let m = Aig.Miter.build g (Opt.Resyn.resyn2 g) in
+      let cfg =
+        { Simsweep.Config.scaled with Simsweep.Config.k_cap_p = 8; k_p = 6; k_g = 8 }
+      in
+      let run () =
+        let r = Simsweep.Engine.run ~config:cfg ~pool (Aig.Network.copy m) in
+        ( r.Simsweep.Engine.outcome = Simsweep.Engine.Proved,
+          r.Simsweep.Engine.reduced_size,
+          r.Simsweep.Engine.stats.Simsweep.Stats.pairs_proved_global,
+          r.Simsweep.Engine.stats.Simsweep.Stats.pairs_proved_local,
+          r.Simsweep.Engine.stats.Simsweep.Stats.local_phases )
+      in
+      Alcotest.(check bool) "identical runs" true (run () = run ()))
+
+let test_engine_domain_count_independent () =
+  (* The verdict and reduction must not depend on the worker count. *)
+  let g = Gen.Arith.multiplier ~bits:5 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  let cfg =
+    { Simsweep.Config.scaled with Simsweep.Config.k_cap_p = 6; k_p = 4; k_g = 6 }
+  in
+  let run nd =
+    let pool = Par.Pool.create ~num_domains:nd () in
+    Fun.protect
+      ~finally:(fun () -> Par.Pool.shutdown pool)
+      (fun () ->
+        let r = Simsweep.Engine.run ~config:cfg ~pool (Aig.Network.copy m) in
+        (r.Simsweep.Engine.outcome = Simsweep.Engine.Proved, r.Simsweep.Engine.reduced_size))
+  in
+  Alcotest.(check bool) "1 vs 4 domains" true (run 1 = run 4)
+
+let prop_shell_fuzz =
+  QCheck.Test.make ~name:"shell never crashes on word soup" ~count:100
+    Util.arb_seed (fun seed ->
+      let st = Shell.Command.create () in
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      let vocab =
+        [| "gen"; "adder"; "cec"; "miter"; "load"; "store"; "-1"; "0"; "999";
+           "map"; "sim"; "read"; "write"; "foo"; ";" |]
+      in
+      let words =
+        List.init (1 + Sim.Rng.int rng 4) (fun _ ->
+            vocab.(Sim.Rng.int rng (Array.length vocab)))
+      in
+      match Shell.Command.exec st (String.concat " " words) with
+      | Ok _ | Error _ -> true)
+
+let prop_dimacs_fuzz =
+  QCheck.Test.make ~name:"dimacs parser never crashes" ~count:200 Util.arb_seed
+    (fun seed ->
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      let tokens = [| "p"; "cnf"; "1"; "-1"; "0"; "2"; "-2"; "x"; "\n"; " " |] in
+      let text =
+        String.concat " "
+          (List.init (Sim.Rng.int rng 30) (fun _ ->
+               tokens.(Sim.Rng.int rng (Array.length tokens))))
+      in
+      match Sat.Dimacs.parse text with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "fuzz",
+        [
+          Alcotest.test_case "aiger garbage" `Quick test_aiger_fuzz;
+          Alcotest.test_case "aiger mutation" `Quick test_aiger_mutation_fuzz;
+          Alcotest.test_case "binary truncation" `Quick test_binary_fuzz;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "degenerate networks" `Quick test_degenerate_networks;
+          Alcotest.test_case "swapped outputs" `Quick test_pi_po_mismatch_detected;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "engine deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "domain-count independent" `Quick
+            test_engine_domain_count_independent;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_shell_fuzz; prop_dimacs_fuzz ] );
+    ]

@@ -1,0 +1,155 @@
+(* The command interpreter behind simsweep-shell. *)
+
+let exec_ok st cmd =
+  match Shell.Command.exec st cmd with
+  | Ok out -> out
+  | Error e -> Alcotest.failf "command %S failed: %s" cmd e
+
+let exec_err st cmd =
+  match Shell.Command.exec st cmd with
+  | Error e -> e
+  | Ok out -> Alcotest.failf "command %S unexpectedly succeeded: %s" cmd out
+
+let with_state f = Util.with_pool (fun pool -> f (Shell.Command.create ~pool ()))
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_gen_and_stats () =
+  with_state (fun st ->
+      let out = exec_ok st "gen adder 4" in
+      Alcotest.(check bool) "stats printed" true (contains out "pi=8");
+      let out = exec_ok st "stats" in
+      Alcotest.(check bool) "po count" true (contains out "po=5"))
+
+let test_comments_and_blank () =
+  with_state (fun st ->
+      Alcotest.(check string) "blank" ""
+        (match Shell.Command.exec st "   " with Ok s -> s | Error e -> e);
+      Alcotest.(check string) "comment" ""
+        (match Shell.Command.exec st "# a comment" with Ok s -> s | Error e -> e))
+
+let test_no_current () =
+  with_state (fun st ->
+      let e = exec_err st "stats" in
+      Alcotest.(check bool) "explains" true (contains e "no current network"))
+
+let test_store_load_miter_cec () =
+  with_state (fun st ->
+      ignore (exec_ok st "gen multiplier 6");
+      ignore (exec_ok st "store golden");
+      ignore (exec_ok st "xorflip");
+      ignore (exec_ok st "miter golden");
+      let out = exec_ok st "cec sim" in
+      Alcotest.(check bool) "equivalent" true (contains out "EQUIVALENT");
+      Alcotest.(check bool) "not NOT" false (contains out "NOT EQUIVALENT"))
+
+let test_all_engines () =
+  with_state (fun st ->
+      ignore (exec_ok st "gen adder 5");
+      ignore (exec_ok st "store a");
+      ignore (exec_ok st "light");
+      ignore (exec_ok st "miter a");
+      List.iter
+        (fun engine ->
+          let out = exec_ok st ("cec " ^ engine) in
+          Alcotest.(check bool) (engine ^ " equivalent") true
+            (contains out "EQUIVALENT"))
+        [ "sim"; "sat"; "bdd"; "portfolio"; "combined"; "partitioned" ];
+      let e = exec_err st "cec nonsense" in
+      Alcotest.(check bool) "unknown engine" true (contains e "unknown engine"))
+
+let test_certify () =
+  with_state (fun st ->
+      ignore (exec_ok st "gen multiplier 6");
+      ignore (exec_ok st "store g");
+      ignore (exec_ok st "resyn2");
+      ignore (exec_ok st "miter g");
+      let out = exec_ok st "certify" in
+      Alcotest.(check bool) "validated" true (contains out "validated"))
+
+let test_script_and_files () =
+  with_state (fun st ->
+      let tmp = Filename.temp_file "shell" ".aag" in
+      let dot = Filename.temp_file "shell" ".dot" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove tmp;
+          Sys.remove dot)
+        (fun () ->
+          match
+            Shell.Command.exec_script st
+              (Printf.sprintf
+                 "gen voter 9; write %s; dot %s\nread %s; stats" tmp dot tmp)
+          with
+          | Ok out ->
+              Alcotest.(check bool) "wrote file" true (contains out "written");
+              Alcotest.(check bool) "reloaded" true (contains out "pi=9");
+              Alcotest.(check bool) "dot exists" true (Sys.file_exists dot)
+          | Error e -> Alcotest.failf "script failed: %s" e))
+
+let test_sim_output () =
+  with_state (fun st ->
+      ignore (exec_ok st "gen adder 2");
+      let out = exec_ok st "sim 3" in
+      let lines = String.split_on_char '\n' out in
+      Alcotest.(check int) "three vectors" 3 (List.length lines);
+      List.iter
+        (fun l ->
+          (* 4 input bits, space, 3 output bits *)
+          Alcotest.(check int) "line shape" 8 (String.length l))
+        lines)
+
+let test_inequivalent_report () =
+  with_state (fun st ->
+      (* Multiplier and divider share the 8-PI/8-PO interface but compute
+         different functions. *)
+      ignore (exec_ok st "gen multiplier 4");
+      ignore (exec_ok st "store a");
+      ignore (exec_ok st "gen divider 4");
+      ignore (exec_ok st "miter a");
+      let out = exec_ok st "cec combined" in
+      Alcotest.(check bool) "not equivalent" true (contains out "NOT EQUIVALENT"))
+
+let test_map () =
+  with_state (fun st ->
+      ignore (exec_ok st "gen multiplier 6");
+      ignore (exec_ok st "store g");
+      let out = exec_ok st "map 5" in
+      Alcotest.(check bool) "reports LUTs" true (contains out "LUTs");
+      ignore (exec_ok st "miter g");
+      let out = exec_ok st "cec sat" in
+      Alcotest.(check bool) "mapped equivalent" true (contains out "EQUIVALENT"))
+
+let test_errors () =
+  with_state (fun st ->
+      ignore (exec_err st "gen nosuchfamily");
+      ignore (exec_err st "gen adder -3");
+      ignore (exec_err st "load missing");
+      ignore (exec_err st "read /nonexistent/file.aag");
+      ignore (exec_err st "frobnicate");
+      (* Script stops at the first error. *)
+      match Shell.Command.exec_script st "gen adder 4; frobnicate; stats" with
+      | Error e -> Alcotest.(check bool) "reports" true (contains e "unknown command")
+      | Ok _ -> Alcotest.fail "script should fail")
+
+let () =
+  Alcotest.run "shell"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "gen/stats" `Quick test_gen_and_stats;
+          Alcotest.test_case "comments" `Quick test_comments_and_blank;
+          Alcotest.test_case "no current" `Quick test_no_current;
+          Alcotest.test_case "store/load/miter/cec" `Quick test_store_load_miter_cec;
+          Alcotest.test_case "all engines" `Quick test_all_engines;
+          Alcotest.test_case "certify" `Quick test_certify;
+          Alcotest.test_case "script/files" `Quick test_script_and_files;
+          Alcotest.test_case "sim output" `Quick test_sim_output;
+          Alcotest.test_case "inequivalent" `Quick test_inequivalent_report;
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+(* SOP cube algebra, Minato–Morreale ISOP and the factoring used by the
+   rewriting passes. *)
+
+let prop_isop_exact =
+  QCheck.Test.make ~name:"isop covers exactly the on-set (4 vars)" ~count:500
+    (QCheck.int_bound 65535) (fun x ->
+      let tt = Bv.Tt.of_uint16 x in
+      let sop = Bv.Isop.isop tt in
+      Bv.Tt.equal (Bv.Sop.to_tt sop) tt)
+
+let prop_isop_exact_6 =
+  QCheck.Test.make ~name:"isop covers exactly the on-set (6 vars)" ~count:100
+    QCheck.(pair int64 int64)
+    (fun (w, _) ->
+      let tt = { Bv.Tt.nvars = 6; bits = Bv.Bits.create ~len:64 false } in
+      Bv.Bits.set_word tt.Bv.Tt.bits 0 w;
+      let sop = Bv.Isop.isop tt in
+      Bv.Tt.equal (Bv.Sop.to_tt sop) tt)
+
+let prop_isop_interval =
+  QCheck.Test.make ~name:"isop_interval stays in the interval" ~count:300
+    QCheck.(pair (int_bound 65535) (int_bound 65535))
+    (fun (a, b) ->
+      let l = Bv.Tt.of_uint16 (a land b) in
+      let u = Bv.Tt.of_uint16 (a lor b) in
+      let s = Bv.Sop.to_tt (Bv.Isop.isop_interval ~lower:l ~upper:u) in
+      (* l <= s <= u *)
+      Bv.Tt.is_const0 (Bv.Tt.band l (Bv.Tt.bnot s))
+      && Bv.Tt.is_const0 (Bv.Tt.band s (Bv.Tt.bnot u)))
+
+let prop_factor_preserves =
+  QCheck.Test.make ~name:"factor preserves the function" ~count:500
+    (QCheck.int_bound 65535) (fun x ->
+      let tt = Bv.Tt.of_uint16 x in
+      let sop = Bv.Isop.isop tt in
+      let form = Bv.Sop.factor sop in
+      let ok = ref true in
+      for m = 0 to 15 do
+        let vals = Array.init 4 (fun i -> (m lsr i) land 1 = 1) in
+        if Bv.Sop.eval_form form vals <> Bv.Tt.eval tt vals then ok := false
+      done;
+      !ok)
+
+let prop_factor_no_worse =
+  QCheck.Test.make ~name:"factoring never adds literals" ~count:300
+    (QCheck.int_bound 65535) (fun x ->
+      let sop = Bv.Isop.isop (Bv.Tt.of_uint16 x) in
+      Bv.Sop.form_literals (Bv.Sop.factor sop) <= Bv.Sop.literals sop)
+
+let test_cube_eval () =
+  (* Cube x0 & !x2 over 3 vars. *)
+  let c = { Bv.Sop.pos = 0b001; neg = 0b100 } in
+  let sop = { Bv.Sop.nvars = 3; cubes = [ c ] } in
+  Alcotest.(check bool) "101 -> false" false (Bv.Sop.eval sop [| true; false; true |]);
+  Alcotest.(check bool) "100(lsb) -> true" true (Bv.Sop.eval sop [| true; false; false |]);
+  Alcotest.(check int) "literals" 2 (Bv.Sop.literals sop)
+
+let test_isop_known () =
+  (* x & y has the single cube xy. *)
+  let f = Bv.Tt.band (Bv.Tt.proj ~nvars:2 0) (Bv.Tt.proj ~nvars:2 1) in
+  let sop = Bv.Isop.isop f in
+  Alcotest.(check int) "one cube" 1 (List.length sop.Bv.Sop.cubes);
+  Alcotest.(check int) "two literals" 2 (Bv.Sop.literals sop);
+  (* Constants. *)
+  Alcotest.(check int) "const0 no cube" 0
+    (List.length (Bv.Isop.isop (Bv.Tt.const0 ~nvars:3)).Bv.Sop.cubes);
+  let c1 = Bv.Isop.isop (Bv.Tt.const1 ~nvars:3) in
+  Alcotest.(check bool) "const1 covered" true (Bv.Tt.is_const1 (Bv.Sop.to_tt c1))
+
+let () =
+  Alcotest.run "sop-isop"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cube eval" `Quick test_cube_eval;
+          Alcotest.test_case "isop known" `Quick test_isop_known;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_isop_exact;
+            prop_isop_exact_6;
+            prop_isop_interval;
+            prop_factor_preserves;
+            prop_factor_no_worse;
+          ] );
+    ]

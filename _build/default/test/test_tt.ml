@@ -1,0 +1,114 @@
+(* Truth tables: projection tables (checked against the paper's own k=3
+   example), evaluation, cofactors, dependence and the 16-bit packing used
+   by the NPN rewriting library. *)
+
+let test_paper_projections () =
+  (* Paper §II-A: for k = 3 the projection tables of f0, f1, f2 are
+     10101010, 11001100, 11110000. *)
+  Alcotest.(check string) "f0" "10101010" (Bv.Tt.to_string (Bv.Tt.proj ~nvars:3 0));
+  Alcotest.(check string) "f1" "11001100" (Bv.Tt.to_string (Bv.Tt.proj ~nvars:3 1));
+  Alcotest.(check string) "f2" "11110000" (Bv.Tt.to_string (Bv.Tt.proj ~nvars:3 2))
+
+let test_paper_xy'_example () =
+  (* Paper §III-B1: f = xy' + xy'z has truth table 00100010 under input
+     order (x,y,z) and 01000100 under (y,x,z); xy' under (x,y) is 0010. *)
+  let x = Bv.Tt.proj ~nvars:3 0
+  and y = Bv.Tt.proj ~nvars:3 1
+  and z = Bv.Tt.proj ~nvars:3 2 in
+  let f = Bv.Tt.bor (Bv.Tt.band x (Bv.Tt.bnot y)) (Bv.Tt.band (Bv.Tt.band x (Bv.Tt.bnot y)) z) in
+  Alcotest.(check string) "xyz order" "00100010" (Bv.Tt.to_string f);
+  (* Swap the roles of the first two inputs. *)
+  let x' = Bv.Tt.proj ~nvars:3 1 and y' = Bv.Tt.proj ~nvars:3 0 in
+  let g = Bv.Tt.bor (Bv.Tt.band x' (Bv.Tt.bnot y')) (Bv.Tt.band (Bv.Tt.band x' (Bv.Tt.bnot y')) z) in
+  Alcotest.(check string) "yxz order" "01000100" (Bv.Tt.to_string g);
+  let x2 = Bv.Tt.proj ~nvars:2 0 and y2 = Bv.Tt.proj ~nvars:2 1 in
+  Alcotest.(check string) "xy' 2 vars" "0010"
+    (Bv.Tt.to_string (Bv.Tt.band x2 (Bv.Tt.bnot y2)))
+
+let test_proj_word_large () =
+  (* proj_word must agree with the materialised projection table. *)
+  List.iter
+    (fun nvars ->
+      for i = 0 to nvars - 1 do
+        let tt = Bv.Tt.proj ~nvars i in
+        let nw = Bv.Bits.num_words tt.Bv.Tt.bits in
+        for w = 0 to nw - 1 do
+          let a = Bv.Bits.get_word tt.Bv.Tt.bits w in
+          let b = Bv.Tt.proj_word ~var:i w in
+          (* The last word of the materialised table is tail-masked. *)
+          let b =
+            if nvars >= 6 then b
+            else Int64.logand b (Bv.Bits.get_word (Bv.Tt.const1 ~nvars).Bv.Tt.bits 0)
+          in
+          if not (Int64.equal a b) then
+            Alcotest.failf "proj_word mismatch nvars=%d var=%d word=%d" nvars i w
+        done
+      done)
+    [ 3; 6; 7; 9 ]
+
+let test_eval_of_fun () =
+  let maj = Bv.Tt.of_fun ~nvars:3 (fun v -> Bool.to_int v.(0) + Bool.to_int v.(1) + Bool.to_int v.(2) >= 2) in
+  Alcotest.(check string) "majority" "11101000" (Bv.Tt.to_string maj);
+  Alcotest.(check bool) "eval 110" true (Bv.Tt.eval maj [| false; true; true |]);
+  Alcotest.(check bool) "eval 100" false (Bv.Tt.eval maj [| false; false; true |])
+
+let test_cofactor_depends () =
+  let x = Bv.Tt.proj ~nvars:3 0 and y = Bv.Tt.proj ~nvars:3 1 in
+  let f = Bv.Tt.band x y in
+  Alcotest.(check bool) "depends x" true (Bv.Tt.depends_on f 0);
+  Alcotest.(check bool) "depends z" false (Bv.Tt.depends_on f 2);
+  Alcotest.(check bool) "cofactor x=1 is y" true
+    (Bv.Tt.equal (Bv.Tt.cofactor f 0 true) y);
+  Alcotest.(check bool) "cofactor x=0 is 0" true
+    (Bv.Tt.is_const0 (Bv.Tt.cofactor f 0 false))
+
+let test_uint16 () =
+  for _ = 1 to 100 do
+    let x = Random.int 65536 in
+    Alcotest.(check int) "roundtrip" x (Bv.Tt.to_uint16 (Bv.Tt.of_uint16 x))
+  done;
+  (* Widening smaller arities keeps the function. *)
+  let f2 = Bv.Tt.band (Bv.Tt.proj ~nvars:2 0) (Bv.Tt.proj ~nvars:2 1) in
+  let w = Bv.Tt.to_uint16 f2 in
+  let f4 = Bv.Tt.of_uint16 w in
+  Alcotest.(check bool) "widened agrees" true
+    (Bv.Tt.equal f4 (Bv.Tt.band (Bv.Tt.proj ~nvars:4 0) (Bv.Tt.proj ~nvars:4 1)))
+
+let prop_shannon =
+  QCheck.Test.make ~name:"shannon expansion" ~count:200
+    QCheck.(pair (int_bound 65535) (int_bound 3))
+    (fun (x, v) ->
+      let f = Bv.Tt.of_uint16 x in
+      let pv = Bv.Tt.proj ~nvars:4 v in
+      let expansion =
+        Bv.Tt.bor
+          (Bv.Tt.band pv (Bv.Tt.cofactor f v true))
+          (Bv.Tt.band (Bv.Tt.bnot pv) (Bv.Tt.cofactor f v false))
+      in
+      Bv.Tt.equal f expansion)
+
+let prop_count_ones =
+  QCheck.Test.make ~name:"count_ones equals eval sum" ~count:100
+    (QCheck.int_bound 65535) (fun x ->
+      let f = Bv.Tt.of_uint16 x in
+      let n = ref 0 in
+      for m = 0 to 15 do
+        if Bv.Tt.eval f (Array.init 4 (fun i -> (m lsr i) land 1 = 1)) then incr n
+      done;
+      Bv.Tt.count_ones f = !n)
+
+let () =
+  Alcotest.run "tt"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "paper projections" `Quick test_paper_projections;
+          Alcotest.test_case "paper xy' example" `Quick test_paper_xy'_example;
+          Alcotest.test_case "proj_word" `Quick test_proj_word_large;
+          Alcotest.test_case "eval/of_fun" `Quick test_eval_of_fun;
+          Alcotest.test_case "cofactor/depends" `Quick test_cofactor_depends;
+          Alcotest.test_case "uint16" `Quick test_uint16;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_shannon; prop_count_ones ] );
+    ]

@@ -1,0 +1,48 @@
+(* Shared helpers for the test suite. *)
+
+let eval_outputs g cex =
+  Array.map (fun l -> Sim.Cex.eval_lit g cex l) (Aig.Network.pos g)
+
+(* Brute-force functional equivalence of two networks over all input
+   assignments; only for small PI counts. *)
+let equivalent_brute g1 g2 =
+  let n = Aig.Network.num_pis g1 in
+  assert (n = Aig.Network.num_pis g2);
+  assert (n <= 16);
+  let ok = ref true in
+  for m = 0 to (1 lsl n) - 1 do
+    if !ok then begin
+      let cex = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+      if eval_outputs g1 cex <> eval_outputs g2 cex then ok := false
+    end
+  done;
+  !ok
+
+(* All-outputs-false check by brute force (for miters). *)
+let solved_brute g =
+  let n = Aig.Network.num_pis g in
+  assert (n <= 16);
+  let ok = ref true in
+  for m = 0 to (1 lsl n) - 1 do
+    if !ok then begin
+      let cex = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+      if Array.exists Fun.id (eval_outputs g cex) then ok := false
+    end
+  done;
+  !ok
+
+(* A deterministic random AIG from a seed. *)
+let random_network ?(pis = 6) ?(nodes = 40) ?(pos = 4) seed =
+  Gen.Control.random_logic ~pis ~nodes ~pos ~seed:(Int64.of_int seed)
+
+let arb_seed = QCheck.int_range 0 1_000_000
+
+(* Global truth table of a literal over all PIs of a small network. *)
+let global_tt g l =
+  let n = Aig.Network.num_pis g in
+  assert (n <= 16);
+  Bv.Tt.of_fun ~nvars:n (fun vals -> Sim.Cex.eval_lit g vals l)
+
+let with_pool f =
+  let pool = Par.Pool.create ~num_domains:3 () in
+  Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () -> f pool)
