@@ -25,6 +25,8 @@ type ours = {
   sat_time : float option;  (** fallback SAT time, [None] when not needed *)
   total : float;
   outcome : Simsweep.Engine.outcome;
+  engine_stats : Simsweep.Stats.t;  (** telemetry of the engine run *)
+  sat_stats : Sat.Sweep.stats option;  (** telemetry of the SAT fallback *)
 }
 
 let run_ours ?(config = Simsweep.Config.scaled) ~pool miter =
@@ -37,9 +39,11 @@ let run_ours ?(config = Simsweep.Config.scaled) ~pool miter =
         sat_time = None;
         total = gpu_time;
         outcome = r.Simsweep.Engine.outcome;
+        engine_stats = r.Simsweep.Engine.stats;
+        sat_stats = None;
       }
   | Simsweep.Engine.Undecided ->
-      let (sat_outcome, _), sat_time =
+      let (sat_outcome, sat_stats), sat_time =
         time (fun () -> Sat.Sweep.check ~pool r.Simsweep.Engine.reduced)
       in
       let outcome =
@@ -54,6 +58,8 @@ let run_ours ?(config = Simsweep.Config.scaled) ~pool miter =
         sat_time = Some sat_time;
         total = gpu_time +. sat_time;
         outcome;
+        engine_stats = r.Simsweep.Engine.stats;
+        sat_stats = Some sat_stats;
       }
 
 let run_sat_baseline ~pool miter =

@@ -19,14 +19,18 @@ let heading title = pr "\n=== %s ===\n%!" title
 
 (* ---------------------------------------------------------------- Table II *)
 
+let bench_json_file = "BENCH_cec.json"
+
 let table2 () =
   heading
     "Table II - runtime comparison (ABC-analog = SAT sweeping, Cfm-analog = portfolio)";
   let pool = Lazy.force pool in
+  Par.Pool.reset_stats pool;
   pr "%-11s %7s %6s %8s | %8s %8s | %8s %7s %8s %9s | %8s %8s\n" "case" "PIs"
     "POs" "ANDs" "SAT(s)" "Pf(s)" "GPU(s)" "Red%" "SATf(s)" "Total(s)" "vs SAT"
     "vs Pf";
   let sp_sat = ref [] and sp_pf = ref [] in
+  let rows = ref [] in
   List.iter
     (fun case ->
       let p = Cases.prepare case in
@@ -40,6 +44,33 @@ let table2 () =
       sp_pf := su_pf :: !sp_pf;
       ignore sat_outcome;
       ignore pf;
+      (let open Simsweep.Telemetry in
+       rows :=
+         Obj
+           [
+             ("name", String case.Cases.name);
+             ("pis", Int (Aig.Network.num_pis m));
+             ("pos", Int (Aig.Network.num_pos m));
+             ("ands", Int (Aig.Network.num_ands m));
+             ("outcome", String (outcome_string ours.Harness.outcome));
+             ("sat_baseline_s", Float sat_time);
+             ("portfolio_s", Float pf_time);
+             ("gpu_s", Float ours.Harness.gpu_time);
+             ("reduction_percent", Float ours.Harness.reduced_percent);
+             ( "sat_fallback_s",
+               match ours.Harness.sat_time with
+               | None -> Null
+               | Some t -> Float t );
+             ("total_s", Float ours.Harness.total);
+             ("speedup_vs_sat", Float su_sat);
+             ("speedup_vs_portfolio", Float su_pf);
+             ("engine_stats", of_engine_stats ours.Harness.engine_stats);
+             ( "sat_stats",
+               match ours.Harness.sat_stats with
+               | None -> Null
+               | Some s -> of_sat s );
+           ]
+         :: !rows);
       pr
         "%-11s %7d %6d %8d | %8.3f %8.3f | %8.3f %7.1f %8s %9.3f | %7.2fx %7.2fx\n%!"
         case.Cases.name (Aig.Network.num_pis m) (Aig.Network.num_pos m)
@@ -51,7 +82,22 @@ let table2 () =
         ours.Harness.total su_sat su_pf)
     Cases.table2;
   pr "%-11s %62s | %7.2fx %7.2fx\n" "geomean" "" (Harness.geomean !sp_sat)
-    (Harness.geomean !sp_pf)
+    (Harness.geomean !sp_pf);
+  (* Machine-readable snapshot: the perf trajectory future PRs compare
+     against. *)
+  let open Simsweep.Telemetry in
+  write_file bench_json_file
+    (Obj
+       [
+         ("schema", String "bench-cec-v1");
+         ("experiment", String "table2");
+         ("domains", Int (Par.Pool.num_workers pool));
+         ("cases", List (List.rev !rows));
+         ("geomean_speedup_vs_sat", Float (Harness.geomean !sp_sat));
+         ("geomean_speedup_vs_portfolio", Float (Harness.geomean !sp_pf));
+         ("pool", of_pool (Par.Pool.stats pool));
+       ]);
+  pr "wrote %s\n%!" bench_json_file
 
 (* ----------------------------------------------------------------- Fig. 6 *)
 

@@ -23,7 +23,16 @@ let describe_outcome = function
   | Simsweep.Engine.Disproved (_, po) -> Printf.sprintf "NOT EQUIVALENT (output %d)" po
   | Simsweep.Engine.Undecided -> "UNDECIDED"
 
-let run_check engine file1 file2 suite scale num_domains verbose certify =
+let engine_tag = function
+  | `Sim -> "sim"
+  | `Combined -> "combined"
+  | `Sat -> "sat"
+  | `Bdd -> "bdd"
+  | `Partitioned -> "partitioned"
+  | `Portfolio -> "portfolio"
+
+let run_check engine file1 file2 suite scale num_domains verbose certify
+    stats_json =
   match read_inputs file1 file2 suite scale with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
@@ -38,6 +47,8 @@ let run_check engine file1 file2 suite scale num_domains verbose certify =
       let t0 = Unix.gettimeofday () in
       Printf.printf "miter %s: %s\n%!" name
         (Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network miter));
+      (* Per-engine telemetry fields for the --stats-json snapshot. *)
+      let telemetry = ref [] in
       let outcome =
         match engine with
         | `Sim ->
@@ -46,6 +57,7 @@ let run_check engine file1 file2 suite scale num_domains verbose certify =
               Printf.printf "engine: reduced %.1f%% | %s\n"
                 (Simsweep.Engine.reduction_percent r)
                 (Format.asprintf "%a" Simsweep.Stats.pp r.Simsweep.Engine.stats);
+            telemetry := [ ("run", Simsweep.Telemetry.of_run r) ];
             r.Simsweep.Engine.outcome
         | `Combined ->
             let c =
@@ -56,12 +68,15 @@ let run_check engine file1 file2 suite scale num_domains verbose certify =
               Printf.printf "engine: reduced %.1f%%, SAT fallback %s\n"
                 (Simsweep.Engine.reduction_percent c.Simsweep.Engine.engine)
                 (if c.Simsweep.Engine.sat_outcome = None then "not needed" else "used");
+            telemetry := [ ("combined", Simsweep.Telemetry.of_combined c) ];
             c.Simsweep.Engine.final
-        | `Sat -> (
-            match Sat.Sweep.check ~pool miter with
-            | Sat.Sweep.Equivalent, _ -> Simsweep.Engine.Proved
-            | Sat.Sweep.Inequivalent (cex, po), _ -> Simsweep.Engine.Disproved (cex, po)
-            | Sat.Sweep.Undecided, _ -> Simsweep.Engine.Undecided)
+        | `Sat ->
+            let sat_outcome, sat_stats = Sat.Sweep.check ~pool miter in
+            telemetry := [ ("sat", Simsweep.Telemetry.of_sat sat_stats) ];
+            (match sat_outcome with
+            | Sat.Sweep.Equivalent -> Simsweep.Engine.Proved
+            | Sat.Sweep.Inequivalent (cex, po) -> Simsweep.Engine.Disproved (cex, po)
+            | Sat.Sweep.Undecided -> Simsweep.Engine.Undecided)
         | `Bdd -> (
             match Bdd.check miter with
             | `Equivalent -> Simsweep.Engine.Proved
@@ -72,6 +87,7 @@ let run_check engine file1 file2 suite scale num_domains verbose certify =
               Simsweep.Partition.check ~config:Simsweep.Config.scaled ~pool miter
             in
             if verbose then Printf.printf "partition: %d groups\n" ngroups;
+            telemetry := [ ("partition_groups", Simsweep.Telemetry.Int ngroups) ];
             outcome
         | `Portfolio ->
             let r = Simsweep.Portfolio.check ~pool miter in
@@ -79,10 +95,53 @@ let run_check engine file1 file2 suite scale num_domains verbose certify =
             | Some e when verbose ->
                 Printf.printf "portfolio winner: %s\n" (Simsweep.Portfolio.engine_name e)
             | _ -> ());
+            telemetry :=
+              [
+                ( "winner",
+                  match r.Simsweep.Portfolio.winner with
+                  | None -> Simsweep.Telemetry.Null
+                  | Some e ->
+                      Simsweep.Telemetry.String (Simsweep.Portfolio.engine_name e) );
+                ( "engine_stats",
+                  match r.Simsweep.Portfolio.engine_stats with
+                  | None -> Simsweep.Telemetry.Null
+                  | Some s -> Simsweep.Telemetry.of_engine_stats s );
+                ( "sat_stats",
+                  match r.Simsweep.Portfolio.sat_stats with
+                  | None -> Simsweep.Telemetry.Null
+                  | Some s -> Simsweep.Telemetry.of_sat s );
+              ];
             r.Simsweep.Portfolio.outcome
       in
-      Printf.printf "%s  (%.3fs)\n" (describe_outcome outcome)
-        (Unix.gettimeofday () -. t0);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Printf.printf "%s  (%.3fs)\n" (describe_outcome outcome) elapsed;
+      (match stats_json with
+      | Some file ->
+          let open Simsweep.Telemetry in
+          let j =
+            Obj
+              ([
+                 ("name", String name);
+                 ("engine", String (engine_tag engine));
+                 ("outcome", String (outcome_string outcome));
+                 ("time_s", Float elapsed);
+                 ( "miter",
+                   Obj
+                     [
+                       ("pis", Int (Aig.Network.num_pis miter));
+                       ("pos", Int (Aig.Network.num_pos miter));
+                       ("ands", Int (Aig.Network.num_ands miter));
+                     ] );
+                 ("pool", of_pool (Par.Pool.stats pool));
+               ]
+              @ !telemetry)
+          in
+          (try
+             write_file file j;
+             if verbose then Printf.printf "stats written to %s\n" file
+           with Sys_error msg ->
+             Printf.eprintf "cec: cannot write stats file: %s\n" msg)
+      | None -> ());
       (if certify then
          match outcome with
          | Simsweep.Engine.Proved -> (
@@ -156,12 +215,18 @@ let certify =
          ~doc:"After a proof, regenerate it with a merge-trace certificate \
                and validate every step independently with the SAT solver.")
 
+let stats_json =
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+         ~doc:"Write a machine-readable telemetry snapshot (outcome, \
+               per-phase times, window/word counts, pool utilization, SAT \
+               effort) to FILE as JSON.")
+
 let cmd =
   let doc = "simulation-based parallel sweeping equivalence checker" in
   Cmd.v
     (Cmd.info "simsweep-cec" ~doc)
     Term.(
       const run_check $ engine $ file1 $ file2 $ suite $ scale $ num_domains
-      $ verbose $ certify)
+      $ verbose $ certify $ stats_json)
 
 let () = exit (Cmd.eval' cmd)

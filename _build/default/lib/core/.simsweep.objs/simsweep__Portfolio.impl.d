@@ -1,1 +1,1 @@
-lib/core/portfolio.ml: Bdd Config Engine Sat Unix
+lib/core/portfolio.ml: Bdd Config Engine Sat Stats Unix

@@ -1,1 +1,1 @@
-lib/core/portfolio.mli: Aig Config Engine Par Sat
+lib/core/portfolio.mli: Aig Config Engine Par Sat Stats

@@ -1,1 +1,1 @@
-lib/core/stats.ml: Exhaustive Format Fun Unix
+lib/core/stats.ml: Exhaustive Format Fun Sim Unix

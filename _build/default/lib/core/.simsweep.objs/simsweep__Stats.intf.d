@@ -1,1 +1,1 @@
-lib/core/stats.mli: Exhaustive Format
+lib/core/stats.mli: Exhaustive Format Sim

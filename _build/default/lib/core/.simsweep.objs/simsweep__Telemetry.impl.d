@@ -1,0 +1,1 @@
+lib/core/telemetry.ml: Array Buffer Char Engine Exhaustive Float Fun List Par Printf Sat Sim Stats String

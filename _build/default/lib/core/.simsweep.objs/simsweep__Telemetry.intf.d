@@ -1,0 +1,1 @@
+lib/core/telemetry.mli: Engine Exhaustive Par Sat Sim Stats

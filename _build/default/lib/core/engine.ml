@@ -128,24 +128,34 @@ let po_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~trace g =
 
 (* --- G phase: global function checking ----------------------------------- *)
 
-let past_deadline (cfg : Config.t) ~t0 =
+(* Deadline observations are recorded in the stats so a run cut short by
+   [time_limit] is distinguishable from one that converged. *)
+let past_deadline (cfg : Config.t) ~(stats : Stats.t) ~t0 =
   match cfg.Config.time_limit with
   | None -> false
-  | Some limit -> Unix.gettimeofday () -. t0 > limit
+  | Some limit ->
+      let over = Unix.gettimeofday () -. t0 > limit in
+      if over then begin
+        stats.Stats.deadline_hits <- stats.Stats.deadline_hits + 1;
+        stats.Stats.deadline_exceeded <- true
+      end;
+      over
 
 (* Returns the reduced miter and the carried classes. *)
 let global_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g =
   let g = ref g in
   let sigs =
-    Sim.Psim.run !g ~nwords:cfg.sim_words ~rng ~pool ~embed:[]
+    Sim.Psim.run ~stats:stats.Stats.psim !g ~nwords:cfg.sim_words ~rng ~pool
+      ~embed:[]
   in
   let classes = ref (Sim.Eclass.of_sigs !g sigs ()) in
   let repl = Array.make (Aig.Network.num_nodes !g) None in
   let merged = ref 0 in
   let continue_ = ref true in
   let iterations = ref 0 in
-  while !continue_ && !iterations < 64 && not (past_deadline cfg ~t0) do
+  while !continue_ && !iterations < 64 && not (past_deadline cfg ~stats ~t0) do
     incr iterations;
+    stats.Stats.g_iterations <- stats.Stats.g_iterations + 1;
     let supports = Aig.Support.capped !g ~cap:cfg.k_g in
     let candidates =
       Sim.Eclass.pairs !classes
@@ -164,28 +174,50 @@ let global_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g =
     if candidates = [] then continue_ := false
     else begin
       let candidates = Array.of_list candidates in
-      let jobs =
-        Array.to_list candidates
-        |> List.mapi (fun tag (repr, other, compl_, u) ->
-               {
-                 Exhaustive.inputs = u;
-                 pairs =
-                   [
-                     {
-                       Exhaustive.a = other;
-                       b = (if repr = 0 then -1 else repr);
-                       compl_;
-                       tag;
-                     };
-                   ];
-               })
+      let n = Array.length candidates in
+      stats.Stats.g_candidates <- stats.Stats.g_candidates + n;
+      (* Without a time limit the whole candidate set is one batch (the
+         best window-merging opportunities); under a deadline it is split
+         into bounded batches with a deadline check between them, so one
+         huge batch cannot blow far past [time_limit]. *)
+      let batch_cap =
+        match cfg.Config.time_limit with None -> n | Some _ -> 512
       in
-      let jobs = if cfg.window_merging then Wmerge.merge ~k_s:cfg.k_g jobs else jobs in
-      let verdicts =
-        Exhaustive.run !g ~pool ~memory_words:cfg.memory_words
-          ~stats:stats.Stats.exhaustive ~jobs
-          ~num_tags:(Array.length candidates) ()
-      in
+      let verdicts = Array.make n Exhaustive.Invalid in
+      let base = ref 0 in
+      let stopped = ref false in
+      while !base < n && not !stopped do
+        let hi = min n (!base + max 1 batch_cap) in
+        let jobs =
+          List.init (hi - !base) (fun k ->
+              let tag = !base + k in
+              let repr, other, compl_, u = candidates.(tag) in
+              {
+                Exhaustive.inputs = u;
+                pairs =
+                  [
+                    {
+                      Exhaustive.a = other;
+                      b = (if repr = 0 then -1 else repr);
+                      compl_;
+                      tag;
+                    };
+                  ];
+              })
+        in
+        let jobs =
+          if cfg.window_merging then Wmerge.merge ~k_s:cfg.k_g jobs else jobs
+        in
+        let batch =
+          Exhaustive.run !g ~pool ~memory_words:cfg.memory_words
+            ~stats:stats.Stats.exhaustive ~jobs ~num_tags:n ()
+        in
+        for tag = !base to hi - 1 do
+          verdicts.(tag) <- batch.(tag)
+        done;
+        base := hi;
+        if !base < n && past_deadline cfg ~stats ~t0 then stopped := true
+      done;
       let cexs = ref [] in
       Array.iteri
         (fun tag verdict ->
@@ -211,8 +243,10 @@ let global_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g =
       if !cexs = [] then continue_ := false
       else begin
         (* Refine the classes with the counter-example patterns. *)
+        stats.Stats.g_refinements <- stats.Stats.g_refinements + 1;
         let sigs =
-          Sim.Psim.run !g ~nwords:cfg.sim_words ~rng ~pool ~embed:!cexs
+          Sim.Psim.run ~stats:stats.Stats.psim !g ~nwords:cfg.sim_words ~rng
+            ~pool ~embed:!cexs
         in
         classes := Sim.Eclass.refine !classes sigs
       end
@@ -251,7 +285,7 @@ let local_phases (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g cla
   while
     !progress && !phase < cfg.max_local_phases
     && (not (Aig.Miter.solved !g))
-    && not (past_deadline cfg ~t0)
+    && not (past_deadline cfg ~stats ~t0)
   do
     incr phase;
     stats.Stats.local_phases <- stats.Stats.local_phases + 1;
@@ -310,7 +344,10 @@ let local_phases (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g cla
          rebuilt by fresh partial simulation on the rewritten miter. *)
       if cfg.rewrite_between_phases && not (Aig.Miter.solved !g) then begin
         g := Opt.Resyn.light !g;
-        let sigs = Sim.Psim.run !g ~nwords:cfg.sim_words ~rng ~pool ~embed:[] in
+        let sigs =
+          Sim.Psim.run ~stats:stats.Stats.psim !g ~nwords:cfg.sim_words ~rng
+            ~pool ~embed:[]
+        in
         classes := Sim.Eclass.of_sigs !g sigs ()
       end
     end

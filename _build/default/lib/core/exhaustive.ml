@@ -8,9 +8,11 @@ type stats = {
   mutable nodes_simulated : int;
   mutable words_computed : int;
   mutable rounds : int;
+  mutable small_windows : int;
 }
 
-let new_stats () = { windows = 0; nodes_simulated = 0; words_computed = 0; rounds = 0 }
+let new_stats () =
+  { windows = 0; nodes_simulated = 0; words_computed = 0; rounds = 0; small_windows = 0 }
 
 (* A prepared window: rows [0, ni) are the inputs, rows [ni, ni+nn) the AND
    nodes ordered by local topological level. *)
@@ -29,7 +31,7 @@ type prep = {
   tail_mask : int64;
   ppairs : ppair array;
   mutable buf : Bytes.t;  (* rows * entry_words words, allocated per chunk *)
-  mutable w_nodes : int;  (* stats: words computed in this window *)
+  mutable w_words : int;  (* stats: words actually computed in this window *)
   mutable w_rounds : int;
 }
 
@@ -122,7 +124,7 @@ let prepare g (job : job) =
           tail_mask;
           ppairs;
           buf = Bytes.empty;
-          w_nodes = nn;
+          w_words = 0;
           w_rounds = 0;
         }
 
@@ -144,6 +146,9 @@ let simulate_window pool prep ~entry_words ~verdicts ~par_inner =
     let base = !r * e in
     let nw = min e (prep.tt_words - base) in
     prep.w_rounds <- prep.w_rounds + 1;
+    (* The last round of a window (or a window shorter than the chunk's
+       entry size) computes only [nw <= e] words per row. *)
+    prep.w_words <- prep.w_words + ((prep.ni + prep.nn) * nw);
     (* Projection-table segments for the inputs. *)
     for j = 0 to prep.ni - 1 do
       for lw = 0 to nw - 1 do
@@ -304,6 +309,7 @@ let run g ~pool ~memory_words ?(stats = new_stats ()) ~jobs ~num_tags () =
     Array.iteri
       (fun k (job : job) ->
         stats.windows <- stats.windows + 1;
+        stats.small_windows <- stats.small_windows + 1;
         stats.rounds <- stats.rounds + 1;
         stats.nodes_simulated <- stats.nodes_simulated + counts.(k);
         let nw =
@@ -360,7 +366,7 @@ let run g ~pool ~memory_words ?(stats = new_stats ()) ~jobs ~num_tags () =
         (fun p ->
           stats.windows <- stats.windows + 1;
           stats.nodes_simulated <- stats.nodes_simulated + p.nn;
-          stats.words_computed <- stats.words_computed + (rows p * entry_words * p.w_rounds);
+          stats.words_computed <- stats.words_computed + p.w_words;
           stats.rounds <- stats.rounds + p.w_rounds;
           p.buf <- Bytes.empty)
         chunk)

@@ -36,8 +36,12 @@ type verdict =
 type stats = {
   mutable windows : int;
   mutable nodes_simulated : int;  (** window nodes, summed over windows *)
-  mutable words_computed : int;  (** truth-table words evaluated *)
+  mutable words_computed : int;
+      (** truth-table words actually evaluated — per simulation round only
+          the words of that round's (possibly partial) entry segment count *)
   mutable rounds : int;
+  mutable small_windows : int;
+      (** windows answered by the memoised small-window fast path *)
 }
 
 val new_stats : unit -> stats

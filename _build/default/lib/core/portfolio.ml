@@ -1,6 +1,12 @@
 type engine = Bdd_engine | Sim_engine | Sat_engine
 
-type result = { outcome : Engine.outcome; winner : engine option; time : float }
+type result = {
+  outcome : Engine.outcome;
+  winner : engine option;
+  time : float;
+  engine_stats : Stats.t option;
+  sat_stats : Sat.Sweep.stats option;
+}
 
 let engine_name = function
   | Bdd_engine -> "bdd"
@@ -10,8 +16,14 @@ let engine_name = function
 let check ?(config = Config.default) ?(sat_config = Sat.Sweep.default_config)
     ?(bdd_node_limit = 1 lsl 20) ~pool miter =
   let t0 = Unix.gettimeofday () in
-  let finish outcome winner =
-    { outcome; winner; time = Unix.gettimeofday () -. t0 }
+  let finish ?engine_stats ?sat_stats outcome winner =
+    {
+      outcome;
+      winner;
+      time = Unix.gettimeofday () -. t0;
+      engine_stats;
+      sat_stats;
+    }
   in
   (* Engine 1: BDD with a node budget — cheap on control logic, aborts fast
      on arithmetic. *)
@@ -21,10 +33,14 @@ let check ?(config = Config.default) ?(sat_config = Sat.Sweep.default_config)
   | `Node_limit -> (
       (* Engine 2 + 3: the simulation engine with SAT fallback. *)
       let combined = Engine.check_with_fallback ~config ~sat_config ~pool miter in
+      let engine_stats = combined.Engine.engine.Engine.stats in
       match combined.Engine.final with
       | Engine.Proved | Engine.Disproved _ ->
           let winner =
             if combined.Engine.sat_outcome = None then Sim_engine else Sat_engine
           in
-          finish combined.Engine.final (Some winner)
-      | Engine.Undecided -> finish Engine.Undecided None)
+          finish ~engine_stats ?sat_stats:combined.Engine.sat_stats
+            combined.Engine.final (Some winner)
+      | Engine.Undecided ->
+          finish ~engine_stats ?sat_stats:combined.Engine.sat_stats
+            Engine.Undecided None)

@@ -15,6 +15,10 @@ type result = {
   outcome : Engine.outcome;
   winner : engine option;  (** engine that produced the conclusive answer *)
   time : float;
+  engine_stats : Stats.t option;
+      (** simulation-engine telemetry, when that engine ran *)
+  sat_stats : Sat.Sweep.stats option;
+      (** SAT-fallback telemetry, when the fallback ran *)
 }
 
 (** [check ?config ?sat_config ?bdd_node_limit ~pool miter]. *)

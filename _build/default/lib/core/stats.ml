@@ -9,7 +9,13 @@ type t = {
   mutable pairs_proved_local : int;
   mutable cex_found : int;
   mutable local_phases : int;
+  mutable g_iterations : int;
+  mutable g_candidates : int;
+  mutable g_refinements : int;
+  mutable deadline_hits : int;
+  mutable deadline_exceeded : bool;
   exhaustive : Exhaustive.stats;
+  psim : Sim.Psim.stats;
 }
 
 let create () =
@@ -22,7 +28,13 @@ let create () =
     pairs_proved_local = 0;
     cex_found = 0;
     local_phases = 0;
+    g_iterations = 0;
+    g_candidates = 0;
+    g_refinements = 0;
+    deadline_hits = 0;
+    deadline_exceeded = false;
     exhaustive = Exhaustive.new_stats ();
+    psim = Sim.Psim.new_stats ();
   }
 
 let timed t phase f =
@@ -45,6 +57,9 @@ let breakdown t =
 
 let pp fmt t =
   Format.fprintf fmt
-    "P=%.3fs G=%.3fs L=%.3fs | POs=%d global=%d local=%d cex=%d phases=%d"
+    "P=%.3fs G=%.3fs L=%.3fs | POs=%d global=%d local=%d cex=%d phases=%d \
+     g-iters=%d cand=%d%s"
     t.time_p t.time_g t.time_l t.pos_proved t.pairs_proved_global
-    t.pairs_proved_local t.cex_found t.local_phases
+    t.pairs_proved_local t.cex_found t.local_phases t.g_iterations
+    t.g_candidates
+    (if t.deadline_exceeded then " DEADLINE" else "")

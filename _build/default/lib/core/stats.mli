@@ -12,7 +12,16 @@ type t = {
   mutable pairs_proved_local : int;
   mutable cex_found : int;
   mutable local_phases : int;
+  mutable g_iterations : int;  (** G-phase refinement iterations run *)
+  mutable g_candidates : int;  (** candidate pairs checked in the G phase *)
+  mutable g_refinements : int;
+      (** G-phase iterations that refined the classes with fresh CEXs *)
+  mutable deadline_hits : int;
+      (** times a deadline check observed the time limit exceeded *)
+  mutable deadline_exceeded : bool;
+      (** the configured [time_limit] was exceeded during the run *)
   exhaustive : Exhaustive.stats;
+  psim : Sim.Psim.stats;  (** partial (random) simulation effort *)
 }
 
 val create : unit -> t

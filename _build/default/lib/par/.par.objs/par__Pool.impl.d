@@ -1,1 +1,1 @@
-lib/par/pool.ml: Array Atomic Condition Domain List Mutex Sys
+lib/par/pool.ml: Array Atomic Condition Domain List Mutex Sys Unix

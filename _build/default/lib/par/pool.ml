@@ -7,6 +7,14 @@ type job = {
   exn : exn option Atomic.t;
 }
 
+type stats = {
+  mutable jobs : int;
+  mutable seq_jobs : int;
+  mutable items : int;
+  mutable barrier_wait : float;
+  chunks_per_worker : int array;
+}
+
 type t = {
   spawned : int;
   mutex : Mutex.t;
@@ -18,14 +26,19 @@ type t = {
   done_cond : Condition.t;
   mutable domains : unit Domain.t list;
   in_loop : bool ref;  (* guards against nested parallel_for on this domain *)
+  stat : stats;
 }
 
-let run_chunks job =
+(* Each worker owns one slot of [chunks_per_worker] (slot 0 is the calling
+   domain), so plain increments are race-free. *)
+let run_chunks t slot job =
+  let claims = t.stat.chunks_per_worker in
   let rec loop () =
     if Atomic.get job.exn <> None then ()
     else begin
       let i = Atomic.fetch_and_add job.cursor job.chunk in
       if i < job.stop then begin
+        claims.(slot) <- claims.(slot) + 1;
         let hi = min job.stop (i + job.chunk) in
         (try
            for k = i to hi - 1 do
@@ -38,7 +51,7 @@ let run_chunks job =
   in
   loop ()
 
-let worker_loop t =
+let worker_loop t slot =
   let seen = ref 0 in
   let rec go () =
     Mutex.lock t.mutex;
@@ -53,7 +66,7 @@ let worker_loop t =
       (match job with
       | None -> ()
       | Some job ->
-          run_chunks job;
+          run_chunks t slot job;
           if Atomic.fetch_and_add job.pending (-1) = 1 then begin
             Mutex.lock t.done_mutex;
             Condition.broadcast t.done_cond;
@@ -91,20 +104,41 @@ let create ?num_domains () =
       done_cond = Condition.create ();
       domains = [];
       in_loop = ref false;
+      stat =
+        {
+          jobs = 0;
+          seq_jobs = 0;
+          items = 0;
+          barrier_wait = 0.;
+          chunks_per_worker = Array.make n 0;
+        };
     }
   in
-  t.domains <- List.init t.spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.domains <-
+    List.init t.spawned (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let num_workers t = t.spawned + 1
 
+let stats t = { t.stat with chunks_per_worker = Array.copy t.stat.chunks_per_worker }
+
+let reset_stats t =
+  t.stat.jobs <- 0;
+  t.stat.seq_jobs <- 0;
+  t.stat.items <- 0;
+  t.stat.barrier_wait <- 0.;
+  Array.fill t.stat.chunks_per_worker 0 (Array.length t.stat.chunks_per_worker) 0
+
 let parallel_for t ?chunk ~start ~stop body =
   let n = stop - start in
   if n <= 0 then ()
-  else if t.spawned = 0 || !(t.in_loop) || n <= 1 then
+  else if t.spawned = 0 || !(t.in_loop) || n <= 1 then begin
+    t.stat.seq_jobs <- t.stat.seq_jobs + 1;
+    t.stat.items <- t.stat.items + n;
     for i = start to stop - 1 do
       body i
     done
+  end
   else begin
     let chunk =
       match chunk with
@@ -121,51 +155,62 @@ let parallel_for t ?chunk ~start ~stop body =
         exn = Atomic.make None;
       }
     in
+    t.stat.jobs <- t.stat.jobs + 1;
+    t.stat.items <- t.stat.items + n;
     Mutex.lock t.mutex;
     t.current <- Some job;
     t.generation <- t.generation + 1;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
     t.in_loop := true;
-    run_chunks job;
+    run_chunks t 0 job;
     t.in_loop := false;
+    let wait0 = Unix.gettimeofday () in
     Mutex.lock t.done_mutex;
     while Atomic.get job.pending > 0 do
       Condition.wait t.done_cond t.done_mutex
     done;
     Mutex.unlock t.done_mutex;
+    t.stat.barrier_wait <- t.stat.barrier_wait +. (Unix.gettimeofday () -. wait0);
     match Atomic.get job.exn with None -> () | Some e -> raise e
   end
 
-let parallel_reduce t ~start ~stop ~neutral ~body ~combine =
+let parallel_reduce ?chunk t ~start ~stop ~neutral ~body ~combine =
   let n = stop - start in
   if n <= 0 then neutral
   else begin
-    let nslots = t.spawned + 1 in
-    let slots = Array.make nslots neutral in
-    let slot_cursor = Atomic.make 0 in
-    let key = Domain.DLS.new_key (fun () -> -1) in
-    parallel_for t ~start ~stop (fun i ->
-        let s =
-          let s = Domain.DLS.get key in
-          if s >= 0 then s
-          else begin
-            let s = Atomic.fetch_and_add slot_cursor 1 in
-            Domain.DLS.set key s;
-            s
-          end
-        in
-        slots.(s) <- combine slots.(s) (body i));
-    Array.fold_left combine neutral slots
+    (* Deterministic: chunk boundaries depend only on [n] and [chunk], each
+       chunk folds its indices left-to-right, and the chunk partials are
+       folded in chunk order — so any associative [combine] gives the same
+       result as a sequential left fold, run after run. *)
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | _ -> max 1 (n / (8 * (t.spawned + 1)))
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let partial = Array.make nchunks neutral in
+    parallel_for t ~chunk:1 ~start:0 ~stop:nchunks (fun c ->
+        let lo = start + (c * chunk) in
+        let hi = min stop (lo + chunk) in
+        let acc = ref neutral in
+        for i = lo to hi - 1 do
+          acc := combine !acc (body i)
+        done;
+        partial.(c) <- !acc);
+    Array.fold_left combine neutral partial
   end
 
 let shutdown t =
   Mutex.lock t.mutex;
+  let already = t.stopping in
   t.stopping <- true;
   Condition.broadcast t.cond;
   Mutex.unlock t.mutex;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  if not already then begin
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
 
 let default_pool = ref None
 
@@ -175,4 +220,7 @@ let default () =
   | None ->
       let p = create () in
       default_pool := Some p;
+      (* The default pool's domains are never joined by callers; tear them
+         down at process exit so runs under test runners exit cleanly. *)
+      at_exit (fun () -> shutdown p);
       p

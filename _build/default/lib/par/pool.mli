@@ -8,6 +8,19 @@
 
 type t
 
+(** Utilization counters, accumulated since pool creation (or the last
+    {!reset_stats}).  [chunks_per_worker.(0)] counts chunks claimed by the
+    calling domain, slots [1..] the spawned workers — their spread shows
+    how evenly the self-scheduling balanced the load. *)
+type stats = {
+  mutable jobs : int;  (** parallel loops dispatched to the workers *)
+  mutable seq_jobs : int;  (** loops run inline (tiny range or nested) *)
+  mutable items : int;  (** loop indices executed, over all loops *)
+  mutable barrier_wait : float;
+      (** seconds the calling domain spent waiting at end-of-loop barriers *)
+  chunks_per_worker : int array;
+}
+
 (** [create ~num_domains ()] spawns [num_domains - 1] worker domains; the
     calling domain participates in every loop, so [num_domains = 1] gives a
     purely sequential pool.  Defaults to [recommended_domain_count],
@@ -17,6 +30,11 @@ val create : ?num_domains:int -> unit -> t
 (** Total workers, including the calling domain. *)
 val num_workers : t -> int
 
+(** Snapshot of the pool's utilization counters. *)
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
 (** [parallel_for t ~chunk ~start ~stop body] runs [body i] for
     [start <= i < stop] across the pool and returns once every index is
     done.  Exceptions raised by [body] are re-raised (first one wins) after
@@ -24,13 +42,25 @@ val num_workers : t -> int
 val parallel_for : t -> ?chunk:int -> start:int -> stop:int -> (int -> unit) -> unit
 
 (** [parallel_reduce t ~start ~stop ~neutral ~body ~combine] folds the
-    values of [body i] with [combine]; [combine] must be associative and
-    [neutral] its unit. *)
+    values of [body i] with [combine].  [combine] must be associative and
+    [neutral] its unit; commutativity is {e not} required — indices are
+    folded left-to-right within fixed chunks and the chunk partials are
+    combined in index order, so the result is deterministic and equal to
+    the sequential left fold for any associative [combine]. *)
 val parallel_reduce :
-  t -> start:int -> stop:int -> neutral:'a -> body:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+  ?chunk:int ->
+  t ->
+  start:int ->
+  stop:int ->
+  neutral:'a ->
+  body:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
 
-(** Terminate the worker domains.  The pool must not be used afterwards. *)
+(** Terminate the worker domains.  Idempotent; the pool must not be used
+    for further loops afterwards. *)
 val shutdown : t -> unit
 
-(** Lazily-created process-wide pool. *)
+(** Lazily-created process-wide pool; its workers are shut down
+    automatically at process exit. *)
 val default : unit -> t

@@ -32,6 +32,8 @@ type stats = {
   mutable rounds : int;
   mutable cex_count : int;
   mutable rsim_splits : int;
+  mutable candidates : int;
+  mutable conflicts : int;
 }
 
 let new_stats () =
@@ -44,6 +46,8 @@ let new_stats () =
     rounds = 0;
     cex_count = 0;
     rsim_splits = 0;
+    candidates = 0;
+    conflicts = 0;
   }
 
 (* Prove [target = repr_lit] on [g] through two SAT calls; [solver] holds
@@ -122,6 +126,7 @@ let sweep_core ?(config = default_config) ?classes ~pool ~stats g0 =
       List.iter
         (fun { Sim.Eclass.repr; other; compl_ } ->
           if !fresh_cexs < config.cex_batch && repl.(other) = None then begin
+            stats.candidates <- stats.candidates + 1;
             let repr_lit = Aig.Lit.make repr compl_ in
             let target = Aig.Lit.make other false in
             (* Reverse simulation first: a justified distinguishing pattern
@@ -156,6 +161,7 @@ let sweep_core ?(config = default_config) ?classes ~pool ~stats g0 =
             | `Unknown -> ()
           end)
         pairs;
+      stats.conflicts <- stats.conflicts + Solver.num_conflicts solver;
       if !merged_round > 0 then begin
         let r = Aig.Reduce.apply !g ~repl in
         g := r.Aig.Reduce.network
@@ -200,7 +206,9 @@ let check ?(config = default_config) ?classes ~pool g0 =
                     Undecided
               end)
         in
-        check_pos (Aig.Miter.unsolved_outputs g)
+        let r = check_pos (Aig.Miter.unsolved_outputs g) in
+        stats.conflicts <- stats.conflicts + Solver.num_conflicts solver;
+        r
       end
     end
   in

@@ -37,6 +37,8 @@ type stats = {
   mutable rounds : int;
   mutable cex_count : int;
   mutable rsim_splits : int;  (** pairs disproved by reverse simulation *)
+  mutable candidates : int;  (** candidate pairs attempted *)
+  mutable conflicts : int;  (** CDCL conflicts, summed over all solvers *)
 }
 
 (** [check ?config ?classes ~pool miter] decides whether every PO of

@@ -1,1 +1,1 @@
-test/test_pool.ml: Alcotest Array Atomic Fun Par QCheck QCheck_alcotest
+test/test_pool.ml: Alcotest Array Atomic Fun List Par QCheck QCheck_alcotest

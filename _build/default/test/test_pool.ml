@@ -80,6 +80,41 @@ let test_reduce () =
       done;
       Alcotest.(check int) "max" !expect m)
 
+let test_reduce_deterministic () =
+  (* Regression: list append is associative but NOT commutative, so any
+     scheduling-order dependence in parallel_reduce shows up as a permuted
+     result.  Must equal the sequential left fold, every run, every chunking. *)
+  with_pool 4 (fun pool ->
+      let n = 500 in
+      let expect = List.init n Fun.id in
+      List.iter
+        (fun chunk ->
+          for _run = 1 to 10 do
+            let got =
+              match chunk with
+              | None ->
+                  Par.Pool.parallel_reduce pool ~start:0 ~stop:n ~neutral:[]
+                    ~body:(fun i -> [ i ])
+                    ~combine:( @ )
+              | Some chunk ->
+                  Par.Pool.parallel_reduce ~chunk pool ~start:0 ~stop:n
+                    ~neutral:[]
+                    ~body:(fun i -> [ i ])
+                    ~combine:( @ )
+            in
+            Alcotest.(check (list int)) "in order" expect got
+          done)
+        [ None; Some 1; Some 7; Some 64; Some 1000 ])
+
+let test_shutdown_idempotent () =
+  let pool = Par.Pool.create ~num_domains:3 () in
+  Par.Pool.parallel_for pool ~start:0 ~stop:10 (fun _ -> ());
+  Par.Pool.shutdown pool;
+  (* A second shutdown (e.g. an at_exit hook after an explicit one) must be
+     a no-op, not a hang on already-joined domains. *)
+  Par.Pool.shutdown pool;
+  Alcotest.(check pass) "second shutdown returns" () ()
+
 let prop_matches_sequential =
   QCheck.Test.make ~name:"parallel_for equals sequential map" ~count:30
     QCheck.(pair (int_range 0 500) (int_range 1 64))
@@ -106,6 +141,8 @@ let () =
           Alcotest.test_case "reuse" `Quick test_reuse_many;
           Alcotest.test_case "nested" `Quick test_nested;
           Alcotest.test_case "reduce" `Quick test_reduce;
+          Alcotest.test_case "reduce deterministic" `Quick test_reduce_deterministic;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
         ] );
       ("props", [ QCheck_alcotest.to_alcotest prop_matches_sequential ]);
     ]

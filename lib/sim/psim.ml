@@ -1,5 +1,15 @@
 type sigs = { nwords : int; num_nodes : int; data : Bytes.t }
 
+type stats = {
+  mutable runs : int;
+  mutable level_batches : int;
+  mutable node_words : int;
+  mutable patterns_embedded : int;
+}
+
+let new_stats () =
+  { runs = 0; level_batches = 0; node_words = 0; patterns_embedded = 0 }
+
 let nwords s = s.nwords
 
 let row_off s n = n * s.nwords * 8
@@ -12,7 +22,7 @@ let value s n p =
   let w = p lsr 6 in
   Int64.logand (Int64.shift_right_logical (word s n w) (p land 63)) 1L <> 0L
 
-let run g ~nwords ~rng ~pool ~embed =
+let run ?stats g ~nwords ~rng ~pool ~embed =
   if nwords <= 0 then invalid_arg "Psim.run: nwords must be positive";
   let num_nodes = Aig.Network.num_nodes g in
   let s = { nwords; num_nodes; data = Bytes.make (num_nodes * nwords * 8) '\x00' } in
@@ -39,6 +49,16 @@ let run g ~nwords ~rng ~pool ~embed =
     embed;
   (* Level-wise parallel evaluation. *)
   let batches = Aig.Network.level_batches g in
+  (match stats with
+  | Some st ->
+      st.runs <- st.runs + 1;
+      st.level_batches <- st.level_batches + Array.length batches;
+      st.node_words <-
+        st.node_words
+        + (nwords * Array.fold_left (fun acc b -> acc + Array.length b) 0 batches);
+      st.patterns_embedded <-
+        st.patterns_embedded + min (List.length embed) (64 * nwords)
+  | None -> ());
   Array.iter
     (fun batch ->
       Par.Pool.parallel_for pool ~start:0 ~stop:(Array.length batch) (fun k ->

@@ -11,11 +11,23 @@ type sigs
 (** Words per signature. *)
 val nwords : sigs -> int
 
+(** Simulation-effort counters, accumulated across runs when a [stats]
+    record is passed to {!run}. *)
+type stats = {
+  mutable runs : int;
+  mutable level_batches : int;  (** topological levels evaluated *)
+  mutable node_words : int;  (** AND-node signature words computed *)
+  mutable patterns_embedded : int;  (** counter-example patterns embedded *)
+}
+
+val new_stats : unit -> stats
+
 (** [run g ~nwords ~rng ~pool ~embed] simulates [64*nwords] patterns:
     random PI values from [rng], with the assignments of [embed] (each a
     [bool array] over PIs, in order) written into the lowest pattern slots.
     At most [64*nwords] embedded patterns are used. *)
 val run :
+  ?stats:stats ->
   Aig.Network.t ->
   nwords:int ->
   rng:Rng.t ->
