@@ -21,6 +21,15 @@ let heading title = pr "\n=== %s ===\n%!" title
 
 let bench_json_file = "BENCH_cec.json"
 
+(* BENCH_CASES=log2,sin restricts table2 to a subset — the CI smoke job
+   uses this to exercise the full harness and JSON schema in minutes. *)
+let selected_cases () =
+  match Sys.getenv_opt "BENCH_CASES" with
+  | None | Some "" -> Cases.table2
+  | Some spec ->
+      let names = String.split_on_char ',' spec |> List.map String.trim in
+      List.map Cases.find names
+
 let table2 () =
   heading
     "Table II - runtime comparison (ABC-analog = SAT sweeping, Cfm-analog = portfolio)";
@@ -80,7 +89,7 @@ let table2 () =
         | None -> "-"
         | Some t -> Printf.sprintf "%.3f" t)
         ours.Harness.total su_sat su_pf)
-    Cases.table2;
+    (selected_cases ());
   pr "%-11s %62s | %7.2fx %7.2fx\n" "geomean" "" (Harness.geomean !sp_sat)
     (Harness.geomean !sp_pf);
   (* Machine-readable snapshot: the perf trajectory future PRs compare
@@ -89,7 +98,7 @@ let table2 () =
   write_file bench_json_file
     (Obj
        [
-         ("schema", String "bench-cec-v1");
+         ("schema", String "bench-cec-v2");
          ("experiment", String "table2");
          ("domains", Int (Par.Pool.num_workers pool));
          ("cases", List (List.rev !rows));

@@ -1,1 +1,1 @@
-lib/bv/bits.ml: Bytes Format Hashtbl Int64 Stdlib String
+lib/bv/bits.ml: Array Bytes Format Hashtbl Int64 Stdlib String

@@ -185,33 +185,31 @@ let popcount v =
   let rec go w acc = if w = nw then acc else go (w + 1) (acc + popcount_word (get_word v w)) in
   go 0 0
 
+(* De Bruijn sequence B(2,6): multiplying an isolated bit [1 << i] by the
+   constant places a 6-bit window unique to [i] in the top bits.  The
+   lookup table is derived from the constant at module init, so the two
+   can never drift apart. *)
+let ctz_debruijn = 0x03f79d71b4ca8b09L
+
+let ctz_table =
+  let t = Array.make 64 0 in
+  for i = 0 to 63 do
+    let idx =
+      Int64.to_int
+        (Int64.shift_right_logical
+           (Int64.mul (Int64.shift_left 1L i) ctz_debruijn)
+           58)
+    in
+    t.(idx) <- i
+  done;
+  t
+
 let ctz64 x =
   if Int64.equal x 0L then 64
-  else begin
-    let n = ref 0 and x = ref x in
-    if Int64.equal (Int64.logand !x 0xffffffffL) 0L then begin
-      n := !n + 32;
-      x := Int64.shift_right_logical !x 32
-    end;
-    if Int64.equal (Int64.logand !x 0xffffL) 0L then begin
-      n := !n + 16;
-      x := Int64.shift_right_logical !x 16
-    end;
-    if Int64.equal (Int64.logand !x 0xffL) 0L then begin
-      n := !n + 8;
-      x := Int64.shift_right_logical !x 8
-    end;
-    if Int64.equal (Int64.logand !x 0xfL) 0L then begin
-      n := !n + 4;
-      x := Int64.shift_right_logical !x 4
-    end;
-    if Int64.equal (Int64.logand !x 0x3L) 0L then begin
-      n := !n + 2;
-      x := Int64.shift_right_logical !x 2
-    end;
-    if Int64.equal (Int64.logand !x 0x1L) 0L then n := !n + 1;
-    !n
-  end
+  else
+    (* x land (-x) isolates the lowest set bit; the rest is branchless. *)
+    let lsb = Int64.logand x (Int64.neg x) in
+    ctz_table.(Int64.to_int (Int64.shift_right_logical (Int64.mul lsb ctz_debruijn) 58))
 
 let first_diff a b =
   check_same_len a b "Bits.first_diff";

@@ -77,6 +77,12 @@ val is_ones : t -> bool
 (** Number of set bits. *)
 val popcount : t -> int
 
+(** [ctz64 x] is the number of trailing zero bits of [x], and 64 when
+    [x = 0].  Branchless De Bruijn multiplication — the shared primitive
+    behind {!first_diff}, {!first_one} and the simulators' mismatch
+    pattern extraction. *)
+val ctz64 : int64 -> int
+
 (** Index of the first bit where the vectors differ, if any. *)
 val first_diff : t -> t -> int option
 

@@ -1,0 +1,1 @@
+lib/core/arena.mli: Bytes

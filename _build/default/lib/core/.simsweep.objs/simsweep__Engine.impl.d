@@ -1,1 +1,1 @@
-lib/core/engine.ml: Aig Array Config Exhaustive Fun Hashtbl List Local Logs Opt Sat Sim Stats Unix Wmerge
+lib/core/engine.ml: Aig Arena Array Config Exhaustive Fun Hashtbl List Local Logs Opt Sat Sim Stats Unix Wmerge

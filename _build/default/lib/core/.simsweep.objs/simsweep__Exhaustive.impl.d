@@ -1,1 +1,1 @@
-lib/core/exhaustive.ml: Aig Array Bv Bytes Hashtbl Int64 List Par
+lib/core/exhaustive.ml: Aig Arena Array Atomic Bv Bytes Fun Hashtbl Int Int64 List Par

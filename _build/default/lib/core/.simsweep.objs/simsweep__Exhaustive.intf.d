@@ -1,1 +1,1 @@
-lib/core/exhaustive.mli: Aig Par
+lib/core/exhaustive.mli: Aig Arena Par

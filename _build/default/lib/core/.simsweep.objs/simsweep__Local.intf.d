@@ -1,1 +1,1 @@
-lib/core/local.mli: Aig Config Cuts Exhaustive Par Sim
+lib/core/local.mli: Aig Arena Config Cuts Exhaustive Par Sim

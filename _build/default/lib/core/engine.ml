@@ -28,7 +28,7 @@ let reduction_percent r =
 (* --- P phase: PO checking ------------------------------------------------ *)
 
 (* Returns [Ok g'] (reduced miter) or [Error cex_po]. *)
-let po_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~trace g =
+let po_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~trace g =
   (* A PO already reduced to constant true is disproved by any assignment. *)
   let const_true_po = ref None in
   for i = Aig.Network.num_pos g - 1 downto 0 do
@@ -86,7 +86,7 @@ let po_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~trace g =
     in
     let jobs = if cfg.window_merging then Wmerge.merge ~k_s jobs else jobs in
     let verdicts =
-      Exhaustive.run g ~pool ~memory_words:cfg.memory_words
+      Exhaustive.run g ~pool ~memory_words:cfg.memory_words ~arena
         ~stats:stats.Stats.exhaustive ~jobs ~num_tags:num_pos ()
     in
     (* A mismatch on a PO is a real counter-example. *)
@@ -142,7 +142,7 @@ let past_deadline (cfg : Config.t) ~(stats : Stats.t) ~t0 =
       over
 
 (* Returns the reduced miter and the carried classes. *)
-let global_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g =
+let global_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trace g =
   let g = ref g in
   let sigs =
     Sim.Psim.run ~stats:stats.Stats.psim !g ~nwords:cfg.sim_words ~rng ~pool
@@ -209,7 +209,7 @@ let global_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g =
           if cfg.window_merging then Wmerge.merge ~k_s:cfg.k_g jobs else jobs
         in
         let batch =
-          Exhaustive.run !g ~pool ~memory_words:cfg.memory_words
+          Exhaustive.run !g ~pool ~memory_words:cfg.memory_words ~arena
             ~stats:stats.Stats.exhaustive ~jobs ~num_tags:n ()
         in
         for tag = !base to hi - 1 do
@@ -276,7 +276,7 @@ let global_phase (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g =
 
 (* --- L phases: repeated local function checking --------------------------- *)
 
-let local_phases (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g classes =
+let local_phases (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trace g classes =
   let g = ref g and classes = ref classes in
   let phase = ref 0 in
   let progress = ref true in
@@ -295,7 +295,8 @@ let local_phases (cfg : Config.t) ~pool ~(stats : Stats.t) ~rng ~t0 ~trace g cla
     List.iter
       (fun pass ->
         let result =
-          Local.run_pass cfg ~pass ~pool ~stats:stats.Stats.exhaustive !g !classes
+          Local.run_pass cfg ~pass ~pool ~arena ~stats:stats.Stats.exhaustive
+            !g !classes
         in
         let dropped = Hashtbl.create 64 in
         let pass_merged = ref 0 in
@@ -366,6 +367,9 @@ let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
   let miter = Aig.Network.copy miter in
   let initial_size = Aig.Network.num_ands miter in
   let rng = Sim.Rng.create ~seed:config.seed in
+  (* One simulation-table slab for the whole run: every exhaustive batch
+     of every phase recycles it instead of re-allocating the budget. *)
+  let arena = Arena.create ~words:config.Config.memory_words in
   let finish ?classes outcome g =
     {
       outcome;
@@ -379,7 +383,7 @@ let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
   (* P phase. *)
   let p_result =
     Stats.timed stats Stats.Po_check (fun () ->
-        po_phase config ~pool ~stats ~trace miter)
+        po_phase config ~pool ~arena ~stats ~trace miter)
   in
   match p_result with
   | Error (cex, po) -> finish (Disproved (cex, po)) miter
@@ -390,7 +394,7 @@ let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
         (* G phase. *)
         let g, classes =
           Stats.timed stats Stats.Global_check (fun () ->
-              global_phase config ~pool ~stats ~rng ~t0 ~trace g)
+              global_phase config ~pool ~arena ~stats ~rng ~t0 ~trace g)
         in
         if Aig.Miter.solved g then
           finish Proved (Aig.Reduce.sweep g).Aig.Reduce.network
@@ -399,7 +403,7 @@ let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
           (* L phases. *)
           let g, classes =
             Stats.timed stats Stats.Local_check (fun () ->
-                local_phases config ~pool ~stats ~rng ~t0 ~trace g classes)
+                local_phases config ~pool ~arena ~stats ~rng ~t0 ~trace g classes)
           in
           if Aig.Miter.solved g then
             finish Proved (Aig.Reduce.sweep g).Aig.Reduce.network

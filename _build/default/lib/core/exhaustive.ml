@@ -9,10 +9,20 @@ type stats = {
   mutable words_computed : int;
   mutable rounds : int;
   mutable small_windows : int;
+  mutable arena_hwm_words : int;
+  mutable arena_grows : int;
 }
 
 let new_stats () =
-  { windows = 0; nodes_simulated = 0; words_computed = 0; rounds = 0; small_windows = 0 }
+  {
+    windows = 0;
+    nodes_simulated = 0;
+    words_computed = 0;
+    rounds = 0;
+    small_windows = 0;
+    arena_hwm_words = 0;
+    arena_grows = 0;
+  }
 
 (* A prepared window: rows [0, ni) are the inputs, rows [ni, ni+nn) the AND
    nodes ordered by local topological level. *)
@@ -30,7 +40,7 @@ type prep = {
   tt_words : int;
   tail_mask : int64;
   ppairs : ppair array;
-  mutable buf : Bytes.t;  (* rows * entry_words words, allocated per chunk *)
+  mutable base : int;  (* word offset of this window's rows in the arena *)
   mutable w_words : int;  (* stats: words actually computed in this window *)
   mutable w_rounds : int;
 }
@@ -40,7 +50,7 @@ let prepare g (job : job) =
     List.fold_left
       (fun acc p -> if p.b >= 0 then p.a :: p.b :: acc else p.a :: acc)
       [] job.pairs
-    |> List.sort_uniq compare
+    |> List.sort_uniq Int.compare
   in
   (* Roots inside the input boundary are legal: their truth table is the
      projection of that input. *)
@@ -62,11 +72,14 @@ let prepare g (job : job) =
         1 + max l0 l1
       in
       Array.iter (fun n -> Hashtbl.replace level n (node_level n)) nodes;
-      let slots = Array.copy nodes in
-      (* Stable sort by level keeps id order inside a level. *)
-      Array.stable_sort
-        (fun a b -> compare (Hashtbl.find level a) (Hashtbl.find level b))
-        slots;
+      (* Sort slots by level via a plain int array so the comparator costs
+         two array loads, not two hash lookups.  Stable sort keeps id order
+         inside a level. *)
+      let node_lvl = Array.map (fun n -> Hashtbl.find level n) nodes in
+      let order = Array.init nn Fun.id in
+      Array.stable_sort (fun a b -> Int.compare node_lvl.(a) node_lvl.(b)) order;
+      let slots = Array.map (fun i -> nodes.(i)) order in
+      let slot_lvl = Array.map (fun i -> node_lvl.(i)) order in
       let row_of = Hashtbl.create (2 * (ni + nn)) in
       Array.iteri (fun i n -> Hashtbl.replace row_of n i) inputs;
       Array.iteri (fun s n -> Hashtbl.replace row_of n (ni + s)) slots;
@@ -82,14 +95,12 @@ let prepare g (job : job) =
           f1_row.(s) <- Hashtbl.find row_of (Aig.Lit.node f1);
           f1_mask.(s) <- (if Aig.Lit.is_compl f1 then -1L else 0L))
         slots;
-      let max_level = if nn = 0 then 0 else Hashtbl.find level slots.(nn - 1) in
+      let max_level = if nn = 0 then 0 else slot_lvl.(nn - 1) in
       (* level_start.(l) is the first slot whose local level is >= l. *)
       let level_start = Array.make (max_level + 2) 0 in
       for l = 1 to max_level + 1 do
         let rec first i =
-          if i = nn then nn
-          else if Hashtbl.find level slots.(i) >= l then i
-          else first (i + 1)
+          if i = nn then nn else if slot_lvl.(i) >= l then i else first (i + 1)
         in
         level_start.(l) <- first level_start.(l - 1)
       done;
@@ -123,26 +134,34 @@ let prepare g (job : job) =
           tt_words;
           tail_mask;
           ppairs;
-          buf = Bytes.empty;
+          base = 0;
           w_words = 0;
           w_rounds = 0;
         }
 
-let ctz64 x =
-  let rec go i = if Int64.logand (Int64.shift_right_logical x i) 1L <> 0L then i else go (i + 1) in
-  if Int64.equal x 0L then 64 else go 0
+let ctz64 = Bv.Bits.ctz64
 
 (* Simulate one window completely (all rounds); verdicts written by tag.
-   [par_inner] enables level-wise parallel node evaluation for big
-   windows. *)
-let simulate_window pool prep ~entry_words ~verdicts ~par_inner =
+   The window's rows live at word offset [prep.base] of [arena].
+   [par_inner] enables level-wise parallel node evaluation and parallel
+   pair comparison for big windows. *)
+let simulate_window pool arena prep ~entry_words ~verdicts ~par_inner =
   let e = entry_words in
-  let get row lw = Bytes.get_int64_ne prep.buf (((row * e) + lw) * 8) in
-  let set row lw x = Bytes.set_int64_ne prep.buf (((row * e) + lw) * 8) x in
+  let data = Arena.data arena in
+  let base_off = prep.base in
+  (* Byte offset of a row's segment.  The hot loops below index [data]
+     through per-row offsets hoisted out of the word loop rather than
+     through get/set helpers: a helper that is one arithmetic node too big
+     to inline boxes its int64 argument or result on EVERY simulated word
+     — an allocation storm that also stalls every other domain in minor-GC
+     rendezvous. *)
+  let row_off row = (base_off + (row * e)) * 8 in
   let rounds = (prep.tt_words + e - 1) / e in
-  let active = ref (Array.length prep.ppairs) in
+  (* Pairs decided by the fused comparison decrement [active] from worker
+     domains; the round loop exits as soon as none remain. *)
+  let active = Atomic.make (Array.length prep.ppairs) in
   let r = ref 0 in
-  while !r < rounds && !active > 0 do
+  while !r < rounds && Atomic.get active > 0 do
     let base = !r * e in
     let nw = min e (prep.tt_words - base) in
     prep.w_rounds <- prep.w_rounds + 1;
@@ -151,38 +170,41 @@ let simulate_window pool prep ~entry_words ~verdicts ~par_inner =
     prep.w_words <- prep.w_words + ((prep.ni + prep.nn) * nw);
     (* Projection-table segments for the inputs. *)
     for j = 0 to prep.ni - 1 do
+      let oj = row_off j in
       for lw = 0 to nw - 1 do
-        set j lw (Bv.Tt.proj_word ~var:j (base + lw))
+        Bytes.set_int64_ne data (oj + (lw * 8)) (Bv.Tt.proj_word ~var:j (base + lw))
       done
     done;
     (* Level-wise evaluation. *)
     let eval_slot s =
-      let r0 = prep.f0_row.(s)
+      let o0 = row_off prep.f0_row.(s)
       and m0 = prep.f0_mask.(s)
-      and r1 = prep.f1_row.(s)
+      and o1 = row_off prep.f1_row.(s)
       and m1 = prep.f1_mask.(s) in
-      let row = prep.ni + s in
+      let dst = row_off (prep.ni + s) in
       for lw = 0 to nw - 1 do
-        set row lw
+        let k = lw * 8 in
+        Bytes.set_int64_ne data (dst + k)
           (Int64.logand
-             (Int64.logxor (get r0 lw) m0)
-             (Int64.logxor (get r1 lw) m1))
+             (Int64.logxor (Bytes.get_int64_ne data (o0 + k)) m0)
+             (Int64.logxor (Bytes.get_int64_ne data (o1 + k)) m1))
       done
     in
     (* The first parallel dimension of Fig. 3 — words of one truth table —
        matters when a level holds few nodes but the tables are long; split
        each slot's word range into chunks and schedule (slot, chunk) pairs. *)
     let eval_slot_range s lo hi =
-      let r0 = prep.f0_row.(s)
+      let o0 = row_off prep.f0_row.(s)
       and m0 = prep.f0_mask.(s)
-      and r1 = prep.f1_row.(s)
+      and o1 = row_off prep.f1_row.(s)
       and m1 = prep.f1_mask.(s) in
-      let row = prep.ni + s in
+      let dst = row_off (prep.ni + s) in
       for lw = lo to hi - 1 do
-        set row lw
+        let k = lw * 8 in
+        Bytes.set_int64_ne data (dst + k)
           (Int64.logand
-             (Int64.logxor (get r0 lw) m0)
-             (Int64.logxor (get r1 lw) m1))
+             (Int64.logxor (Bytes.get_int64_ne data (o0 + k)) m0)
+             (Int64.logxor (Bytes.get_int64_ne data (o1 + k)) m1))
       done
     in
     if par_inner then begin
@@ -205,31 +227,45 @@ let simulate_window pool prep ~entry_words ~verdicts ~par_inner =
       for s = 0 to prep.nn - 1 do
         eval_slot s
       done;
-    (* Compare the pairs on this round's segment. *)
-    Array.iter
-      (fun p ->
-        if not p.decided then begin
-          let cmask = if p.pcompl then -1L else 0L in
-          let lw = ref 0 in
-          while !lw < nw && not p.decided do
-            let x = get p.a_row !lw in
-            let y = if p.b_row < 0 then 0L else get p.b_row !lw in
-            let diff = Int64.logxor (Int64.logxor x y) cmask in
-            let diff =
-              if base + !lw = prep.tt_words - 1 then Int64.logand diff prep.tail_mask
-              else diff
-            in
-            if not (Int64.equal diff 0L) then begin
-              p.decided <- true;
-              decr active;
-              verdicts.(p.ptag) <-
-                Mismatch
-                  { pattern = ((base + !lw) * 64) + ctz64 diff; inputs = prep.inputs }
-            end;
-            incr lw
-          done
-        end)
-      prep.ppairs;
+    (* Compare the pairs on this round's segment, fused into the parallel
+       schedule: each pair's word range is scanned by whichever worker
+       claims it, rather than sequentially on the calling domain after the
+       barrier.  One pair is owned by exactly one loop index, so [decided]
+       needs no synchronisation; only the shared [active] count is atomic.
+       The scan order over words is fixed, so the reported mismatch
+       pattern is identical to the sequential sweep's. *)
+    let compare_pair k =
+      let p = prep.ppairs.(k) in
+      if not p.decided then begin
+        let cmask = if p.pcompl then -1L else 0L in
+        let oa = row_off p.a_row in
+        let ob = if p.b_row < 0 then -1 else row_off p.b_row in
+        let lw = ref 0 in
+        while !lw < nw && not p.decided do
+          let x = Bytes.get_int64_ne data (oa + (!lw * 8)) in
+          let y = if ob < 0 then 0L else Bytes.get_int64_ne data (ob + (!lw * 8)) in
+          let diff = Int64.logxor (Int64.logxor x y) cmask in
+          let diff =
+            if base + !lw = prep.tt_words - 1 then Int64.logand diff prep.tail_mask
+            else diff
+          in
+          if not (Int64.equal diff 0L) then begin
+            p.decided <- true;
+            Atomic.decr active;
+            verdicts.(p.ptag) <-
+              Mismatch
+                { pattern = ((base + !lw) * 64) + ctz64 diff; inputs = prep.inputs }
+          end;
+          incr lw
+        done
+      end
+    in
+    let np = Array.length prep.ppairs in
+    if par_inner then Par.Pool.parallel_for pool ~start:0 ~stop:np compare_pair
+    else
+      for k = 0 to np - 1 do
+        compare_pair k
+      done;
     incr r
   done;
   (* Pairs that survived every round are proved. *)
@@ -294,7 +330,7 @@ let small_window g (job : job) verdicts =
    with Boundary_escape -> () (* pairs keep the default [Invalid] verdict *));
   !nodes
 
-let run g ~pool ~memory_words ?(stats = new_stats ()) ~jobs ~num_tags () =
+let run g ~pool ~memory_words ?arena ?(stats = new_stats ()) ~jobs ~num_tags () =
   let verdicts = Array.make num_tags Invalid in
   (* Small windows (local function checking) go through the direct
      evaluator; large ones use the round-based simulation table. *)
@@ -321,6 +357,16 @@ let run g ~pool ~memory_words ?(stats = new_stats ()) ~jobs ~num_tags () =
       small
   end;
   let preps = List.filter_map (fun job -> prepare g job) jobs in
+  (* The simulation table: the whole [memory_words] budget is one arena
+     slab, created per run (or handed in by the caller for reuse across
+     batches) and recycled across chunks and rounds — the seed allocated
+     every window's buffer from the GC heap on every chunk. *)
+  let arena =
+    match arena with
+    | Some a -> a
+    | None -> if preps = [] then Arena.create ~words:0 else Arena.create ~words:memory_words
+  in
+  let grows0 = Arena.grows arena in
   (* Greedy chunking under the memory budget (a single oversized window
      still runs alone with E = 1). *)
   let rows p = p.ni + p.nn in
@@ -347,28 +393,36 @@ let run g ~pool ~memory_words ?(stats = new_stats ()) ~jobs ~num_tags () =
         e := 2 * !e
       done;
       let entry_words = !e in
-      Array.iter
-        (fun p -> p.buf <- Bytes.create (rows p * entry_words * 8))
-        chunk;
+      Arena.reset arena;
+      (* An oversized single window (rows > memory_words, E = 1) needs more
+         than the configured slab, exactly like the seed's unbounded
+         per-window allocation did. *)
+      Arena.ensure arena (total_rows * entry_words);
+      Array.iter (fun p -> p.base <- Arena.alloc arena (rows p * entry_words)) chunk;
       let big p = rows p > 8192 in
       let small_idx = ref [] and big_idx = ref [] in
       Array.iteri (fun i p -> if big p then big_idx := i :: !big_idx else small_idx := i :: !small_idx) chunk;
       let small = Array.of_list !small_idx in
-      Par.Pool.parallel_for pool ~chunk:1 ~start:0 ~stop:(Array.length small)
-        (fun k ->
-          simulate_window pool chunk.(small.(k)) ~entry_words ~verdicts
-            ~par_inner:false);
-      List.iter
-        (fun i ->
-          simulate_window pool chunk.(i) ~entry_words ~verdicts ~par_inner:true)
-        !big_idx;
+      (* One region per chunk: the workers stay hot across the window loop
+         and every per-level barrier inside the big windows. *)
+      Par.Pool.parallel_region pool (fun () ->
+          Par.Pool.parallel_for pool ~chunk:1 ~start:0 ~stop:(Array.length small)
+            (fun k ->
+              simulate_window pool arena chunk.(small.(k)) ~entry_words ~verdicts
+                ~par_inner:false);
+          List.iter
+            (fun i ->
+              simulate_window pool arena chunk.(i) ~entry_words ~verdicts
+                ~par_inner:true)
+            !big_idx);
       Array.iter
         (fun p ->
           stats.windows <- stats.windows + 1;
           stats.nodes_simulated <- stats.nodes_simulated + p.nn;
           stats.words_computed <- stats.words_computed + p.w_words;
-          stats.rounds <- stats.rounds + p.w_rounds;
-          p.buf <- Bytes.empty)
+          stats.rounds <- stats.rounds + p.w_rounds)
         chunk)
     chunks;
+  stats.arena_hwm_words <- max stats.arena_hwm_words (Arena.hwm_words arena);
+  stats.arena_grows <- stats.arena_grows + (Arena.grows arena - grows0);
   verdicts

@@ -42,16 +42,27 @@ type stats = {
   mutable rounds : int;
   mutable small_windows : int;
       (** windows answered by the memoised small-window fast path *)
+  mutable arena_hwm_words : int;
+      (** simulation-table arena high-water mark, in 64-bit words *)
+  mutable arena_grows : int;
+      (** arena reallocations forced by oversized single windows *)
 }
 
 val new_stats : unit -> stats
 
 (** [run g ~pool ~memory_words ~jobs ~num_tags] returns a verdict per tag.
-    Tags absent from all jobs stay [Invalid]. *)
+    Tags absent from all jobs stay [Invalid].
+
+    The simulation table is carved out of an {!Arena} slab sized by
+    [memory_words] — allocated once per call and recycled across chunks
+    and rounds.  Pass [?arena] to reuse one slab across calls (the engine
+    shares one arena over all batches of a run); the arena is reset per
+    chunk, so it must not be used concurrently. *)
 val run :
   Aig.Network.t ->
   pool:Par.Pool.t ->
   memory_words:int ->
+  ?arena:Arena.t ->
   ?stats:stats ->
   jobs:job list ->
   num_tags:int ->

@@ -1,6 +1,6 @@
 type result = { proved : (int * Aig.Lit.t) list; pairs_tried : int; cuts_checked : int }
 
-let run_pass (cfg : Config.t) ~pass ~pool ~stats g classes =
+let run_pass (cfg : Config.t) ~pass ~pool ~arena ~stats g classes =
   let n = Aig.Network.num_nodes g in
   (* Class structure as arrays for O(1) lookup. *)
   let repr_arr = Array.init n (fun i -> i) in
@@ -50,8 +50,8 @@ let run_pass (cfg : Config.t) ~pass ~pool ~stats g classes =
       in
       cuts_checked := !cuts_checked + Array.length items;
       let verdicts =
-        Exhaustive.run g ~pool ~memory_words:cfg.memory_words ~stats ~jobs
-          ~num_tags:(Array.length items) ()
+        Exhaustive.run g ~pool ~memory_words:cfg.memory_words ~arena ~stats
+          ~jobs ~num_tags:(Array.length items) ()
       in
       Array.iteri
         (fun tag verdict ->

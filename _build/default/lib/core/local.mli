@@ -15,12 +15,14 @@ type result = {
   cuts_checked : int;
 }
 
-(** [run_pass cfg ~pass ~pool ~stats g classes] runs one cut generation and
-    checking pass over all candidate pairs of [classes]. *)
+(** [run_pass cfg ~pass ~pool ~arena ~stats g classes] runs one cut
+    generation and checking pass over all candidate pairs of [classes].
+    [arena] backs the simulation tables of every buffer flush. *)
 val run_pass :
   Config.t ->
   pass:Cuts.Criteria.pass ->
   pool:Par.Pool.t ->
+  arena:Arena.t ->
   stats:Exhaustive.stats ->
   Aig.Network.t ->
   Sim.Eclass.t ->

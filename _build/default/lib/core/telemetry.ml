@@ -291,6 +291,8 @@ let of_exhaustive (s : Exhaustive.stats) =
       ("nodes_simulated", Int s.nodes_simulated);
       ("words_computed", Int s.words_computed);
       ("rounds", Int s.rounds);
+      ("arena_hwm_words", Int s.arena_hwm_words);
+      ("arena_grows", Int s.arena_grows);
     ]
 
 let of_psim (s : Sim.Psim.stats) =
@@ -303,13 +305,17 @@ let of_psim (s : Sim.Psim.stats) =
     ]
 
 let of_pool (s : Par.Pool.stats) =
+  let int_list a = List (Array.to_list (Array.map (fun c -> Int c) a)) in
   Obj
     [
       ("jobs", Int s.jobs);
       ("seq_jobs", Int s.seq_jobs);
       ("items", Int s.items);
       ("barrier_wait_s", Float s.barrier_wait);
-      ("chunks_per_worker", List (Array.to_list (Array.map (fun c -> Int c) s.chunks_per_worker)));
+      ("chunks_per_worker", int_list s.chunks_per_worker);
+      ("steals", int_list s.steals);
+      ("regions", Int s.regions);
+      ("region_jobs", Int s.region_jobs);
     ]
 
 let of_sat (s : Sat.Sweep.stats) =

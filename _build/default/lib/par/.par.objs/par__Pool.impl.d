@@ -1,1 +1,1 @@
-lib/par/pool.ml: Array Atomic Condition Domain List Mutex Sys Unix
+lib/par/pool.ml: Array Atomic Condition Domain Fun List Mutex Sys Unix

@@ -1,1 +1,1 @@
-test/test_bits.ml: Alcotest Bv Fun List Printf QCheck QCheck_alcotest String
+test/test_bits.ml: Alcotest Bv Fun Int64 List Printf QCheck QCheck_alcotest String

@@ -1,1 +1,1 @@
-test/test_pool.ml: Alcotest Array Atomic Fun List Par QCheck QCheck_alcotest
+test/test_pool.ml: Alcotest Array Atomic Bytes Fun Gc List Par Printf QCheck QCheck_alcotest Sys Unix Weak

@@ -1,1 +1,1 @@
-test/test_telemetry.ml: Aig Alcotest Array Float Gen Opt Par Sim Simsweep Util
+test/test_telemetry.ml: Aig Alcotest Array Float Gen Opt Par Printf Sim Simsweep Util

@@ -65,6 +65,36 @@ let test_first_diff () =
   Bv.Bits.set b 7 true;
   Alcotest.(check (option int)) "first" (Some 7) (Bv.Bits.first_diff a b)
 
+let naive_ctz64 x =
+  (* Reference implementation: scan bits from the bottom. *)
+  if Int64.equal x 0L then 64
+  else begin
+    let i = ref 0 in
+    while Int64.equal (Int64.logand (Int64.shift_right_logical x !i) 1L) 0L do
+      incr i
+    done;
+    !i
+  end
+
+let test_ctz64_edges () =
+  Alcotest.(check int) "zero" 64 (Bv.Bits.ctz64 0L);
+  Alcotest.(check int) "all ones" 0 (Bv.Bits.ctz64 (-1L));
+  Alcotest.(check int) "one" 0 (Bv.Bits.ctz64 1L);
+  Alcotest.(check int) "msb" 63 (Bv.Bits.ctz64 Int64.min_int);
+  for i = 0 to 63 do
+    let single = Int64.shift_left 1L i in
+    Alcotest.(check int) (Printf.sprintf "bit %d" i) i (Bv.Bits.ctz64 single);
+    (* All bits from i upward set: ctz must still be i. *)
+    Alcotest.(check int)
+      (Printf.sprintf "suffix %d" i)
+      i
+      (Bv.Bits.ctz64 (Int64.mul (-1L) single))
+  done
+
+let prop_ctz64_matches_naive =
+  QCheck.Test.make ~name:"ctz64 matches naive bit scan" ~count:500 QCheck.int64
+    (fun x -> Bv.Bits.ctz64 x = naive_ctz64 x)
+
 let test_equal_mod_compl () =
   let a = Bv.Bits.of_string "1010" in
   Alcotest.(check bool) "equal" true (Bv.Bits.equal_mod_compl a a = `Equal);
@@ -148,6 +178,7 @@ let () =
           Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
           Alcotest.test_case "tail mask" `Quick test_tail_mask;
           Alcotest.test_case "first_diff" `Quick test_first_diff;
+          Alcotest.test_case "ctz64 edges" `Quick test_ctz64_edges;
           Alcotest.test_case "equal_mod_compl" `Quick test_equal_mod_compl;
         ] );
       ( "props",
@@ -159,5 +190,6 @@ let () =
             prop_get_matches_list;
             prop_and_maybe_not;
             prop_first_one;
+            prop_ctz64_matches_naive;
           ] );
     ]

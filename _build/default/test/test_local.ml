@@ -9,7 +9,8 @@ let make_classes pool g seed =
 let run_pass ?(cfg = Simsweep.Config.default) ?(pass = Cuts.Criteria.Fanout_first) g classes =
   Util.with_pool (fun pool ->
       let stats = Simsweep.Exhaustive.new_stats () in
-      Simsweep.Local.run_pass cfg ~pass ~pool ~stats g classes)
+      let arena = Simsweep.Arena.create ~words:cfg.Simsweep.Config.memory_words in
+      Simsweep.Local.run_pass cfg ~pass ~pool ~arena ~stats g classes)
 
 let test_proves_xor_pair () =
   (* Two XOR decompositions deep inside a shared cone: a common cut of the
@@ -94,9 +95,12 @@ let test_buffer_flush () =
       let run cap =
         let cfg = { Simsweep.Config.default with cut_buffer_capacity = cap } in
         let stats = Simsweep.Exhaustive.new_stats () in
+        let arena =
+          Simsweep.Arena.create ~words:cfg.Simsweep.Config.memory_words
+        in
         let r =
           Simsweep.Local.run_pass cfg ~pass:Cuts.Criteria.Fanout_first ~pool
-            ~stats g classes
+            ~arena ~stats g classes
         in
         List.sort compare r.Simsweep.Local.proved
       in

@@ -205,12 +205,25 @@ let test_pool_stats () =
   Alcotest.(check int) "one dispatched job" 1 stats.Par.Pool.jobs;
   Alcotest.(check int) "one inline job" 1 stats.Par.Pool.seq_jobs;
   Alcotest.(check int) "items" 1001 stats.Par.Pool.items;
-  Alcotest.(check int) "chunk claims total" 100
-    (Array.fold_left ( + ) 0 stats.Par.Pool.chunks_per_worker);
+  (* The range is partitioned into blocks that are chunked independently:
+     one block per worker (sum of per-block ceilings — 3 workers over 1000
+     at chunk 10 gives 34 * 3 = 102) or, on an oversubscribed host, a
+     single block (ceil(1000/10) = 100). *)
+  let claims = Array.fold_left ( + ) 0 stats.Par.Pool.chunks_per_worker in
+  Alcotest.(check bool)
+    (Printf.sprintf "chunk claims total (%d)" claims)
+    true
+    (claims >= 100 && claims <= 102);
   Alcotest.(check bool) "barrier wait nonneg" true (stats.Par.Pool.barrier_wait >= 0.);
-  (* of_pool serialises and round-trips. *)
+  Alcotest.(check bool) "steals within claims" true
+    (Array.for_all2 ( >= ) stats.Par.Pool.chunks_per_worker stats.Par.Pool.steals);
+  (* of_pool serialises the new scheduling fields and round-trips. *)
   match parse (to_string (of_pool stats)) with
-  | Ok v -> Alcotest.(check bool) "pool json" true (member "jobs" v = Some (Int 1))
+  | Ok v ->
+      Alcotest.(check bool) "pool json" true (member "jobs" v = Some (Int 1));
+      Alcotest.(check bool) "has steals" true (member "steals" v <> None);
+      Alcotest.(check bool) "has regions" true (member "regions" v <> None);
+      Alcotest.(check bool) "has region_jobs" true (member "region_jobs" v <> None)
   | Error e -> Alcotest.fail e
 
 let () =

@@ -167,6 +167,85 @@ let test_stats_accounting () =
   Alcotest.(check bool) "nodes counted" true (stats.Simsweep.Exhaustive.nodes_simulated > 0);
   Alcotest.(check bool) "rounds counted" true (stats.Simsweep.Exhaustive.rounds >= 1)
 
+let test_arena_mixed_batches () =
+  (* Arena property: one batch mixing small (memoised) and large windows
+     must produce identical verdicts and words_computed whatever the memory
+     budget (arena slice sizes, round counts) and whether the arena is
+     created per run or reused across runs. *)
+  let g = Aig.Network.create () in
+  let npis = 14 in
+  let pis = Array.init npis (fun _ -> Aig.Network.add_pi g) in
+  (* chain.(k) = pi0 & ... & pik, so the window pi0..pik is an exact cut. *)
+  let chain = Array.make npis pis.(0) in
+  for k = 1 to npis - 1 do
+    chain.(k) <- Aig.Network.add_and g chain.(k - 1) pis.(k)
+  done;
+  Aig.Network.add_po g chain.(npis - 1);
+  (* Self-pairs are always Proved and make word counts exact. *)
+  let widths = [ 4; 8; 10; 12; 14 ] in
+  let jobs =
+    List.mapi
+      (fun tag w ->
+        {
+          Simsweep.Exhaustive.inputs =
+            Array.map Aig.Lit.node (Array.sub pis 0 w);
+          pairs =
+            [
+              {
+                Simsweep.Exhaustive.a = Aig.Lit.node chain.(w - 1);
+                b = Aig.Lit.node chain.(w - 1);
+                compl_ = false;
+                tag;
+              };
+            ];
+        })
+      widths
+  in
+  let num_tags = List.length widths in
+  let run ?arena memory_words =
+    let stats = Simsweep.Exhaustive.new_stats () in
+    let v =
+      Util.with_pool (fun pool ->
+          Simsweep.Exhaustive.run g ~pool ~memory_words ?arena ~stats ~jobs
+            ~num_tags ())
+    in
+    (v, stats)
+  in
+  let ref_v, ref_stats = run (1 lsl 16) in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "self-pair proved" true
+        (v = Simsweep.Exhaustive.Proved))
+    ref_v;
+  Alcotest.(check bool) "words counted" true
+    (ref_stats.Simsweep.Exhaustive.words_computed > 0);
+  Alcotest.(check bool) "arena used" true
+    (ref_stats.Simsweep.Exhaustive.arena_hwm_words > 0);
+  (* Smaller budgets: more rounds, smaller arena slices, same results. *)
+  List.iter
+    (fun budget ->
+      let v, stats = run budget in
+      Alcotest.(check bool)
+        (Printf.sprintf "verdicts at budget %d" budget)
+        true (v = ref_v);
+      Alcotest.(check int)
+        (Printf.sprintf "words_computed at budget %d" budget)
+        ref_stats.Simsweep.Exhaustive.words_computed
+        stats.Simsweep.Exhaustive.words_computed)
+    [ 4096; 512; 64 ];
+  (* A caller-provided arena reused across successive runs behaves like a
+     fresh one and never regrows once warm. *)
+  let arena = Simsweep.Arena.create ~words:(1 lsl 16) in
+  let v1, s1 = run ~arena (1 lsl 16) in
+  let v2, s2 = run ~arena (1 lsl 16) in
+  Alcotest.(check bool) "persistent arena verdicts" true
+    (v1 = ref_v && v2 = ref_v);
+  Alcotest.(check int) "persistent arena words"
+    ref_stats.Simsweep.Exhaustive.words_computed
+    s1.Simsweep.Exhaustive.words_computed;
+  Alcotest.(check int) "no growth on reuse" 0
+    (s1.Simsweep.Exhaustive.arena_grows + s2.Simsweep.Exhaustive.arena_grows)
+
 let prop_matches_truth_tables =
   QCheck.Test.make ~name:"verdicts agree with reference truth tables"
     ~count:40 Util.arb_seed (fun seed ->
@@ -244,6 +323,7 @@ let () =
           Alcotest.test_case "root is input" `Quick test_root_is_input;
           Alcotest.test_case "multi-round tiny memory" `Quick test_multi_round_tiny_memory;
           Alcotest.test_case "stats" `Quick test_stats_accounting;
+          Alcotest.test_case "arena mixed batches" `Quick test_arena_mixed_batches;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
