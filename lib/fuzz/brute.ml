@@ -1,0 +1,83 @@
+let max_pis = 16
+
+let supported g = Aig.Network.num_pis g <= max_pis
+
+(* Bit-parallel exhaustive simulation: all [2^n] assignments are packed
+   into [max 1 (2^n / 64)] words per node, truth-table style (global
+   pattern index [m] assigns bit [i] of [m] to PI [i]). *)
+let simulate g =
+  let n = Aig.Network.num_pis g in
+  if n > max_pis then invalid_arg "Brute: too many PIs";
+  let patterns = 1 lsl n in
+  let words = max 1 (patterns / 64) in
+  let mask =
+    if patterns >= 64 then -1L else Int64.sub (Int64.shift_left 1L patterns) 1L
+  in
+  let tab = Array.make_matrix (Aig.Network.num_nodes g) words 0L in
+  (* Variable words: bit (w*64+b) of var i is ((w*64+b) lsr i) land 1. *)
+  let var_word i w =
+    if i < 6 then begin
+      (* Repeating pattern within a word, independent of w. *)
+      let period = 1 lsl (i + 1) in
+      let chunk = 1 lsl i in
+      let v = ref 0L in
+      for b = 0 to 63 do
+        if b mod period >= chunk then v := Int64.logor !v (Int64.shift_left 1L b)
+      done;
+      !v
+    end
+    else if (w lsr (i - 6)) land 1 = 1 then -1L
+    else 0L
+  in
+  Aig.Network.iter_nodes g (fun nd ->
+      if Aig.Network.is_pi g nd then begin
+        let i = Aig.Network.pi_index g nd in
+        for w = 0 to words - 1 do
+          tab.(nd).(w) <- Int64.logand (var_word i w) mask
+        done
+      end
+      else if Aig.Network.is_and g nd then begin
+        let f0 = Aig.Network.fanin0 g nd and f1 = Aig.Network.fanin1 g nd in
+        let r0 = tab.(Aig.Lit.node f0) and r1 = tab.(Aig.Lit.node f1) in
+        let c0 = Aig.Lit.is_compl f0 and c1 = Aig.Lit.is_compl f1 in
+        for w = 0 to words - 1 do
+          let a = if c0 then Int64.lognot r0.(w) else r0.(w) in
+          let b = if c1 then Int64.lognot r1.(w) else r1.(w) in
+          tab.(nd).(w) <- Int64.logand mask (Int64.logand a b)
+        done
+      end);
+  (tab, words, mask)
+
+let lit_words tab mask l =
+  let r = tab.(Aig.Lit.node l) in
+  if Aig.Lit.is_compl l then Array.map (fun w -> Int64.logand mask (Int64.lognot w)) r
+  else r
+
+let ctz64 = Bv.Bits.ctz64
+
+let cex_of_index g idx =
+  Array.init (Aig.Network.num_pis g) (fun i -> (idx lsr i) land 1 = 1)
+
+let check_miter g =
+  let tab, words, mask = simulate g in
+  let hit = ref None in
+  let npos = Aig.Network.num_pos g in
+  (* Deterministic first hit: lowest PO index, then lowest pattern. *)
+  for po = npos - 1 downto 0 do
+    let r = lit_words tab mask (Aig.Network.po g po) in
+    let w = ref 0 in
+    let found = ref None in
+    while !found = None && !w < words do
+      if r.(!w) <> 0L then found := Some ((!w * 64) + ctz64 r.(!w));
+      incr w
+    done;
+    match !found with Some idx -> hit := Some (po, idx) | None -> ()
+  done;
+  match !hit with
+  | None -> `Equivalent
+  | Some (po, idx) -> `Inequivalent (cex_of_index g idx, po)
+
+let equivalent g1 g2 =
+  match check_miter (Aig.Miter.build g1 g2) with
+  | `Equivalent -> true
+  | `Inequivalent _ -> false

@@ -1,0 +1,124 @@
+type kind =
+  | Equiv_pair  (** left vs optimisation pipeline of left *)
+  | Identical  (** left vs a plain copy — the trivial strashed miter *)
+  | Mutant of Mutate.fault  (** pipeline output with an injected fault *)
+
+type t = {
+  id : int;
+  run_seed : int64;
+  descr : string;
+  kind : kind;
+  expected : [ `Equivalent | `Inequivalent ];
+  left : Aig.Network.t;
+  right : Aig.Network.t;
+  miter : Aig.Network.t;
+}
+
+(* Per-case rng, decorrelated from the run seed with SplitMix's golden
+   constant so case [i] is independent of how many cases precede it. *)
+let case_rng ~run_seed ~id =
+  Sim.Rng.create
+    ~seed:
+      (Int64.add
+         (Int64.mul run_seed 0x9E3779B97F4A7C15L)
+         (Int64.mul (Int64.of_int (id + 1)) 0xBF58476D1CE4E5B9L))
+
+let base_circuit rng =
+  match Sim.Rng.int rng 8 with
+  | 0 | 1 | 2 ->
+      let pis = 4 + Sim.Rng.int rng 9 in
+      let nodes = 20 + Sim.Rng.int rng 120 in
+      let pos = 1 + Sim.Rng.int rng 6 in
+      ( Printf.sprintf "rand%d.%d.%d" pis nodes pos,
+        Gen.Control.random_logic ~pis ~nodes ~pos ~seed:(Sim.Rng.next64 rng) )
+  | 3 ->
+      let bits = 2 + Sim.Rng.int rng 5 in
+      (Printf.sprintf "adder%d" bits, Gen.Arith.adder ~bits)
+  | 4 ->
+      let bits = 2 + Sim.Rng.int rng 4 in
+      (Printf.sprintf "mult%d" bits, Gen.Arith.multiplier ~bits)
+  | 5 ->
+      let bits = 2 + Sim.Rng.int rng 5 in
+      (Printf.sprintf "square%d" bits, Gen.Arith.square ~bits)
+  | 6 ->
+      let n = 5 + (2 * Sim.Rng.int rng 5) in
+      (Printf.sprintf "voter%d" n, Gen.Control.voter ~n)
+  | _ ->
+      let bits = 2 + Sim.Rng.int rng 3 in
+      (Printf.sprintf "alu%d" bits, Gen.Alu.alu ~bits)
+
+let passes =
+  [|
+    ("bal", Opt.Balance.run);
+    ("rw", Opt.Rewrite.run);
+    ("rf", fun g -> Opt.Refactor.run g);
+    ("xf", Opt.Xorflip.run);
+    ("light", Opt.Resyn.light);
+  |]
+
+let pipeline rng g =
+  if Sim.Rng.int rng 8 = 0 then ("resyn2", Opt.Resyn.resyn2 g)
+  else begin
+    let len = 1 + Sim.Rng.int rng 3 in
+    let names = ref [] in
+    let cur = ref g in
+    for _ = 1 to len do
+      let name, pass = passes.(Sim.Rng.int rng (Array.length passes)) in
+      names := name :: !names;
+      cur := pass !cur
+    done;
+    (String.concat "," (List.rev !names), !cur)
+  end
+
+(* Inject a fault that demonstrably changes the function (brute-verified);
+   masked faults are re-drawn.  Falls back to a PO negation, which always
+   changes the function of a non-degenerate output. *)
+let inject rng ~left right =
+  let rec try_faults tries =
+    if tries = 0 then None
+    else
+      match Mutate.random_fault rng right with
+      | None -> None
+      | Some fault ->
+          let mutant = Mutate.apply right fault in
+          if Brute.equivalent left mutant then try_faults (tries - 1)
+          else Some (fault, mutant)
+  in
+  match try_faults 16 with
+  | Some fm -> fm
+  | None ->
+      let po = Sim.Rng.int rng (Aig.Network.num_pos right) in
+      let fault = Mutate.Negate_po po in
+      (fault, Mutate.apply right fault)
+
+let generate ~run_seed ~id =
+  let rng = case_rng ~run_seed ~id in
+  let base_name, left = base_circuit rng in
+  let roll = Sim.Rng.int rng 10 in
+  if roll = 0 then begin
+    let right = Aig.Network.copy left in
+    let miter = Aig.Miter.build left right in
+    {
+      id; run_seed; kind = Identical; expected = `Equivalent;
+      descr = base_name ^ "|copy"; left; right; miter;
+    }
+  end
+  else begin
+    let pipe_name, right = pipeline rng left in
+    if roll <= 6 then
+      {
+        id; run_seed; kind = Equiv_pair; expected = `Equivalent;
+        descr = Printf.sprintf "%s|%s" base_name pipe_name;
+        left; right;
+        miter = Aig.Miter.build left right;
+      }
+    else begin
+      let fault, mutant = inject rng ~left right in
+      {
+        id; run_seed; kind = Mutant fault; expected = `Inequivalent;
+        descr = Printf.sprintf "%s|%s|%s" base_name pipe_name (Mutate.describe fault);
+        left; right = mutant;
+        miter = Aig.Miter.build left mutant;
+      }
+    end
+  end

@@ -1,0 +1,67 @@
+type fault =
+  | Flip_fanin of { node : int; right : bool }
+  | Swap_fanin of { node : int; donor : Aig.Lit.t }
+  | Stuck_fanin of { node : int; right : bool; value : bool }
+  | Stuck_node of { node : int; value : bool }
+  | Negate_po of int
+
+let describe = function
+  | Flip_fanin { node; right } ->
+      Printf.sprintf "flip@%d.%s" node (if right then "r" else "l")
+  | Swap_fanin { node; donor } ->
+      Printf.sprintf "swap@%d<-%s%d" node
+        (if Aig.Lit.is_compl donor then "!" else "")
+        (Aig.Lit.node donor)
+  | Stuck_fanin { node; right; value } ->
+      Printf.sprintf "stuck@%d.%s=%d" node (if right then "r" else "l") (Bool.to_int value)
+  | Stuck_node { node; value } -> Printf.sprintf "stuck@%d=%d" node (Bool.to_int value)
+  | Negate_po po -> Printf.sprintf "negpo@%d" po
+
+let const b = if b then Aig.Lit.const_true else Aig.Lit.const_false
+
+let apply g fault =
+  match fault with
+  | Negate_po po ->
+      let h = Aig.Network.copy g in
+      Aig.Network.set_po h po (Aig.Lit.neg (Aig.Network.po h po));
+      h
+  | Stuck_node { node; value } -> Surgery.substitute g ~node ~by:(const value)
+  | _ ->
+      let edit_of n =
+        match fault with
+        | Flip_fanin { node; right } when n = node ->
+            let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+            if right then Surgery.Set_fanins (f0, Aig.Lit.neg f1)
+            else Surgery.Set_fanins (Aig.Lit.neg f0, f1)
+        | Swap_fanin { node; donor } when n = node ->
+            Surgery.Set_fanins (donor, Aig.Network.fanin1 g n)
+        | Stuck_fanin { node; right; value } when n = node ->
+            let f0 = Aig.Network.fanin0 g n and f1 = Aig.Network.fanin1 g n in
+            if right then Surgery.Set_fanins (f0, const value)
+            else Surgery.Set_fanins (const value, f1)
+        | _ -> Surgery.Keep
+      in
+      Surgery.rewrite g ~edit_of
+
+let and_nodes g =
+  let acc = ref [] in
+  Aig.Network.iter_ands g (fun n -> acc := n :: !acc);
+  Array.of_list (List.rev !acc)
+
+let random_fault rng g =
+  let ands = and_nodes g in
+  if Array.length ands = 0 then
+    if Aig.Network.num_pos g = 0 then None
+    else Some (Negate_po (Sim.Rng.int rng (Aig.Network.num_pos g)))
+  else begin
+    let node = ands.(Sim.Rng.int rng (Array.length ands)) in
+    match Sim.Rng.int rng 4 with
+    | 0 -> Some (Flip_fanin { node; right = Sim.Rng.bool rng })
+    | 1 ->
+        (* Donor: any strictly older non-constant node keeps the rebuild
+           acyclic; complemented half the time. *)
+        let donor_node = 1 + Sim.Rng.int rng (node - 1) in
+        Some (Swap_fanin { node; donor = Aig.Lit.make donor_node (Sim.Rng.bool rng) })
+    | 2 -> Some (Stuck_fanin { node; right = Sim.Rng.bool rng; value = Sim.Rng.bool rng })
+    | _ -> Some (Stuck_node { node; value = Sim.Rng.bool rng })
+  end

@@ -1,0 +1,30 @@
+(** Seeded fault injection.
+
+    A fault is a small structural edit whose {e intent} is to change the
+    circuit function — the generator then verifies the change against the
+    brute-force oracle, because a structural fault can be functionally
+    masked (a redundant fault), in which case the expected verdict would be
+    wrong by construction. *)
+
+type fault =
+  | Flip_fanin of { node : int; right : bool }
+      (** complement one fanin polarity of an AND gate *)
+  | Swap_fanin of { node : int; donor : Aig.Lit.t }
+      (** rewire the left fanin to an unrelated older literal *)
+  | Stuck_fanin of { node : int; right : bool; value : bool }
+      (** one fanin literal stuck at a constant *)
+  | Stuck_node of { node : int; value : bool }
+      (** a gate output stuck at a constant *)
+  | Negate_po of int  (** complement a primary output — never masked *)
+
+(** Compact deterministic description, e.g. [flip@57.l] — part of the
+    one-line repro. *)
+val describe : fault -> string
+
+(** Rebuild the network with the fault in place.  The PI/PO interface is
+    preserved. *)
+val apply : Aig.Network.t -> fault -> Aig.Network.t
+
+(** Draw a random fault site from the network; [None] only for networks
+    with neither AND nodes nor POs. *)
+val random_fault : Sim.Rng.t -> Aig.Network.t -> fault option

@@ -1,0 +1,64 @@
+(** The differential oracle: run every engine on a miter and flag any
+    inconsistency.
+
+    Cross-checked engines: the brute-force ground truth (≤ 16 PIs), the
+    simulation engine, the combined engine+SAT flow, the SAT sweeper, the
+    direct per-PO SAT check, the BDD engine under a node budget, and the
+    portfolio.  A failure is one of:
+
+    - two engines returning conclusive opposite verdicts;
+    - a counter-example that does not replay on the miter;
+    - a conclusive verdict contradicting the generator's constructed
+      expectation;
+    - a proof whose {!Simsweep.Certificate} does not validate or does not
+      replay to a solved miter. *)
+
+type verdict =
+  | V_equivalent
+  | V_inequivalent of Sim.Cex.t * int
+  | V_unknown of string  (** undecided / budget exceeded — never a failure *)
+
+(** ["EQ"], ["INEQ"] or ["?"] — the deterministic log token. *)
+val verdict_token : verdict -> string
+
+(** A named engine adapter.  The self-test injects a deliberately lying
+    adapter through this interface to prove the oracle catches silent
+    miscompares. *)
+type engine = {
+  name : string;
+  run : pool:Par.Pool.t -> Aig.Network.t -> verdict;
+}
+
+val default_engines :
+  ?bdd_node_limit:int -> ?sat_conflict_limit:int -> unit -> engine list
+
+type failure =
+  | Disagreement of { equiv : string list; inequiv : string list }
+  | Bad_cex of { engine : string; po : int }
+  | Wrong_verdict of { engine : string; verdict : verdict }
+  | Bad_certificate of string
+
+(** Deterministic one-token rendering, e.g.
+    [disagreement[EQ:liar|INEQ:brute,satsweep]]. *)
+val failure_token : failure -> string
+
+(** Same failure mode modulo the concrete CEX/PO (a disagreement needs a
+    shared witness engine on each side) — the shrinker's notion of "the
+    failure persists". *)
+val similar : failure -> failure -> bool
+
+type outcome = {
+  verdicts : (string * verdict) list;  (** in engine order — deterministic *)
+  failures : failure list;
+}
+
+(** [run ?engines ?expected ?certify ~pool miter].  [certify] (default
+    false) additionally replays a {!Simsweep.Certificate} when the sim
+    engine proves the miter. *)
+val run :
+  ?engines:engine list ->
+  ?expected:[ `Equivalent | `Inequivalent ] ->
+  ?certify:bool ->
+  pool:Par.Pool.t ->
+  Aig.Network.t ->
+  outcome

@@ -1,0 +1,65 @@
+type repro = {
+  case_id : int;
+  run_seed : int64;
+  descr : string;
+  failures : string list;
+  original_ands : int;
+  shrunk_ands : int;
+  path : string;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* The AIGER comment section ('c' line onward) is ignored by the reader,
+   so the repro file carries its own provenance: the seed line that
+   regenerates the case and the failure it exhibits. *)
+let write ~dir ~case_id ~run_seed ~descr ~failures ~original ~shrunk =
+  mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "repro_case%04d.aag" case_id) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Aig.Aiger_io.to_string shrunk);
+  Buffer.add_string buf "c\n";
+  Buffer.add_string buf
+    (Printf.sprintf "repro: bin/fuzz --seed %Ld --cases %d\n" run_seed (case_id + 1));
+  Buffer.add_string buf (Printf.sprintf "case %d: %s\n" case_id descr);
+  List.iter (fun f -> Buffer.add_string buf (Printf.sprintf "failure: %s\n" f)) failures;
+  Buffer.add_string buf
+    (Printf.sprintf "shrunk: %d -> %d AND nodes\n"
+       (Aig.Network.num_ands original) (Aig.Network.num_ands shrunk));
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  {
+    case_id;
+    run_seed;
+    descr;
+    failures;
+    original_ands = Aig.Network.num_ands original;
+    shrunk_ands = Aig.Network.num_ands shrunk;
+    path;
+  }
+
+let case_line ~case ~outcome =
+  let open Gencase in
+  let verdicts =
+    String.concat " "
+      (List.map
+         (fun (n, v) -> Printf.sprintf "%s=%s" n (Oracle.verdict_token v))
+         outcome.Oracle.verdicts)
+  in
+  let status =
+    match outcome.Oracle.failures with
+    | [] -> "OK"
+    | fs -> "FAIL " ^ String.concat ";" (List.map Oracle.failure_token fs)
+  in
+  Printf.sprintf "case %04d [%s] expected=%s pis=%d ands=%d %s : %s" case.id
+    case.descr
+    (match case.expected with `Equivalent -> "EQ" | `Inequivalent -> "INEQ")
+    (Aig.Network.num_pis case.miter)
+    (Aig.Network.num_ands case.miter)
+    verdicts status

@@ -1,0 +1,32 @@
+(** Fuzz failure artifacts and deterministic log lines.
+
+    A repro is a shrunk miter written as an ASCII AIGER file whose comment
+    section records the one-line seed replay ([bin/fuzz --seed N]), the
+    case provenance and the failure tokens — everything needed to check
+    the file in as a regression test. *)
+
+type repro = {
+  case_id : int;
+  run_seed : int64;
+  descr : string;
+  failures : string list;
+  original_ands : int;
+  shrunk_ands : int;
+  path : string;
+}
+
+(** Write [dir/repro_case<ID>.aag] (creating [dir] as needed). *)
+val write :
+  dir:string ->
+  case_id:int ->
+  run_seed:int64 ->
+  descr:string ->
+  failures:string list ->
+  original:Aig.Network.t ->
+  shrunk:Aig.Network.t ->
+  repro
+
+(** One deterministic log line per case: provenance, sizes, the verdict of
+    every engine and OK/FAIL status.  Contains no timing, so two runs with
+    the same seed log byte-identically. *)
+val case_line : case:Gencase.t -> outcome:Oracle.outcome -> string

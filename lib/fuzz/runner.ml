@@ -1,0 +1,148 @@
+type config = {
+  seed : int64;
+  cases : int;
+  out_dir : string;
+  bdd_node_limit : int;
+  sat_conflict_limit : int;
+  certify_every : int;  (** certificate-replay every Nth case; 0 disables *)
+  shrink_budget : int;
+}
+
+let default_config =
+  {
+    seed = 1L;
+    cases = 100;
+    out_dir = "fuzz-out";
+    bdd_node_limit = 200_000;
+    sat_conflict_limit = 10_000;
+    certify_every = 10;
+    shrink_budget = 400;
+  }
+
+type summary = {
+  cases_run : int;
+  failed_cases : int;
+  repros : Report.repro list;
+}
+
+let null_log _ = ()
+
+let shrink_failure ~engines ~pool ~budget ~(case : Gencase.t) failures =
+  let fails g =
+    let o = Oracle.run ~engines ~pool g in
+    List.exists (fun f -> List.exists (Oracle.similar f) failures) o.Oracle.failures
+  in
+  Shrink.shrink ~budget ~fails case.Gencase.miter
+
+let run ?(log = null_log) ?(extra_engines = []) ~pool config =
+  let engines =
+    Oracle.default_engines ~bdd_node_limit:config.bdd_node_limit
+      ~sat_conflict_limit:config.sat_conflict_limit ()
+    @ extra_engines
+  in
+  let failed = ref 0 in
+  let repros = ref [] in
+  for id = 0 to config.cases - 1 do
+    let case = Gencase.generate ~run_seed:config.seed ~id in
+    let certify = config.certify_every > 0 && id mod config.certify_every = 0 in
+    let outcome =
+      Oracle.run ~engines ~expected:case.Gencase.expected ~certify ~pool
+        case.Gencase.miter
+    in
+    log (Report.case_line ~case ~outcome);
+    if outcome.Oracle.failures <> [] then begin
+      incr failed;
+      let shrunk, evals =
+        shrink_failure ~engines ~pool ~budget:config.shrink_budget ~case
+          outcome.Oracle.failures
+      in
+      let repro =
+        Report.write ~dir:config.out_dir ~case_id:id ~run_seed:config.seed
+          ~descr:case.Gencase.descr
+          ~failures:(List.map Oracle.failure_token outcome.Oracle.failures)
+          ~original:case.Gencase.miter ~shrunk
+      in
+      log
+        (Printf.sprintf "repro case %04d: %d -> %d AND nodes (%d shrink evals) -> %s"
+           id repro.Report.original_ands repro.Report.shrunk_ands evals
+           repro.Report.path);
+      repros := repro :: !repros
+    end
+  done;
+  { cases_run = config.cases; failed_cases = !failed; repros = List.rev !repros }
+
+(* The liar: an engine with a silent miscompare, the exact failure class
+   the harness exists to catch. *)
+let liar = { Oracle.name = "liar"; run = (fun ~pool:_ _ -> Oracle.V_equivalent) }
+
+let self_test ?(log = null_log) ~pool ~out_dir ~seed () =
+  let rng =
+    Sim.Rng.create ~seed:(Int64.add (Int64.mul seed 0x2545F4914F6CDD1DL) 0x9E3779B97F4A7C15L)
+  in
+  (* A mutant big enough that the <= 20% shrink target is meaningful. *)
+  let left =
+    Gen.Control.random_logic ~pis:10 ~nodes:260 ~pos:8 ~seed:(Sim.Rng.next64 rng)
+  in
+  let right = Opt.Resyn.light left in
+  let fault, mutant = Gencase.inject rng ~left right in
+  let miter = Aig.Miter.build left mutant in
+  let original_ands = Aig.Network.num_ands miter in
+  log
+    (Printf.sprintf "self-test: injected %s into a %d-AND miter"
+       (Mutate.describe fault) original_ands);
+  let engines = Oracle.default_engines () @ [ liar ] in
+  let outcome = Oracle.run ~engines ~pool miter in
+  let liar_caught =
+    List.exists
+      (function
+        | Oracle.Disagreement { equiv; inequiv = _ } -> List.mem "liar" equiv
+        | _ -> false)
+      outcome.Oracle.failures
+  in
+  if not liar_caught then
+    Error "self-test: the injected silent miscompare was NOT flagged by the oracle"
+  else begin
+    log "self-test: miscompare flagged; shrinking";
+    (* The disagreement persists exactly while the miter stays
+       inequivalent: the liar always says EQ, brute says INEQ. *)
+    let brute_and_liar =
+      List.filter (fun e -> e.Oracle.name = "brute") engines @ [ liar ]
+    in
+    let fails g =
+      let o = Oracle.run ~engines:brute_and_liar ~pool g in
+      List.exists (function Oracle.Disagreement _ -> true | _ -> false) o.Oracle.failures
+    in
+    let shrunk, evals = Shrink.shrink ~budget:600 ~fails miter in
+    let shrunk_ands = Aig.Network.num_ands shrunk in
+    log
+      (Printf.sprintf "self-test: shrunk %d -> %d AND nodes (%d evals)" original_ands
+         shrunk_ands evals);
+    if shrunk_ands * 5 > original_ands then
+      Error
+        (Printf.sprintf
+           "self-test: shrinker left %d of %d AND nodes (> 20%% of the original)"
+           shrunk_ands original_ands)
+    else begin
+      let repro =
+        Report.write ~dir:out_dir ~case_id:0 ~run_seed:seed ~descr:"self-test"
+          ~failures:(List.map Oracle.failure_token outcome.Oracle.failures)
+          ~original:miter ~shrunk
+      in
+      (* The written artifact must reproduce the disagreement on its own. *)
+      let reread = Aig.Aiger_io.read_file repro.Report.path in
+      let replay = Oracle.run ~engines ~pool reread in
+      let reproduces =
+        List.exists
+          (function
+            | Oracle.Disagreement { equiv; _ } -> List.mem "liar" equiv
+            | _ -> false)
+          replay.Oracle.failures
+      in
+      if not reproduces then
+        Error "self-test: the shrunk AIGER file does not reproduce the disagreement"
+      else begin
+        log (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
+        Ok repro
+      end
+    end
+  end

@@ -105,6 +105,51 @@ let prop_roundtrip_random =
       let g' = Aig.Aiger_io.of_string (Aig.Aiger_io.to_string g) in
       Util.equivalent_brute g g')
 
+(* The fuzz repro format depends on write->read->write being the identity:
+   a shrunk reproducer checked into the tree must re-serialise
+   byte-for-byte, or regression diffs churn. *)
+let prop_ascii_write_read_write_identical =
+  QCheck.Test.make ~name:"ascii write->read->write is byte-identical" ~count:60
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 ~pos:5 seed in
+      let s = Aig.Aiger_io.to_string g in
+      s = Aig.Aiger_io.to_string (Aig.Aiger_io.of_string s))
+
+let prop_binary_write_read_write_identical =
+  QCheck.Test.make ~name:"binary write->read->write is byte-identical" ~count:60
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 ~pos:5 seed in
+      let b = Aig.Aiger_io.to_binary_string g in
+      b = Aig.Aiger_io.to_binary_string (Aig.Aiger_io.of_string b))
+
+(* Cross-format: the same network serialised via either format reads back
+   to the same ascii normal form. *)
+let prop_formats_agree =
+  QCheck.Test.make ~name:"ascii and binary agree on the normal form" ~count:40
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 ~pos:5 seed in
+      let via_ascii = Aig.Aiger_io.of_string (Aig.Aiger_io.to_string g) in
+      let via_binary = Aig.Aiger_io.of_string (Aig.Aiger_io.to_binary_string g) in
+      Aig.Aiger_io.to_string via_ascii = Aig.Aiger_io.to_string via_binary)
+
+let test_file_write_read_write_identical () =
+  (* Through the file layer too: the repro artifacts go through
+     write_file/read_file. *)
+  List.iter
+    (fun (ext, name, g) ->
+      let path = Filename.temp_file "simsweep" ext in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Aig.Aiger_io.write_file path g;
+          let g' = Aig.Aiger_io.read_file path in
+          Alcotest.(check string) name (Aig.Aiger_io.to_string g)
+            (Aig.Aiger_io.to_string g')))
+    [
+      (".aag", "ascii file identity", Gen.Arith.multiplier ~bits:4);
+      (".aig", "binary file identity", Gen.Control.voter ~n:9);
+    ]
+
 let () =
   Alcotest.run "aiger"
     [
@@ -119,8 +164,15 @@ let () =
           Alcotest.test_case "binary roundtrip" `Quick test_binary_roundtrip;
           Alcotest.test_case "binary file ext" `Quick test_binary_file_extension;
           Alcotest.test_case "binary errors" `Quick test_binary_errors;
+          Alcotest.test_case "file identity" `Quick test_file_write_read_write_identical;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_roundtrip_random; prop_binary_roundtrip ] );
+          [
+            prop_roundtrip_random;
+            prop_binary_roundtrip;
+            prop_ascii_write_read_write_identical;
+            prop_binary_write_read_write_identical;
+            prop_formats_agree;
+          ] );
     ]

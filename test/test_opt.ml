@@ -24,6 +24,38 @@ let prop_resyn2_preserves =
       let g = Util.random_network ~pis:6 ~nodes:50 ~pos:3 seed in
       Util.equivalent_brute g (Opt.Resyn.resyn2 g))
 
+(* Wider and deeper instances than the quick checks above: different
+   fanout/reconvergence statistics exercise different cut shapes. *)
+let prop_pass_preserves_wide name pass =
+  QCheck.Test.make
+    ~name:(name ^ " preserves function (wide)")
+    ~count:12 Util.arb_seed
+    (fun seed ->
+      let g = Util.random_network ~pis:9 ~nodes:140 ~pos:6 seed in
+      Util.equivalent_brute g (pass g))
+
+let prop_refactor_cut_sizes =
+  QCheck.Test.make ~name:"refactor preserves function for k=6,8,10" ~count:12
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:7 ~nodes:70 ~pos:4 seed in
+      List.for_all (fun k -> Util.equivalent_brute g (Opt.Refactor.run ~k g)) [ 6; 8; 10 ])
+
+(* Random pipelines compose passes the way the fuzz generator does; the
+   composition must also solve as a brute-force miter, exercising the
+   exact workload construction of the fuzz harness. *)
+let prop_pipeline_miter_solved =
+  QCheck.Test.make ~name:"random pass pipeline yields a solved miter" ~count:15
+    Util.arb_seed (fun seed ->
+      let g = Util.random_network ~pis:6 ~nodes:60 ~pos:4 seed in
+      let all = [| Opt.Balance.run; Opt.Rewrite.run; (fun g -> Opt.Refactor.run g);
+                   Opt.Xorflip.run; Opt.Resyn.light |] in
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      let h = ref g in
+      for _ = 1 to 1 + Sim.Rng.int rng 3 do
+        h := all.(Sim.Rng.int rng (Array.length all)) !h
+      done;
+      Util.solved_brute (Aig.Miter.build g !h))
+
 let test_arith_preserved () =
   List.iter
     (fun (name, g) ->
@@ -120,5 +152,9 @@ let () =
       ( "props",
         List.map QCheck_alcotest.to_alcotest
           (prop_resyn2_preserves :: prop_opt_shrinks_or_equal
-          :: List.map (fun (n, p) -> prop_pass_preserves n p) passes) );
+           :: prop_refactor_cut_sizes :: prop_pipeline_miter_solved
+          :: List.map (fun (n, p) -> prop_pass_preserves n p) passes
+          @ List.map
+              (fun (n, p) -> prop_pass_preserves_wide n p)
+              (("resyn2", Opt.Resyn.resyn2) :: passes)) );
     ]

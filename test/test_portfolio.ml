@@ -43,6 +43,92 @@ let test_engine_names () =
   Alcotest.(check string) "sim" "sim" (Simsweep.Portfolio.engine_name Simsweep.Portfolio.Sim_engine);
   Alcotest.(check string) "sat" "sat" (Simsweep.Portfolio.engine_name Simsweep.Portfolio.Sat_engine)
 
+(* Telemetry presence invariants: which stats ride along is determined by
+   which engine produced the answer (BDD runs first and carries no
+   engine/sat telemetry; the SAT fallback only reports when it ran). *)
+let check_stats_invariants r =
+  let open Simsweep.Portfolio in
+  match r.winner with
+  | Some Bdd_engine ->
+      Alcotest.(check bool) "bdd: no engine stats" true (r.engine_stats = None);
+      Alcotest.(check bool) "bdd: no sat stats" true (r.sat_stats = None)
+  | Some Sim_engine ->
+      Alcotest.(check bool) "sim: engine stats present" true (r.engine_stats <> None);
+      Alcotest.(check bool) "sim: no sat stats" true (r.sat_stats = None)
+  | Some Sat_engine ->
+      Alcotest.(check bool) "sat: engine stats present" true (r.engine_stats <> None);
+      Alcotest.(check bool) "sat: sat stats present" true (r.sat_stats <> None)
+  | None ->
+      Alcotest.(check bool) "undecided: engine stats present" true
+        (r.engine_stats <> None)
+
+let test_winner_outcome_agreement_proved () =
+  (* A conclusive outcome always names a winner; Undecided never does. *)
+  let g = Gen.Arith.adder ~bits:5 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  let r = check m in
+  Alcotest.(check bool) "proved" true (r.Simsweep.Portfolio.outcome = Simsweep.Engine.Proved);
+  Alcotest.(check bool) "winner named" true (r.Simsweep.Portfolio.winner <> None);
+  Alcotest.(check bool) "time recorded" true (r.Simsweep.Portfolio.time >= 0.0);
+  check_stats_invariants r
+
+let test_winner_outcome_agreement_disproved () =
+  let g = Gen.Arith.multiplier ~bits:4 in
+  let bad = Aig.Network.copy g in
+  Aig.Network.set_po bad 0 (Aig.Lit.neg (Aig.Network.po bad 0));
+  let m = Aig.Miter.build g bad in
+  let r = check m in
+  (match r.Simsweep.Portfolio.outcome with
+  | Simsweep.Engine.Disproved (cex, po) ->
+      Alcotest.(check bool) "cex replays" true (Sim.Cex.check m cex po)
+  | _ -> Alcotest.fail "expected disproof");
+  Alcotest.(check bool) "winner named" true (r.Simsweep.Portfolio.winner <> None);
+  check_stats_invariants r
+
+let test_bdd_budget_blowup_falls_through () =
+  (* A one-node BDD budget blows up on anything non-trivial: the portfolio
+     must still answer, via the sim engine or the SAT fallback, and must
+     carry their telemetry. *)
+  let g = Gen.Arith.multiplier ~bits:5 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  let r = check ~bdd_node_limit:1 m in
+  Alcotest.(check bool) "proved" true (r.Simsweep.Portfolio.outcome = Simsweep.Engine.Proved);
+  (match r.Simsweep.Portfolio.winner with
+  | Some Simsweep.Portfolio.Bdd_engine -> Alcotest.fail "bdd cannot win under a 1-node budget"
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a winner");
+  Alcotest.(check bool) "engine stats present after blowup" true
+    (r.Simsweep.Portfolio.engine_stats <> None);
+  check_stats_invariants r
+
+let test_bdd_budget_blowup_disproof () =
+  let g = Gen.Arith.multiplier ~bits:4 in
+  let bad = Aig.Network.copy g in
+  Aig.Network.set_po bad 1 (Aig.Lit.neg (Aig.Network.po bad 1));
+  let m = Aig.Miter.build g bad in
+  let r = check ~bdd_node_limit:1 m in
+  (match r.Simsweep.Portfolio.outcome with
+  | Simsweep.Engine.Disproved (cex, po) ->
+      Alcotest.(check bool) "cex replays" true (Sim.Cex.check m cex po)
+  | _ -> Alcotest.fail "expected disproof");
+  check_stats_invariants r
+
+let prop_stats_invariants =
+  QCheck.Test.make ~name:"stats presence matches winner" ~count:12 Util.arb_seed
+    (fun seed ->
+      let g1 = Util.random_network ~pis:5 ~nodes:40 ~pos:3 seed in
+      let g2 =
+        if seed mod 2 = 0 then Opt.Resyn.light g1
+        else Util.random_network ~pis:5 ~nodes:40 ~pos:3 (seed + 9)
+      in
+      let r = check ~bdd_node_limit:(if seed mod 3 = 0 then 1 else 1 lsl 20)
+          (Aig.Miter.build g1 g2) in
+      check_stats_invariants r;
+      (match r.Simsweep.Portfolio.outcome with
+      | Simsweep.Engine.Proved | Simsweep.Engine.Disproved _ ->
+          r.Simsweep.Portfolio.winner <> None
+      | Simsweep.Engine.Undecided -> r.Simsweep.Portfolio.winner = None))
+
 let prop_agrees_with_brute =
   QCheck.Test.make ~name:"portfolio agrees with brute force" ~count:15
     Util.arb_seed (fun seed ->
@@ -68,6 +154,13 @@ let () =
           Alcotest.test_case "sim engine on multiplier" `Quick test_sim_engine_on_multiplier;
           Alcotest.test_case "disproof" `Quick test_disproof;
           Alcotest.test_case "names" `Quick test_engine_names;
+          Alcotest.test_case "proved agreement" `Quick test_winner_outcome_agreement_proved;
+          Alcotest.test_case "disproved agreement" `Quick
+            test_winner_outcome_agreement_disproved;
+          Alcotest.test_case "bdd blowup proof" `Quick test_bdd_budget_blowup_falls_through;
+          Alcotest.test_case "bdd blowup disproof" `Quick test_bdd_budget_blowup_disproof;
         ] );
-      ("props", [ QCheck_alcotest.to_alcotest prop_agrees_with_brute ]);
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_agrees_with_brute; prop_stats_invariants ] );
     ]
