@@ -65,5 +65,5 @@ let run_ours ?(config = Simsweep.Config.scaled) ~pool miter =
 let run_sat_baseline ~pool miter =
   time (fun () -> fst (Sat.Sweep.check ~pool (Aig.Network.copy miter)))
 
-let run_portfolio ~pool miter =
-  time (fun () -> Simsweep.Portfolio.check ~pool (Aig.Network.copy miter))
+let run_portfolio ?(mode = `Sequential) ~pool miter =
+  time (fun () -> Simsweep.Portfolio.check ~mode ~pool (Aig.Network.copy miter))

@@ -30,15 +30,51 @@ let selected_cases () =
       let names = String.split_on_char ',' spec |> List.map String.trim in
       List.map Cases.find names
 
+(* Winner name for the histograms ("none" when the portfolio is undecided). *)
+let winner_name (r : Simsweep.Portfolio.result) =
+  match r.Simsweep.Portfolio.winner with
+  | Some e -> Simsweep.Portfolio.engine_name e
+  | None -> "none"
+
+let bump h k = Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k))
+
+let hist_json h =
+  Simsweep.Telemetry.Obj
+    (Hashtbl.fold (fun k v acc -> (k, Simsweep.Telemetry.Int v) :: acc) h []
+    |> List.sort compare)
+
+(* Compact per-row portfolio snapshot: verdict, winner, mode, per-engine
+   wall-clock — the schema-v3 data the race is judged on. *)
+let portfolio_json (r : Simsweep.Portfolio.result) t =
+  let open Simsweep.Telemetry in
+  Obj
+    [
+      ("time_s", Float t);
+      ("outcome", String (outcome_string r.Simsweep.Portfolio.outcome));
+      ("winner", String (winner_name r));
+      ("mode_used", String (Simsweep.Portfolio.mode_name r.Simsweep.Portfolio.mode_used));
+      ( "per_engine_time_s",
+        Obj
+          (List.map
+             (fun (e, t) -> (Simsweep.Portfolio.engine_name e, Float t))
+             r.Simsweep.Portfolio.per_engine_time) );
+      ("bdd_timeout", Bool r.Simsweep.Portfolio.bdd_timeout);
+      ( "cancel_latency_s",
+        match r.Simsweep.Portfolio.cancel_latency with
+        | None -> Null
+        | Some l -> Float l );
+    ]
+
 let table2 () =
   heading
     "Table II - runtime comparison (ABC-analog = SAT sweeping, Cfm-analog = portfolio)";
   let pool = Lazy.force pool in
   Par.Pool.reset_stats pool;
-  pr "%-11s %7s %6s %8s | %8s %8s | %8s %7s %8s %9s | %8s %8s\n" "case" "PIs"
-    "POs" "ANDs" "SAT(s)" "Pf(s)" "GPU(s)" "Red%" "SATf(s)" "Total(s)" "vs SAT"
-    "vs Pf";
-  let sp_sat = ref [] and sp_pf = ref [] in
+  pr "%-11s %7s %6s %8s | %8s %8s %8s | %8s %7s %8s %9s | %8s %8s\n" "case"
+    "PIs" "POs" "ANDs" "SAT(s)" "Pf(s)" "Race(s)" "GPU(s)" "Red%" "SATf(s)"
+    "Total(s)" "vs SAT" "vs Pf";
+  let sp_sat = ref [] and sp_pf = ref [] and sp_race = ref [] in
+  let seq_hist = Hashtbl.create 4 and race_hist = Hashtbl.create 4 in
   let rows = ref [] in
   List.iter
     (fun case ->
@@ -46,13 +82,16 @@ let table2 () =
       let m = p.Cases.miter in
       let sat_outcome, sat_time = Harness.run_sat_baseline ~pool m in
       let pf, pf_time = Harness.run_portfolio ~pool m in
+      let pfr, pfr_time = Harness.run_portfolio ~mode:`Race ~pool m in
       let ours = Harness.run_ours ~pool m in
       let su_sat = sat_time /. ours.Harness.total in
       let su_pf = pf_time /. ours.Harness.total in
       sp_sat := su_sat :: !sp_sat;
       sp_pf := su_pf :: !sp_pf;
+      sp_race := (pf_time /. pfr_time) :: !sp_race;
+      bump seq_hist (winner_name pf);
+      bump race_hist (winner_name pfr);
       ignore sat_outcome;
-      ignore pf;
       (let open Simsweep.Telemetry in
        rows :=
          Obj
@@ -64,6 +103,8 @@ let table2 () =
              ("outcome", String (outcome_string ours.Harness.outcome));
              ("sat_baseline_s", Float sat_time);
              ("portfolio_s", Float pf_time);
+             ("portfolio", portfolio_json pf pf_time);
+             ("portfolio_race", portfolio_json pfr pfr_time);
              ("gpu_s", Float ours.Harness.gpu_time);
              ("reduction_percent", Float ours.Harness.reduced_percent);
              ( "sat_fallback_s",
@@ -81,29 +122,37 @@ let table2 () =
            ]
          :: !rows);
       pr
-        "%-11s %7d %6d %8d | %8.3f %8.3f | %8.3f %7.1f %8s %9.3f | %7.2fx %7.2fx\n%!"
+        "%-11s %7d %6d %8d | %8.3f %8.3f %8.3f | %8.3f %7.1f %8s %9.3f | %7.2fx %7.2fx\n%!"
         case.Cases.name (Aig.Network.num_pis m) (Aig.Network.num_pos m)
-        (Aig.Network.num_ands m) sat_time pf_time ours.Harness.gpu_time
+        (Aig.Network.num_ands m) sat_time pf_time pfr_time ours.Harness.gpu_time
         ours.Harness.reduced_percent
         (match ours.Harness.sat_time with
         | None -> "-"
         | Some t -> Printf.sprintf "%.3f" t)
         ours.Harness.total su_sat su_pf)
     (selected_cases ());
-  pr "%-11s %62s | %7.2fx %7.2fx\n" "geomean" "" (Harness.geomean !sp_sat)
+  pr "%-11s %71s | %7.2fx %7.2fx\n" "geomean" "" (Harness.geomean !sp_sat)
     (Harness.geomean !sp_pf);
+  pr "portfolio race vs sequential: %.2fx geomean\n%!"
+    (Harness.geomean !sp_race);
   (* Machine-readable snapshot: the perf trajectory future PRs compare
      against. *)
   let open Simsweep.Telemetry in
   write_file bench_json_file
     (Obj
        [
-         ("schema", String "bench-cec-v2");
+         ("schema", String "bench-cec-v3");
          ("experiment", String "table2");
          ("domains", Int (Par.Pool.num_workers pool));
          ("cases", List (List.rev !rows));
          ("geomean_speedup_vs_sat", Float (Harness.geomean !sp_sat));
          ("geomean_speedup_vs_portfolio", Float (Harness.geomean !sp_pf));
+         ("geomean_race_vs_sequential", Float (Harness.geomean !sp_race));
+         ( "winner_histogram",
+           Obj
+             [
+               ("sequential", hist_json seq_hist); ("race", hist_json race_hist);
+             ] );
          ("pool", of_pool (Par.Pool.stats pool));
        ]);
   pr "wrote %s\n%!" bench_json_file

@@ -31,7 +31,7 @@ let engine_tag = function
   | `Partitioned -> "partitioned"
   | `Portfolio -> "portfolio"
 
-let run_check engine file1 file2 suite scale num_domains verbose certify
+let run_check engine file1 file2 suite scale num_domains race verbose certify
     stats_json =
   match read_inputs file1 file2 suite scale with
   | Error msg ->
@@ -42,6 +42,15 @@ let run_check engine file1 file2 suite scale num_domains verbose certify
         Logs.set_reporter (Logs.format_reporter ());
         Logs.set_level (Some Logs.Debug)
       end;
+      (* A racing portfolio spawns two racer domains next to the pool:
+         unless the user pinned the pool size, shrink it so pool workers
+         plus racers stay within the recommended domain count. *)
+      let num_domains =
+        match (num_domains, race, engine) with
+        | None, true, `Portfolio ->
+            Some (Simsweep.Portfolio.recommended_pool_domains ())
+        | _ -> num_domains
+      in
       let pool = Par.Pool.create ?num_domains () in
       Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
       let t0 = Unix.gettimeofday () in
@@ -81,7 +90,7 @@ let run_check engine file1 file2 suite scale num_domains verbose certify
             match Bdd.check miter with
             | `Equivalent -> Simsweep.Engine.Proved
             | `Inequivalent (cex, po) -> Simsweep.Engine.Disproved (cex, po)
-            | `Node_limit -> Simsweep.Engine.Undecided)
+            | `Node_limit | `Timeout -> Simsweep.Engine.Undecided)
         | `Partitioned ->
             let outcome, ngroups =
               Simsweep.Partition.check ~config:Simsweep.Config.scaled ~pool miter
@@ -90,27 +99,30 @@ let run_check engine file1 file2 suite scale num_domains verbose certify
             telemetry := [ ("partition_groups", Simsweep.Telemetry.Int ngroups) ];
             outcome
         | `Portfolio ->
-            let r = Simsweep.Portfolio.check ~pool miter in
-            (match r.Simsweep.Portfolio.winner with
-            | Some e when verbose ->
-                Printf.printf "portfolio winner: %s\n" (Simsweep.Portfolio.engine_name e)
-            | _ -> ());
+            let mode = if race then `Race else `Sequential in
+            let r = Simsweep.Portfolio.check ~mode ~pool miter in
+            if verbose then begin
+              Printf.printf "portfolio mode: %s%s\n"
+                (Simsweep.Portfolio.mode_name r.Simsweep.Portfolio.mode_used)
+                (if race && r.Simsweep.Portfolio.mode_used = `Sequential then
+                   " (race degraded: not enough cores)"
+                 else "");
+              (match r.Simsweep.Portfolio.winner with
+              | Some e ->
+                  Printf.printf "portfolio winner: %s\n"
+                    (Simsweep.Portfolio.engine_name e)
+              | None -> ());
+              List.iter
+                (fun (e, t) ->
+                  Printf.printf "  %s: %.3fs\n"
+                    (Simsweep.Portfolio.engine_name e) t)
+                r.Simsweep.Portfolio.per_engine_time;
+              match r.Simsweep.Portfolio.cancel_latency with
+              | Some l -> Printf.printf "  cancel latency: %.3fs\n" l
+              | None -> ()
+            end;
             telemetry :=
-              [
-                ( "winner",
-                  match r.Simsweep.Portfolio.winner with
-                  | None -> Simsweep.Telemetry.Null
-                  | Some e ->
-                      Simsweep.Telemetry.String (Simsweep.Portfolio.engine_name e) );
-                ( "engine_stats",
-                  match r.Simsweep.Portfolio.engine_stats with
-                  | None -> Simsweep.Telemetry.Null
-                  | Some s -> Simsweep.Telemetry.of_engine_stats s );
-                ( "sat_stats",
-                  match r.Simsweep.Portfolio.sat_stats with
-                  | None -> Simsweep.Telemetry.Null
-                  | Some s -> Simsweep.Telemetry.of_sat s );
-              ];
+              [ ("portfolio", Simsweep.Telemetry.of_portfolio r) ];
             r.Simsweep.Portfolio.outcome
       in
       let elapsed = Unix.gettimeofday () -. t0 in
@@ -208,6 +220,14 @@ let num_domains =
   Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N"
          ~doc:"Worker domains (default: machine-dependent).")
 
+let race =
+  Arg.(value & flag & info [ "race" ]
+         ~doc:"Race the portfolio engines concurrently (with --engine \
+               portfolio): BDD and SAT sweeping each get a dedicated \
+               domain next to the pool-parallel simulation engine; the \
+               first conclusive verdict cancels the losers.  Degrades to \
+               the sequential portfolio when the machine lacks cores.")
+
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print engine details.")
 
 let certify =
@@ -227,6 +247,6 @@ let cmd =
     (Cmd.info "simsweep-cec" ~doc)
     Term.(
       const run_check $ engine $ file1 $ file2 $ suite $ scale $ num_domains
-      $ verbose $ certify $ stats_json)
+      $ race $ verbose $ certify $ stats_json)
 
 let () = exit (Cmd.eval' cmd)

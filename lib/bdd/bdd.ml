@@ -1,10 +1,14 @@
 exception Node_limit
+exception Timeout
 
 type node = int
 
 type man = {
   num_vars : int;
   node_limit : int;
+  step_limit : int;
+  cancel : Par.Cancel.t option;
+  mutable steps : int;  (* every [mk] call, cache hits included *)
   mutable var_ : int array;  (* per node: variable index; terminals: num_vars *)
   mutable lo : int array;
   mutable hi : int array;
@@ -19,13 +23,16 @@ let pack3 a b c = ((a * 0x1f_ffff) + b) * 0x1f_ffff + c
 (* Injective for node ids below 2^24 (the node limit is capped below). *)
 let pack2 a b = (a lsl 24) lor b
 
-let create ?(node_limit = 2_000_000) ~num_vars () =
+let create ?(node_limit = 2_000_000) ?(step_limit = max_int) ?cancel ~num_vars () =
   if node_limit > 1 lsl 24 then invalid_arg "Bdd.create: node_limit above 2^24";
   let cap = 1024 in
   let m =
     {
       num_vars;
       node_limit;
+      step_limit;
+      cancel;
+      steps = 0;
       var_ = Array.make cap num_vars;
       lo = Array.make cap 0;
       hi = Array.make cap 0;
@@ -49,8 +56,18 @@ let is_false _ n = n = 0
 let is_true _ n = n = 1
 let equal (a : node) b = a = b
 let size m = m.n
+let steps m = m.steps
 
+(* The step budget counts every [mk] call — cache hits included — because
+   a pathological variable order can spend unbounded time re-traversing
+   memoised structure without allocating a single fresh node, which the
+   node limit alone never catches. *)
 let mk m v lo hi =
+  m.steps <- m.steps + 1;
+  if m.steps >= m.step_limit then raise Timeout;
+  (match m.cancel with
+  | Some c when m.steps land 255 = 0 && Par.Cancel.poll c -> raise Timeout
+  | _ -> ());
   if lo = hi then lo
   else begin
     let key = pack3 v lo hi in
@@ -204,8 +221,16 @@ let of_output m g po =
   let b = map.(Aig.Lit.node l) in
   if Aig.Lit.is_compl l then bdd_not m b else b
 
-let check ?(node_limit = 2_000_000) g =
-  let m = create ~node_limit ~num_vars:(Aig.Network.num_pis g) () in
+let check ?(node_limit = 2_000_000) ?step_limit ?cancel g =
+  (* The default step budget scales with the node budget: a manager that
+     stays within its node limit but keeps re-traversing it gets cut off
+     after a generous multiple of the allocation bound. *)
+  let step_limit =
+    match step_limit with Some s -> s | None -> 64 * node_limit
+  in
+  if Par.Cancel.poll_opt cancel then `Timeout
+  else
+  let m = create ~node_limit ~step_limit ?cancel ~num_vars:(Aig.Network.num_pis g) () in
   try
     let rec go = function
       | [] -> `Equivalent
@@ -216,4 +241,6 @@ let check ?(node_limit = 2_000_000) g =
           | Some cex -> `Inequivalent (cex, po))
     in
     go (Aig.Miter.unsolved_outputs g)
-  with Node_limit -> `Node_limit
+  with
+  | Node_limit -> `Node_limit
+  | Timeout -> `Timeout

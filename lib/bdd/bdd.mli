@@ -7,18 +7,29 @@
     multipliers, which reproduces the crossovers of Table II).
 
     Managers enforce a node budget: exceeding it raises {!Node_limit},
-    letting the portfolio abort this engine and fall back to another. *)
+    letting the portfolio abort this engine and fall back to another.
+    They also enforce a {e step} budget and accept a cancellation token —
+    a pathological variable order can keep re-traversing memoised
+    structure without allocating fresh nodes, which the node limit alone
+    never catches; both conditions raise {!Timeout}. *)
 
 exception Node_limit
+
+(** Step budget exhausted, or the manager's cancellation token fired. *)
+exception Timeout
 
 type man
 
 (** A BDD handle, valid within its manager. *)
 type node
 
-(** [create ~num_vars ~node_limit ()] makes a manager with the identity
-    variable order over [num_vars] variables. *)
-val create : ?node_limit:int -> num_vars:int -> unit -> man
+(** [create ~num_vars ~node_limit ?step_limit ?cancel ()] makes a manager
+    with the identity variable order over [num_vars] variables.  Every
+    internal node construction (unique-table hits included) counts one
+    step against [step_limit]; [cancel] is polled every 256 steps. *)
+val create :
+  ?node_limit:int -> ?step_limit:int -> ?cancel:Par.Cancel.t -> num_vars:int ->
+  unit -> man
 
 val bdd_false : man -> node
 val bdd_true : man -> node
@@ -39,6 +50,9 @@ val equal : node -> node -> bool
 (** Live node count (unique-table size). *)
 val size : man -> int
 
+(** Steps consumed so far (node constructions, cache hits included). *)
+val steps : man -> int
+
 (** [any_sat m n] is a satisfying assignment over all manager variables
     (unconstrained variables default to [false]), or [None] for the
     constant-false BDD. *)
@@ -57,8 +71,14 @@ val eval : man -> node -> bool array -> bool
 val of_output : man -> Aig.Network.t -> int -> node
 
 (** Equivalence check of a miter: [check g ~node_limit] is [`Equivalent],
-    [`Inequivalent (cex, po)], or [`Node_limit] when the budget blows up. *)
+    [`Inequivalent (cex, po)], [`Node_limit] when the node budget blows
+    up, or [`Timeout] when the step budget is exhausted or [cancel]
+    fires.  [step_limit] defaults to [64 * node_limit], so even the
+    default configuration cannot stall indefinitely on a pathological
+    variable order. *)
 val check :
   ?node_limit:int ->
+  ?step_limit:int ->
+  ?cancel:Par.Cancel.t ->
   Aig.Network.t ->
-  [ `Equivalent | `Inequivalent of Sim.Cex.t * int | `Node_limit ]
+  [ `Equivalent | `Inequivalent of Sim.Cex.t * int | `Node_limit | `Timeout ]

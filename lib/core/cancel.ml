@@ -1,0 +1,6 @@
+(* Re-export of the shared token.  The implementation lives in [Par]
+   because the SAT solver and the BDD package (which do not depend on this
+   library) poll the same token type; [Simsweep.Cancel] is the name the
+   engine layers and the portfolio use. *)
+
+include Par.Cancel

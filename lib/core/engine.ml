@@ -28,7 +28,7 @@ let reduction_percent r =
 (* --- P phase: PO checking ------------------------------------------------ *)
 
 (* Returns [Ok g'] (reduced miter) or [Error cex_po]. *)
-let po_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~trace g =
+let po_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ?cancel ~trace g =
   (* A PO already reduced to constant true is disproved by any assignment. *)
   let const_true_po = ref None in
   for i = Aig.Network.num_pos g - 1 downto 0 do
@@ -87,7 +87,7 @@ let po_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~trace g =
     let jobs = if cfg.window_merging then Wmerge.merge ~k_s jobs else jobs in
     let verdicts =
       Exhaustive.run g ~pool ~memory_words:cfg.memory_words ~arena
-        ~stats:stats.Stats.exhaustive ~jobs ~num_tags:num_pos ()
+        ~stats:stats.Stats.exhaustive ?cancel ~jobs ~num_tags:num_pos ()
     in
     (* A mismatch on a PO is a real counter-example. *)
     let cex = ref None in
@@ -141,8 +141,23 @@ let past_deadline (cfg : Config.t) ~(stats : Stats.t) ~t0 =
       end;
       over
 
+(* The engine stops early for two reasons: the configured [time_limit]
+   (deadline) or an external cancellation token (portfolio race lost).
+   Both are recorded in the stats so a cut-short run is distinguishable
+   from one that converged. *)
+let stopping (cfg : Config.t) ?cancel ~(stats : Stats.t) ~t0 () =
+  let cancelled =
+    match cancel with
+    | Some c when Par.Cancel.poll c ->
+        stats.Stats.cancelled <- true;
+        true
+    | _ -> false
+  in
+  cancelled || past_deadline cfg ~stats ~t0
+
 (* Returns the reduced miter and the carried classes. *)
-let global_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trace g =
+let global_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ?cancel ~rng
+    ~t0 ~trace g =
   let g = ref g in
   let sigs =
     Sim.Psim.run ~stats:stats.Stats.psim !g ~nwords:cfg.sim_words ~rng ~pool
@@ -153,7 +168,7 @@ let global_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trac
   let merged = ref 0 in
   let continue_ = ref true in
   let iterations = ref 0 in
-  while !continue_ && !iterations < 64 && not (past_deadline cfg ~stats ~t0) do
+  while !continue_ && !iterations < 64 && not (stopping cfg ?cancel ~stats ~t0 ()) do
     incr iterations;
     stats.Stats.g_iterations <- stats.Stats.g_iterations + 1;
     let supports = Aig.Support.capped !g ~cap:cfg.k_g in
@@ -176,12 +191,15 @@ let global_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trac
       let candidates = Array.of_list candidates in
       let n = Array.length candidates in
       stats.Stats.g_candidates <- stats.Stats.g_candidates + n;
-      (* Without a time limit the whole candidate set is one batch (the
-         best window-merging opportunities); under a deadline it is split
-         into bounded batches with a deadline check between them, so one
-         huge batch cannot blow far past [time_limit]. *)
+      (* Without a time limit or cancel token the whole candidate set is
+         one batch (the best window-merging opportunities); under a
+         deadline it is split into bounded batches with a stop check
+         between them, so one huge batch cannot blow far past
+         [time_limit] or hold a lost race alive. *)
       let batch_cap =
-        match cfg.Config.time_limit with None -> n | Some _ -> 512
+        match (cfg.Config.time_limit, cancel) with
+        | None, None -> n
+        | _ -> 512
       in
       let verdicts = Array.make n Exhaustive.Invalid in
       let base = ref 0 in
@@ -210,13 +228,13 @@ let global_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trac
         in
         let batch =
           Exhaustive.run !g ~pool ~memory_words:cfg.memory_words ~arena
-            ~stats:stats.Stats.exhaustive ~jobs ~num_tags:n ()
+            ~stats:stats.Stats.exhaustive ?cancel ~jobs ~num_tags:n ()
         in
         for tag = !base to hi - 1 do
           verdicts.(tag) <- batch.(tag)
         done;
         base := hi;
-        if !base < n && past_deadline cfg ~stats ~t0 then stopped := true
+        if !base < n && stopping cfg ?cancel ~stats ~t0 () then stopped := true
       done;
       let cexs = ref [] in
       Array.iteri
@@ -276,7 +294,8 @@ let global_phase (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trac
 
 (* --- L phases: repeated local function checking --------------------------- *)
 
-let local_phases (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trace g classes =
+let local_phases (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ?cancel ~rng
+    ~t0 ~trace g classes =
   let g = ref g and classes = ref classes in
   let phase = ref 0 in
   let progress = ref true in
@@ -285,7 +304,7 @@ let local_phases (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trac
   while
     !progress && !phase < cfg.max_local_phases
     && (not (Aig.Miter.solved !g))
-    && not (past_deadline cfg ~stats ~t0)
+    && not (stopping cfg ?cancel ~stats ~t0 ())
   do
     incr phase;
     stats.Stats.local_phases <- stats.Stats.local_phases + 1;
@@ -296,7 +315,7 @@ let local_phases (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trac
       (fun pass ->
         let result =
           Local.run_pass cfg ~pass ~pool ~arena ~stats:stats.Stats.exhaustive
-            !g !classes
+            ?cancel !g !classes
         in
         let dropped = Hashtbl.create 64 in
         let pass_merged = ref 0 in
@@ -357,7 +376,7 @@ let local_phases (cfg : Config.t) ~pool ~arena ~(stats : Stats.t) ~rng ~t0 ~trac
 
 (* --- overall flow --------------------------------------------------------- *)
 
-let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
+let run ?(config = Config.default) ?stop_after ?trace ?cancel ~pool miter =
   if trace <> None && config.Config.rewrite_between_phases then
     invalid_arg "Engine.run: trace is incompatible with rewrite_between_phases";
   let stats = Stats.create () in
@@ -383,7 +402,7 @@ let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
   (* P phase. *)
   let p_result =
     Stats.timed stats Stats.Po_check (fun () ->
-        po_phase config ~pool ~arena ~stats ~trace miter)
+        po_phase config ~pool ~arena ~stats ?cancel ~trace miter)
   in
   match p_result with
   | Error (cex, po) -> finish (Disproved (cex, po)) miter
@@ -394,7 +413,7 @@ let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
         (* G phase. *)
         let g, classes =
           Stats.timed stats Stats.Global_check (fun () ->
-              global_phase config ~pool ~arena ~stats ~rng ~t0 ~trace g)
+              global_phase config ~pool ~arena ~stats ?cancel ~rng ~t0 ~trace g)
         in
         if Aig.Miter.solved g then
           finish Proved (Aig.Reduce.sweep g).Aig.Reduce.network
@@ -403,7 +422,8 @@ let run ?(config = Config.default) ?stop_after ?trace ~pool miter =
           (* L phases. *)
           let g, classes =
             Stats.timed stats Stats.Local_check (fun () ->
-                local_phases config ~pool ~arena ~stats ~rng ~t0 ~trace g classes)
+                local_phases config ~pool ~arena ~stats ?cancel ~rng ~t0 ~trace
+                  g classes)
           in
           if Aig.Miter.solved g then
             finish Proved (Aig.Reduce.sweep g).Aig.Reduce.network
@@ -419,15 +439,18 @@ type combined = {
 }
 
 let check_with_fallback ?config ?(sat_config = Sat.Sweep.default_config)
-    ?(transfer_classes = false) ~pool miter =
-  let engine = run ?config ~pool miter in
+    ?(transfer_classes = false) ?cancel ~pool miter =
+  let engine = run ?config ?cancel ~pool miter in
   match engine.outcome with
   | Proved | Disproved _ ->
       { engine; sat_outcome = None; sat_stats = None; final = engine.outcome }
+  | Undecided when Par.Cancel.is_set_opt cancel ->
+      (* A cancelled engine run must not start the SAT fallback. *)
+      { engine; sat_outcome = None; sat_stats = None; final = Undecided }
   | Undecided ->
       let classes = if transfer_classes then engine.classes else None in
       let sat_outcome, sat_stats =
-        Sat.Sweep.check ~config:sat_config ?classes ~pool engine.reduced
+        Sat.Sweep.check ~config:sat_config ?classes ?cancel ~pool engine.reduced
       in
       let final =
         match sat_outcome with

@@ -145,7 +145,7 @@ let ctz64 = Bv.Bits.ctz64
    The window's rows live at word offset [prep.base] of [arena].
    [par_inner] enables level-wise parallel node evaluation and parallel
    pair comparison for big windows. *)
-let simulate_window pool arena prep ~entry_words ~verdicts ~par_inner =
+let simulate_window ?cancel pool arena prep ~entry_words ~verdicts ~par_inner =
   let e = entry_words in
   let data = Arena.data arena in
   let base_off = prep.base in
@@ -161,7 +161,12 @@ let simulate_window pool arena prep ~entry_words ~verdicts ~par_inner =
      domains; the round loop exits as soon as none remain. *)
   let active = Atomic.make (Array.length prep.ppairs) in
   let r = ref 0 in
-  while !r < rounds && Atomic.get active > 0 do
+  while
+    !r < rounds && Atomic.get active > 0
+    (* A real poll at the round boundary latches an expired deadline; the
+       per-window guards below stay on the cheap flag-only check. *)
+    && not (Par.Cancel.poll_opt cancel)
+  do
     let base = !r * e in
     let nw = min e (prep.tt_words - base) in
     prep.w_rounds <- prep.w_rounds + 1;
@@ -268,8 +273,13 @@ let simulate_window pool arena prep ~entry_words ~verdicts ~par_inner =
       done;
     incr r
   done;
-  (* Pairs that survived every round are proved. *)
-  Array.iter (fun p -> if not p.decided then verdicts.(p.ptag) <- Proved) prep.ppairs
+  (* Pairs that survived every round are proved — unless the window was
+     cancelled mid-simulation, in which case the unfinished pairs must keep
+     their inconclusive [Invalid] verdict rather than a false [Proved]. *)
+  if not (Par.Cancel.is_set_opt cancel) then
+    Array.iter
+      (fun p -> if not p.decided then verdicts.(p.ptag) <- Proved)
+      prep.ppairs
 
 (* Fast path for the small windows of local function checking: truth
    tables of at most 16 words are evaluated by a single memoised cone
@@ -330,7 +340,10 @@ let small_window g (job : job) verdicts =
    with Boundary_escape -> () (* pairs keep the default [Invalid] verdict *));
   !nodes
 
-let run g ~pool ~memory_words ?arena ?(stats = new_stats ()) ~jobs ~num_tags () =
+let run g ~pool ~memory_words ?arena ?(stats = new_stats ()) ?cancel ~jobs
+    ~num_tags () =
+  (* Latch an already-expired deadline before dispatching any window. *)
+  ignore (Par.Cancel.poll_opt cancel);
   let verdicts = Array.make num_tags Invalid in
   (* Small windows (local function checking) go through the direct
      evaluator; large ones use the round-based simulation table. *)
@@ -341,7 +354,10 @@ let run g ~pool ~memory_words ?arena ?(stats = new_stats ()) ~jobs ~num_tags () 
     let small = Array.of_list small in
     let counts = Array.make (Array.length small) 0 in
     Par.Pool.parallel_for pool ~chunk:8 ~start:0 ~stop:(Array.length small)
-      (fun k -> counts.(k) <- small_window g small.(k) verdicts);
+      (fun k ->
+        (* A cancelled small window keeps its [Invalid] verdicts. *)
+        if not (Par.Cancel.is_set_opt cancel) then
+          counts.(k) <- small_window g small.(k) verdicts);
     Array.iteri
       (fun k (job : job) ->
         stats.windows <- stats.windows + 1;
@@ -381,6 +397,7 @@ let run g ~pool ~memory_words ?arena ?(stats = new_stats ()) ~jobs ~num_tags () 
   let chunks = chunk [] [] 0 preps in
   List.iter
     (fun chunk ->
+      if not (Par.Cancel.is_set_opt cancel) then begin
       let chunk = Array.of_list chunk in
       let total_rows = Array.fold_left (fun acc p -> acc + rows p) 0 chunk in
       let max_tt = Array.fold_left (fun acc p -> max acc p.tt_words) 1 chunk in
@@ -408,12 +425,12 @@ let run g ~pool ~memory_words ?arena ?(stats = new_stats ()) ~jobs ~num_tags () 
       Par.Pool.parallel_region pool (fun () ->
           Par.Pool.parallel_for pool ~chunk:1 ~start:0 ~stop:(Array.length small)
             (fun k ->
-              simulate_window pool arena chunk.(small.(k)) ~entry_words ~verdicts
-                ~par_inner:false);
+              simulate_window ?cancel pool arena chunk.(small.(k)) ~entry_words
+                ~verdicts ~par_inner:false);
           List.iter
             (fun i ->
-              simulate_window pool arena chunk.(i) ~entry_words ~verdicts
-                ~par_inner:true)
+              simulate_window ?cancel pool arena chunk.(i) ~entry_words
+                ~verdicts ~par_inner:true)
             !big_idx);
       Array.iter
         (fun p ->
@@ -421,7 +438,8 @@ let run g ~pool ~memory_words ?arena ?(stats = new_stats ()) ~jobs ~num_tags () 
           stats.nodes_simulated <- stats.nodes_simulated + p.nn;
           stats.words_computed <- stats.words_computed + p.w_words;
           stats.rounds <- stats.rounds + p.w_rounds)
-        chunk)
+        chunk
+      end)
     chunks;
   stats.arena_hwm_words <- max stats.arena_hwm_words (Arena.hwm_words arena);
   stats.arena_grows <- stats.arena_grows + (Arena.grows arena - grows0);

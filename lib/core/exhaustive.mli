@@ -57,13 +57,18 @@ val new_stats : unit -> stats
     [memory_words] — allocated once per call and recycled across chunks
     and rounds.  Pass [?arena] to reuse one slab across calls (the engine
     shares one arena over all batches of a run); the arena is reset per
-    chunk, so it must not be used concurrently. *)
+    chunk, so it must not be used concurrently.
+
+    [cancel] is polled at window round boundaries and between chunks; a
+    cancelled run leaves undecided tags at [Invalid] (inconclusive), never
+    a false [Proved]. *)
 val run :
   Aig.Network.t ->
   pool:Par.Pool.t ->
   memory_words:int ->
   ?arena:Arena.t ->
   ?stats:stats ->
+  ?cancel:Par.Cancel.t ->
   jobs:job list ->
   num_tags:int ->
   unit ->

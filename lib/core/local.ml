@@ -1,6 +1,6 @@
 type result = { proved : (int * Aig.Lit.t) list; pairs_tried : int; cuts_checked : int }
 
-let run_pass (cfg : Config.t) ~pass ~pool ~arena ~stats g classes =
+let run_pass (cfg : Config.t) ~pass ~pool ~arena ~stats ?cancel g classes =
   let n = Aig.Network.num_nodes g in
   (* Class structure as arrays for O(1) lookup. *)
   let repr_arr = Array.init n (fun i -> i) in
@@ -51,7 +51,7 @@ let run_pass (cfg : Config.t) ~pass ~pool ~arena ~stats g classes =
       cuts_checked := !cuts_checked + Array.length items;
       let verdicts =
         Exhaustive.run g ~pool ~memory_words:cfg.memory_words ~arena ~stats
-          ~jobs ~num_tags:(Array.length items) ()
+          ?cancel ~jobs ~num_tags:(Array.length items) ()
       in
       Array.iteri
         (fun tag verdict ->
@@ -77,8 +77,11 @@ let run_pass (cfg : Config.t) ~pass ~pool ~arena ~stats g classes =
     buffer := (cut, m, b, compl_) :: !buffer;
     incr buffered
   in
-  for l = 1 to !max_el do
-    let nodes = Array.of_list buckets.(l) in
+  let l = ref 1 in
+  (* Poll (not just read the flag) at level boundaries so an armed
+     deadline latches; inner batch guards use the flag-only check. *)
+  while !l <= !max_el && not (Par.Cancel.poll_opt cancel) do
+    let nodes = Array.of_list buckets.(!l) in
     (* Parallel cut enumeration and selection for the level's nodes. *)
     Par.Pool.parallel_for pool ~start:0 ~stop:(Array.length nodes) (fun k ->
         let m = nodes.(k) in
@@ -105,7 +108,8 @@ let run_pass (cfg : Config.t) ~pass ~pool ~arena ~stats g classes =
             List.iter (fun cut -> push cut m r compl_arr.(m)) common
           end
         end)
-      nodes
+      nodes;
+    incr l
   done;
-  flush ();
+  if not (Par.Cancel.is_set_opt cancel) then flush ();
   { proved = !proved; pairs_tried = !pairs_tried; cuts_checked = !cuts_checked }

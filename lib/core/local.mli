@@ -15,15 +15,18 @@ type result = {
   cuts_checked : int;
 }
 
-(** [run_pass cfg ~pass ~pool ~arena ~stats g classes] runs one cut
-    generation and checking pass over all candidate pairs of [classes].
-    [arena] backs the simulation tables of every buffer flush. *)
+(** [run_pass cfg ~pass ~pool ~arena ~stats ?cancel g classes] runs one
+    cut generation and checking pass over all candidate pairs of
+    [classes].  [arena] backs the simulation tables of every buffer flush.
+    [cancel] is polled between enumeration levels and threaded into every
+    flush; a cancelled pass returns the pairs proved so far. *)
 val run_pass :
   Config.t ->
   pass:Cuts.Criteria.pass ->
   pool:Par.Pool.t ->
   arena:Arena.t ->
   stats:Exhaustive.stats ->
+  ?cancel:Par.Cancel.t ->
   Aig.Network.t ->
   Sim.Eclass.t ->
   result

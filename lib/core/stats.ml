@@ -14,6 +14,7 @@ type t = {
   mutable g_refinements : int;
   mutable deadline_hits : int;
   mutable deadline_exceeded : bool;
+  mutable cancelled : bool;
   exhaustive : Exhaustive.stats;
   psim : Sim.Psim.stats;
 }
@@ -33,6 +34,7 @@ let create () =
     g_refinements = 0;
     deadline_hits = 0;
     deadline_exceeded = false;
+    cancelled = false;
     exhaustive = Exhaustive.new_stats ();
     psim = Sim.Psim.new_stats ();
   }
@@ -62,4 +64,6 @@ let pp fmt t =
     t.time_p t.time_g t.time_l t.pos_proved t.pairs_proved_global
     t.pairs_proved_local t.cex_found t.local_phases t.g_iterations
     t.g_candidates
-    (if t.deadline_exceeded then " DEADLINE" else "")
+    (if t.cancelled then " CANCELLED"
+     else if t.deadline_exceeded then " DEADLINE"
+     else "")

@@ -20,6 +20,8 @@ type t = {
       (** times a deadline check observed the time limit exceeded *)
   mutable deadline_exceeded : bool;
       (** the configured [time_limit] was exceeded during the run *)
+  mutable cancelled : bool;
+      (** the run's cancellation token fired (portfolio race lost) *)
   exhaustive : Exhaustive.stats;
   psim : Sim.Psim.stats;  (** partial (random) simulation effort *)
 }

@@ -331,6 +331,8 @@ let of_sat (s : Sat.Sweep.stats) =
       ("rounds", Int s.rounds);
       ("cex_count", Int s.cex_count);
       ("rsim_splits", Int s.rsim_splits);
+      ("batches", Int s.batches);
+      ("cnf_loads", Int s.cnf_loads);
     ]
 
 let of_engine_stats (s : Stats.t) =
@@ -349,6 +351,7 @@ let of_engine_stats (s : Stats.t) =
       ("g_refinements", Int s.g_refinements);
       ("deadline_hits", Int s.deadline_hits);
       ("deadline_exceeded", Bool s.deadline_exceeded);
+      ("cancelled", Bool s.cancelled);
       ("exhaustive", of_exhaustive s.exhaustive);
       ("psim", of_psim s.psim);
     ]
@@ -375,4 +378,32 @@ let of_combined (c : Engine.combined) =
       ("engine", of_run c.engine);
       ( "sat_fallback",
         match c.sat_stats with None -> Null | Some s -> of_sat s );
+    ]
+
+let of_portfolio (r : Portfolio.result) =
+  Obj
+    [
+      ("outcome", String (outcome_string r.Portfolio.outcome));
+      ( "winner",
+        match r.Portfolio.winner with
+        | Some w -> String (Portfolio.engine_name w)
+        | None -> Null );
+      ("mode", String (Portfolio.mode_name r.Portfolio.mode_used));
+      ("time_s", Float r.Portfolio.time);
+      ( "per_engine_time_s",
+        Obj
+          (List.map
+             (fun (e, t) -> (Portfolio.engine_name e, Float t))
+             r.Portfolio.per_engine_time) );
+      ("bdd_timeout", Bool r.Portfolio.bdd_timeout);
+      ( "cancel_latency_s",
+        match r.Portfolio.cancel_latency with
+        | Some l -> Float l
+        | None -> Null );
+      ( "engine_stats",
+        match r.Portfolio.engine_stats with
+        | Some s -> of_engine_stats s
+        | None -> Null );
+      ( "sat_stats",
+        match r.Portfolio.sat_stats with Some s -> of_sat s | None -> Null );
     ]

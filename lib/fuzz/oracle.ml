@@ -69,13 +69,25 @@ let default_engines ?(bdd_node_limit = 200_000) ?(sat_conflict_limit = 10_000) (
           match Bdd.check ~node_limit:bdd_node_limit m with
           | `Equivalent -> V_equivalent
           | `Inequivalent (cex, po) -> V_inequivalent (cex, po)
-          | `Node_limit -> V_unknown "node limit");
+          | `Node_limit -> V_unknown "node limit"
+          | `Timeout -> V_unknown "timeout");
     };
     {
       name = "portfolio";
       run =
         (fun ~pool m ->
           let r = Simsweep.Portfolio.check ~pool m in
+          of_engine_outcome r.Simsweep.Portfolio.outcome);
+    };
+    {
+      (* The racing portfolio is its own oracle member: any scheduling bug
+         that lets cancellation corrupt a verdict shows up as a
+         disagreement with the sequential engines (degrades to the
+         sequential portfolio on machines without spare cores). *)
+      name = "race";
+      run =
+        (fun ~pool m ->
+          let r = Simsweep.Portfolio.check ~mode:`Race ~pool m in
           of_engine_outcome r.Simsweep.Portfolio.outcome);
     };
   ]

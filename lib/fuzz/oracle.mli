@@ -4,7 +4,8 @@
     Cross-checked engines: the brute-force ground truth (≤ 16 PIs), the
     simulation engine, the combined engine+SAT flow, the SAT sweeper, the
     direct per-PO SAT check, the BDD engine under a node budget, and the
-    portfolio.  A failure is one of:
+    portfolio in both its sequential and racing modes.  A failure is one
+    of:
 
     - two engines returning conclusive opposite verdicts;
     - a counter-example that does not replay on the miter;

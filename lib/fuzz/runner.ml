@@ -75,6 +75,52 @@ let run ?(log = null_log) ?(extra_engines = []) ~pool config =
    the harness exists to catch. *)
 let liar = { Oracle.name = "liar"; run = (fun ~pool:_ _ -> Oracle.V_equivalent) }
 
+(* Race-cancellation stage of the self-test: a deliberately hanging engine
+   (it returns only once the shared token fires) races a fast conclusive
+   one; the race must return promptly with the fast winner and a recorded
+   cancel latency, proving cooperative cancellation actually unwinds a
+   stuck racer. *)
+let race_cancel_stage log miter =
+  let open Simsweep.Portfolio in
+  let fast =
+    {
+      racer_name = "fast";
+      racer_run =
+        (fun ~cancel ->
+          match Sat.Sweep.check_direct ~cancel miter with
+          | Sat.Sweep.Equivalent -> `Eq
+          | Sat.Sweep.Inequivalent _ -> `Ineq
+          | Sat.Sweep.Undecided -> `Unknown);
+      racer_conclusive = (fun v -> v <> `Unknown);
+    }
+  in
+  let hang =
+    {
+      racer_name = "hang";
+      racer_run =
+        (fun ~cancel ->
+          while not (Simsweep.Cancel.poll cancel) do
+            Domain.cpu_relax ()
+          done;
+          raise Simsweep.Cancel.Cancelled);
+      racer_conclusive = (fun _ -> false);
+    }
+  in
+  let ro = race [ fast; hang ] in
+  match (ro.race_winner, ro.race_cancel_latency) with
+  | Some (0, _), Some latency ->
+      log
+        (Printf.sprintf
+           "self-test: race cancelled the hanging engine (%.3fs total, %.3fs \
+            cancel latency)"
+           ro.race_time latency);
+      Ok ()
+  | Some (i, _), _ ->
+      Error
+        (Printf.sprintf
+           "self-test: race won by racer %d, expected the fast engine" i)
+  | None, _ -> Error "self-test: race with a hanging engine returned no winner"
+
 let self_test ?(log = null_log) ~pool ~out_dir ~seed () =
   let rng =
     Sim.Rng.create ~seed:(Int64.add (Int64.mul seed 0x2545F4914F6CDD1DL) 0x9E3779B97F4A7C15L)
@@ -140,9 +186,11 @@ let self_test ?(log = null_log) ~pool ~out_dir ~seed () =
       in
       if not reproduces then
         Error "self-test: the shrunk AIGER file does not reproduce the disagreement"
-      else begin
-        log (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
-        Ok repro
-      end
+      else
+        match race_cancel_stage log miter with
+        | Error e -> Error e
+        | Ok () ->
+            log (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
+            Ok repro
     end
   end

@@ -35,9 +35,10 @@ val run :
 (** End-to-end harness check: build a known-inequivalent mutant, add a
     deliberately lying engine, and require that the oracle flags the
     disagreement, the shrinker reduces the miter to at most 20% of its
-    AND nodes, and the written AIGER repro still reproduces the
-    disagreement when read back.  [Error] describes the first broken
-    link. *)
+    AND nodes, the written AIGER repro still reproduces the disagreement
+    when read back, and a portfolio race cancels a deliberately hanging
+    engine once the fast racer concludes.  [Error] describes the first
+    broken link. *)
 val self_test :
   ?log:(string -> unit) ->
   pool:Par.Pool.t ->

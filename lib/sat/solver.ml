@@ -500,15 +500,26 @@ let new_decision_level t =
   t.trail_lim.(t.trail_lim_n) <- t.trail_n;
   t.trail_lim_n <- t.trail_lim_n + 1
 
-let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
+(* Cancellation is polled every [cancel_poll_mask + 1] conflicts and
+   decisions: every search iteration either conflicts or decides, so a
+   cancelled solve unwinds within a bounded number of iterations without
+   putting an atomic load on every loop turn. *)
+let cancel_poll_mask = 63
+
+let solve ?(assumptions = []) ?(conflict_limit = max_int) ?cancel t =
   if not t.ok then Unsat
   else begin
     let assumptions = Array.of_list assumptions in
     let local_conflicts = ref 0 in
+    let decisions = ref 0 in
+    let cancelled () =
+      match cancel with None -> false | Some c -> Par.Cancel.poll c
+    in
     let restart_num = ref 0 in
     let restart_limit = ref (int_of_float (100. *. luby 2. 0)) in
     let result = ref None in
     cancel_until t 0;
+    if cancelled () then result := Some Unknown;
     while !result = None do
       let confl = propagate t in
       if confl >= 0 then begin
@@ -518,7 +529,10 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
           t.ok <- false;
           result := Some Unsat
         end
-        else if !local_conflicts >= conflict_limit then begin
+        else if
+          !local_conflicts >= conflict_limit
+          || (!local_conflicts land cancel_poll_mask = 0 && cancelled ())
+        then begin
           cancel_until t 0;
           result := Some Unknown
         end
@@ -556,7 +570,13 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
               new_decision_level t;
               enqueue t p (-1)
         end
+        else if !decisions land cancel_poll_mask = cancel_poll_mask && cancelled ()
+        then begin
+          cancel_until t 0;
+          result := Some Unknown
+        end
         else begin
+          incr decisions;
           let v = pick_branch t in
           if v < 0 then begin
             for i = 0 to t.nvars - 1 do

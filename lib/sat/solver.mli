@@ -31,9 +31,14 @@ val num_vars : t -> int
     the clause makes the instance trivially unsatisfiable. *)
 val add_clause : t -> lit list -> bool
 
-(** [solve t ~assumptions ~conflict_limit] runs CDCL search.  [Unknown] is
-    returned when the conflict budget is exhausted. *)
-val solve : ?assumptions:lit list -> ?conflict_limit:int -> t -> result
+(** [solve t ~assumptions ~conflict_limit ?cancel] runs CDCL search.
+    [Unknown] is returned when the conflict budget is exhausted, or when
+    [cancel] fires — the token is polled every few dozen conflicts and
+    decisions, so a cancelled search unwinds within a bounded number of
+    iterations.  The solver stays usable for further [solve] calls after
+    either kind of [Unknown]. *)
+val solve :
+  ?assumptions:lit list -> ?conflict_limit:int -> ?cancel:Par.Cancel.t -> t -> result
 
 (** Value of a variable in the last model (valid only after [Sat]). *)
 val model_value : t -> int -> bool

@@ -5,6 +5,7 @@ type config = {
   seed : int64;
   max_rounds : int;
   cex_batch : int;
+  pair_batch : int;
   use_distance_one : bool;
   use_reverse_sim : bool;
 }
@@ -17,6 +18,7 @@ let default_config =
     seed = 0x5eedL;
     max_rounds = 30;
     cex_batch = 48;
+    pair_batch = 256;
     use_distance_one = false;
     use_reverse_sim = false;
   }
@@ -34,6 +36,8 @@ type stats = {
   mutable rsim_splits : int;
   mutable candidates : int;
   mutable conflicts : int;
+  mutable batches : int;
+  mutable cnf_loads : int;
 }
 
 let new_stats () =
@@ -48,15 +52,27 @@ let new_stats () =
     rsim_splits = 0;
     candidates = 0;
     conflicts = 0;
+    batches = 0;
+    cnf_loads = 0;
   }
+
+let merge_stats ~into:a b =
+  a.sat_calls <- a.sat_calls + b.sat_calls;
+  a.sat_unsat <- a.sat_unsat + b.sat_unsat;
+  a.sat_sat <- a.sat_sat + b.sat_sat;
+  a.sat_unknown <- a.sat_unknown + b.sat_unknown;
+  a.rsim_splits <- a.rsim_splits + b.rsim_splits;
+  a.candidates <- a.candidates + b.candidates;
+  a.conflicts <- a.conflicts + b.conflicts;
+  a.cnf_loads <- a.cnf_loads + b.cnf_loads
 
 (* Prove [target = repr_lit] on [g] through two SAT calls; [solver] holds
    the CNF of [g].  Returns [`Proved], [`Cex assignment] or [`Unknown]. *)
-let prove_pair solver stats ~conflict_limit g repr_lit target =
+let prove_pair solver stats ~conflict_limit ?cancel g repr_lit target =
   let a = Cnf.lit repr_lit and b = Cnf.lit target in
   let query assumptions =
     stats.sat_calls <- stats.sat_calls + 1;
-    match Solver.solve ~assumptions ~conflict_limit solver with
+    match Solver.solve ~assumptions ~conflict_limit ?cancel solver with
     | Solver.Unsat ->
         stats.sat_unsat <- stats.sat_unsat + 1;
         `Unsat
@@ -87,17 +103,35 @@ let prove_pair solver stats ~conflict_limit g repr_lit target =
       | `Unknown -> `Unknown
       | `Unsat -> `Proved)
 
+(* Speculative per-pair verdict of one proof batch, before the
+   deterministic commit. *)
+type pverdict = P_skipped | P_proved | P_cex of Sim.Cex.t | P_unknown
+
 (* The shared sweeping core: round-based class refinement and SAT merging,
    returning the reduced network.  [check] adds the final PO decision on
-   top; [fraig] returns the network as an optimisation result. *)
-let sweep_core ?(config = default_config) ?classes ~pool ~stats g0 =
+   top; [fraig] returns the network as an optimisation result.
+
+   Candidate-pair proving is parallel and deterministic: the round's pairs
+   are split into fixed batches of [config.pair_batch]; each batch is
+   proved speculatively by whichever pool worker claims it, on a private
+   solver with its own CNF load (so a batch's verdicts depend only on the
+   network and the batch slice, never on scheduling); then the verdicts
+   are committed in pair-index order under the global [cex_batch] cap.
+   The result — verdicts, merge counts, reduced networks, stats — is
+   bit-identical for any pool size.  The price is speculation: a batch
+   may prove pairs the commit discards because an earlier batch already
+   filled the counter-example budget. *)
+let sweep_core ?(config = default_config) ?classes ?cancel ~pool ~stats g0 =
   let rng = Sim.Rng.create ~seed:config.seed in
   let g = ref g0 in
   let carried_classes = ref classes in
   let pending_cexs = ref [] in
   let finished = ref false in
   let round = ref 0 in
-  while (not !finished) && !round < config.max_rounds do
+  while
+    (not !finished) && !round < config.max_rounds
+    && not (Par.Cancel.poll_opt cancel)
+  do
     incr round;
     stats.rounds <- stats.rounds + 1;
     let sigs =
@@ -114,19 +148,35 @@ let sweep_core ?(config = default_config) ?classes ~pool ~stats g0 =
     let pairs =
       Sim.Eclass.pairs classes
       |> List.sort (fun a b -> compare a.Sim.Eclass.other b.Sim.Eclass.other)
+      |> Array.of_list
     in
-    if pairs = [] then finished := true
+    let n = Array.length pairs in
+    if n = 0 then finished := true
     else begin
-      let solver = Solver.create () in
-      let loaded = Cnf.load solver !g in
-      assert loaded;
-      let repl = Array.make (Aig.Network.num_nodes !g) None in
-      let fresh_cexs = ref 0 in
-      let merged_round = ref 0 in
-      List.iter
-        (fun { Sim.Eclass.repr; other; compl_ } ->
-          if !fresh_cexs < config.cex_batch && repl.(other) = None then begin
-            stats.candidates <- stats.candidates + 1;
+      let cur = !g in
+      let bsz = max 1 config.pair_batch in
+      let nbatches = (n + bsz - 1) / bsz in
+      let verdicts = Array.make n P_skipped in
+      let bstats = Array.init nbatches (fun _ -> new_stats ()) in
+      stats.batches <- stats.batches + nbatches;
+      Par.Pool.parallel_for pool ~chunk:1 ~start:0 ~stop:nbatches (fun b ->
+          let st = bstats.(b) in
+          let solver = Solver.create () in
+          st.cnf_loads <- st.cnf_loads + 1;
+          let loaded = Cnf.load solver cur in
+          assert loaded;
+          let lo = b * bsz and hi = min n ((b + 1) * bsz) in
+          (* The batch-local counter-example cap mirrors the global commit
+             cap: once this batch alone could fill the refinement budget
+             there is no point proving its remaining pairs. *)
+          let fresh = ref 0 in
+          let i = ref lo in
+          while
+            !i < hi && !fresh < config.cex_batch
+            && not (Par.Cancel.is_set_opt cancel)
+          do
+            let { Sim.Eclass.repr; other; compl_ } = pairs.(!i) in
+            st.candidates <- st.candidates + 1;
             let repr_lit = Aig.Lit.make repr compl_ in
             let target = Aig.Lit.make other false in
             (* Reverse simulation first: a justified distinguishing pattern
@@ -134,36 +184,59 @@ let sweep_core ?(config = default_config) ?classes ~pool ~stats g0 =
             let rsim_cex =
               if not config.use_reverse_sim then None
               else
-                match Sim.Rsim.justify_pair !g target repr_lit with
+                match Sim.Rsim.justify_pair cur target repr_lit with
                 | Some c -> Some c
-                | None -> Sim.Rsim.justify_pair !g repr_lit target
+                | None -> Sim.Rsim.justify_pair cur repr_lit target
             in
-            match
-              match rsim_cex with
-              | Some cex ->
-                  stats.rsim_splits <- stats.rsim_splits + 1;
-                  `Cex cex
-              | None ->
-                  prove_pair solver stats ~conflict_limit:config.conflict_limit
-                    !g repr_lit target
-            with
-            | `Proved ->
-                repl.(other) <- Some repr_lit;
-                incr merged_round;
-                stats.merged <- stats.merged + 1
+            (match
+               match rsim_cex with
+               | Some cex ->
+                   st.rsim_splits <- st.rsim_splits + 1;
+                   `Cex cex
+               | None ->
+                   prove_pair solver st ~conflict_limit:config.conflict_limit
+                     ?cancel cur repr_lit target
+             with
+            | `Proved -> verdicts.(!i) <- P_proved
             | `Cex cex ->
+                verdicts.(!i) <- P_cex cex;
+                incr fresh
+            | `Unknown -> verdicts.(!i) <- P_unknown);
+            incr i
+          done;
+          st.conflicts <- st.conflicts + Solver.num_conflicts solver);
+      Array.iter (fun st -> merge_stats ~into:stats st) bstats;
+      (* Deterministic commit in pair-index order: merges and fresh
+         counter-examples are accepted exactly as the sequential schedule
+         would, with the global [cex_batch] cap applied at commit time.
+         Whenever a [P_skipped] pair is reached here, the cap is already
+         filled — batches stop early only after [cex_batch] local CEXs —
+         so no provable pair is ever lost to batching. *)
+      let repl = Array.make (Aig.Network.num_nodes cur) None in
+      let fresh_cexs = ref 0 in
+      let merged_round = ref 0 in
+      Array.iteri
+        (fun i verdict ->
+          if !fresh_cexs < config.cex_batch then
+            match verdict with
+            | P_skipped | P_unknown -> ()
+            | P_proved ->
+                let { Sim.Eclass.repr; other; compl_ } = pairs.(i) in
+                if repl.(other) = None then begin
+                  repl.(other) <- Some (Aig.Lit.make repr compl_);
+                  incr merged_round;
+                  stats.merged <- stats.merged + 1
+                end
+            | P_cex cex ->
                 stats.cex_count <- stats.cex_count + 1;
                 incr fresh_cexs;
                 pending_cexs := cex :: !pending_cexs;
                 if config.use_distance_one then
                   pending_cexs :=
-                    Sim.Cex.distance_one ~limit:8 cex @ !pending_cexs
-            | `Unknown -> ()
-          end)
-        pairs;
-      stats.conflicts <- stats.conflicts + Solver.num_conflicts solver;
+                    Sim.Cex.distance_one ~limit:8 cex @ !pending_cexs)
+        verdicts;
       if !merged_round > 0 then begin
-        let r = Aig.Reduce.apply !g ~repl in
+        let r = Aig.Reduce.apply cur ~repl in
         g := r.Aig.Reduce.network
       end;
       (* Fixed point: nothing merged and no new counter-example. *)
@@ -172,14 +245,16 @@ let sweep_core ?(config = default_config) ?classes ~pool ~stats g0 =
   done;
   !g
 
-let check ?(config = default_config) ?classes ~pool g0 =
+let check ?(config = default_config) ?classes ?cancel ~pool g0 =
   let stats = new_stats () in
-  let g = sweep_core ~config ?classes ~pool ~stats g0 in
+  let g = sweep_core ~config ?classes ?cancel ~pool ~stats g0 in
   (* Final PO checking on the reduced miter. *)
   let outcome =
     if Aig.Miter.solved g then Equivalent
+    else if Par.Cancel.poll_opt cancel then Undecided
     else begin
       let solver = Solver.create () in
+      stats.cnf_loads <- stats.cnf_loads + 1;
       let loaded = Cnf.load solver g in
       if not loaded then Equivalent
       else begin
@@ -193,7 +268,7 @@ let check ?(config = default_config) ?classes ~pool g0 =
                 match
                   Solver.solve
                     ~assumptions:[ Cnf.lit l ]
-                    ~conflict_limit:config.final_conflict_limit solver
+                    ~conflict_limit:config.final_conflict_limit ?cancel solver
                 with
                 | Solver.Unsat ->
                     stats.sat_unsat <- stats.sat_unsat + 1;
@@ -214,13 +289,13 @@ let check ?(config = default_config) ?classes ~pool g0 =
   in
   (outcome, stats)
 
-let fraig ?(config = default_config) ~pool g =
+let fraig ?(config = default_config) ?cancel ~pool g =
   let stats = new_stats () in
   (* Work on a copy: sweeping mutates nothing, but Reduce renumbers. *)
-  let reduced = sweep_core ~config ~pool ~stats (Aig.Network.copy g) in
+  let reduced = sweep_core ~config ?cancel ~pool ~stats (Aig.Network.copy g) in
   (reduced, stats)
 
-let check_direct ?(conflict_limit = max_int) g =
+let check_direct ?(conflict_limit = max_int) ?cancel g =
   if Aig.Miter.solved g then Equivalent
   else begin
     let solver = Solver.create () in
@@ -230,7 +305,9 @@ let check_direct ?(conflict_limit = max_int) g =
         | [] -> Equivalent
         | po :: rest -> (
             let l = Aig.Network.po g po in
-            match Solver.solve ~assumptions:[ Cnf.lit l ] ~conflict_limit solver with
+            match
+              Solver.solve ~assumptions:[ Cnf.lit l ] ~conflict_limit ?cancel solver
+            with
             | Solver.Unsat -> go rest
             | Solver.Sat -> Inequivalent (Cnf.model_cex solver g, po)
             | Solver.Unknown -> Undecided)

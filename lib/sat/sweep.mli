@@ -1,11 +1,20 @@
 (** SAT sweeping combinational equivalence checker — the baseline engine
-    standing in for ABC [&cec] (single-threaded, SAT-based).
+    standing in for ABC [&cec] (SAT-based, with pool-parallel
+    candidate-pair proving).
 
     The classic flow: random simulation seeds equivalence classes;
     candidate pairs are proved by incremental SAT under assumptions with a
     per-call conflict budget; counter-examples refine the classes; proved
     pairs are merged and the miter reduced; rounds repeat until a fixed
-    point, and finally the remaining POs are checked by SAT. *)
+    point, and finally the remaining POs are checked by SAT.
+
+    Pair proving is parallel {e and} deterministic: a round's pairs are
+    split into fixed batches of [pair_batch]; each batch is proved
+    speculatively on a private solver (its own CNF load), so its verdicts
+    depend only on the network and the batch slice, never on scheduling;
+    the verdicts are then committed in pair-index order under the global
+    [cex_batch] cap.  Verdicts, merge counts, reduced networks and stats
+    are bit-identical for any pool size. *)
 
 type config = {
   conflict_limit : int;  (** budget per pair-proving SAT call (ABC's [-C]) *)
@@ -14,6 +23,10 @@ type config = {
   seed : int64;
   max_rounds : int;
   cex_batch : int;  (** resimulate after this many fresh counter-examples *)
+  pair_batch : int;
+      (** candidate pairs per parallel proof batch; each batch gets a
+          private solver and CNF load, so smaller batches buy parallelism
+          with more redundant loading *)
   use_distance_one : bool;  (** expand CEXs at Hamming distance 1 (§V) *)
   use_reverse_sim : bool;
       (** try backward justification ({!Sim.Rsim.justify_pair}) to disprove
@@ -37,24 +50,30 @@ type stats = {
   mutable rounds : int;
   mutable cex_count : int;
   mutable rsim_splits : int;  (** pairs disproved by reverse simulation *)
-  mutable candidates : int;  (** candidate pairs attempted *)
+  mutable candidates : int;  (** candidate pairs attempted (speculation included) *)
   mutable conflicts : int;  (** CDCL conflicts, summed over all solvers *)
+  mutable batches : int;  (** parallel proof batches dispatched *)
+  mutable cnf_loads : int;  (** solver CNF loads (one per batch per round) *)
 }
 
-(** [check ?config ?classes ~pool miter] decides whether every PO of
-    [miter] is constant false.  [classes] optionally seeds the equivalence
-    classes (EC transfer from the simulation engine, paper §V); node ids in
-    [classes] must refer to [miter]. *)
+(** [check ?config ?classes ?cancel ~pool miter] decides whether every PO
+    of [miter] is constant false.  [classes] optionally seeds the
+    equivalence classes (EC transfer from the simulation engine, paper
+    §V); node ids in [classes] must refer to [miter].  [cancel] is polled
+    at round boundaries, between batch pairs and inside the SAT search;
+    a cancelled check returns [Undecided]. *)
 val check :
   ?config:config ->
   ?classes:Sim.Eclass.t ->
+  ?cancel:Par.Cancel.t ->
   pool:Par.Pool.t ->
   Aig.Network.t ->
   outcome * stats
 
 (** Direct SAT check of every PO without sweeping (used by tests and as a
     portfolio member on small miters). *)
-val check_direct : ?conflict_limit:int -> Aig.Network.t -> outcome
+val check_direct :
+  ?conflict_limit:int -> ?cancel:Par.Cancel.t -> Aig.Network.t -> outcome
 
 (** Functional reduction (FRAIGing, Mishchenko et al. — the paper's [7]):
     run the sweeping rounds on a {e single} network and return it with all
@@ -62,4 +81,8 @@ val check_direct : ?conflict_limit:int -> Aig.Network.t -> outcome
     check.  The result is functionally equivalent to the input and never
     larger. *)
 val fraig :
-  ?config:config -> pool:Par.Pool.t -> Aig.Network.t -> Aig.Network.t * stats
+  ?config:config ->
+  ?cancel:Par.Cancel.t ->
+  pool:Par.Pool.t ->
+  Aig.Network.t ->
+  Aig.Network.t * stats

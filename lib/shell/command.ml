@@ -90,7 +90,8 @@ let run_cec st g engine =
       | `Equivalent -> Ok "EQUIVALENT"
       | `Inequivalent (cex, po) ->
           Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
-      | `Node_limit -> Ok "UNDECIDED (BDD node limit)")
+      | `Node_limit -> Ok "UNDECIDED (BDD node limit)"
+      | `Timeout -> Ok "UNDECIDED (BDD step budget)")
   | "portfolio" ->
       let r = Simsweep.Portfolio.check ~config:Simsweep.Config.scaled ~pool g in
       Ok

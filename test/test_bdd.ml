@@ -76,6 +76,7 @@ let test_node_limit () =
   ignore m;
   match Bdd.check ~node_limit:2000 m2 with
   | `Node_limit -> ()
+  | `Timeout -> Alcotest.fail "expected node-limit abort (got step timeout)"
   | `Equivalent -> Alcotest.fail "expected node-limit abort (got equivalent)"
   | `Inequivalent _ -> Alcotest.fail "multiplier miter is equivalent"
 
@@ -86,7 +87,7 @@ let test_voter_friendly () =
   let m = Aig.Miter.build g (Opt.Resyn.light g) in
   match Bdd.check ~node_limit:200_000 m with
   | `Equivalent -> ()
-  | `Node_limit -> Alcotest.fail "voter BDD should stay small"
+  | `Node_limit | `Timeout -> Alcotest.fail "voter BDD should stay small"
   | `Inequivalent _ -> Alcotest.fail "voter miter is equivalent"
 
 let prop_matches_brute =
@@ -99,7 +100,7 @@ let prop_matches_brute =
       | `Equivalent -> Util.equivalent_brute g1 g2
       | `Inequivalent (cex, po) ->
           (not (Util.equivalent_brute g1 g2)) && Sim.Cex.check miter cex po
-      | `Node_limit -> false)
+      | `Node_limit | `Timeout -> false)
 
 let () =
   Alcotest.run "bdd"

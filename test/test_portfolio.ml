@@ -1,8 +1,9 @@
 (* Portfolio checker (Conformal stand-in): engine selection and
    correctness. *)
 
-let check ?bdd_node_limit m =
-  Util.with_pool (fun pool -> Simsweep.Portfolio.check ?bdd_node_limit ~pool m)
+let check ?bdd_node_limit ?bdd_step_limit ?mode m =
+  Util.with_pool (fun pool ->
+      Simsweep.Portfolio.check ?bdd_node_limit ?bdd_step_limit ?mode ~pool m)
 
 let test_bdd_wins_on_voter () =
   (* Symmetric control logic: the BDD engine should answer first — the
@@ -113,6 +114,41 @@ let test_bdd_budget_blowup_disproof () =
   | _ -> Alcotest.fail "expected disproof");
   check_stats_invariants r
 
+let test_sequential_result_fields () =
+  (* Sequential runs: no cancel latency, mode echoed back, the winner's
+     wall-clock is reported, the BDD ran within its step budget. *)
+  let g = Gen.Arith.adder ~bits:5 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  let r = check ~mode:`Sequential m in
+  let open Simsweep.Portfolio in
+  Alcotest.(check bool) "sequential mode" true (r.mode_used = `Sequential);
+  Alcotest.(check bool) "no cancel latency" true (r.cancel_latency = None);
+  Alcotest.(check bool) "no bdd timeout" false r.bdd_timeout;
+  Alcotest.(check bool) "per-engine times recorded" true (r.per_engine_time <> []);
+  List.iter
+    (fun (_, t) -> Alcotest.(check bool) "time non-negative" true (t >= 0.0))
+    r.per_engine_time;
+  match r.winner with
+  | Some w ->
+      Alcotest.(check bool) "winner has a time" true
+        (List.mem_assoc w r.per_engine_time)
+  | None -> Alcotest.fail "expected a winner"
+
+let test_bdd_step_budget_timeout () =
+  (* A 1-step BDD budget: the run must fall through to another engine and
+     flag the timeout (distinct from a node-budget blow-up). *)
+  let g = Gen.Arith.multiplier ~bits:4 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  let r = check ~bdd_step_limit:1 m in
+  let open Simsweep.Portfolio in
+  Alcotest.(check bool) "proved" true (r.outcome = Simsweep.Engine.Proved);
+  Alcotest.(check bool) "bdd timeout flagged" true r.bdd_timeout;
+  (match r.winner with
+  | Some Bdd_engine -> Alcotest.fail "bdd cannot win under a 1-step budget"
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a winner");
+  check_stats_invariants r
+
 let prop_stats_invariants =
   QCheck.Test.make ~name:"stats presence matches winner" ~count:12 Util.arb_seed
     (fun seed ->
@@ -159,6 +195,9 @@ let () =
             test_winner_outcome_agreement_disproved;
           Alcotest.test_case "bdd blowup proof" `Quick test_bdd_budget_blowup_falls_through;
           Alcotest.test_case "bdd blowup disproof" `Quick test_bdd_budget_blowup_disproof;
+          Alcotest.test_case "sequential result fields" `Quick
+            test_sequential_result_fields;
+          Alcotest.test_case "bdd step budget" `Quick test_bdd_step_budget_timeout;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
