@@ -31,12 +31,67 @@ let engine_tag = function
   | `Partitioned -> "partitioned"
   | `Portfolio -> "portfolio"
 
+(* Client mode: ship the miter to a running daemon (simsweep-serve) and
+   let it check — repeated checks of the same cones hit the daemon's
+   cross-request equivalence cache. *)
+let run_remote addr engine name miter stats_json =
+  match Serve.Client.connect (Serve.Client.parse_addr addr) with
+  | Error e ->
+      Printf.eprintf "error: cannot connect to %s: %s\n" addr e;
+      2
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let req =
+        Serve.Protocol.Cec
+          {
+            aiger = Aig.Aiger_io.to_binary_string miter;
+            engine = engine_tag engine;
+            timeout_s = None;
+          }
+      in
+      (match Serve.Client.request c req with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          2
+      | Ok r ->
+          Printf.printf "%s  (%.3fs on %s; cache: %d hits, %d misses)\n"
+            r.Serve.Protocol.output r.Serve.Protocol.elapsed_s addr
+            r.Serve.Protocol.cache_hits r.Serve.Protocol.cache_misses;
+          (match stats_json with
+          | Some file ->
+              let open Simsweep.Telemetry in
+              write_file file
+                (Obj
+                   [
+                     ("name", String name);
+                     ("engine", String (engine_tag engine));
+                     ("server", String addr);
+                     ("output", String r.Serve.Protocol.output);
+                     ("ok", Bool r.Serve.Protocol.ok);
+                     ("time_s", Float r.Serve.Protocol.elapsed_s);
+                     ("cache_hits", Int r.Serve.Protocol.cache_hits);
+                     ("cache_misses", Int r.Serve.Protocol.cache_misses);
+                   ])
+          | None -> ());
+          if not r.Serve.Protocol.ok then 2
+          else
+            let out = r.Serve.Protocol.output in
+            let starts p =
+              String.length out >= String.length p
+              && String.sub out 0 (String.length p) = p
+            in
+            if starts "NOT EQUIVALENT" then 1
+            else if starts "EQUIVALENT" then 0
+            else 3)
+
 let run_check engine file1 file2 suite scale num_domains race verbose certify
-    stats_json =
+    stats_json server =
   match read_inputs file1 file2 suite scale with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
       2
+  | Ok (name, miter) when server <> None ->
+      run_remote (Option.get server) engine name miter stats_json
   | Ok (name, miter) ->
       if verbose then begin
         Logs.set_reporter (Logs.format_reporter ());
@@ -241,12 +296,18 @@ let stats_json =
                per-phase times, window/word counts, pool utilization, SAT \
                effort) to FILE as JSON.")
 
+let server =
+  Arg.(value & opt (some string) None & info [ "server" ] ~docv:"ADDR"
+         ~doc:"Check on a running simsweep-serve daemon at ADDR (a Unix \
+               socket path or HOST:PORT) instead of in-process; repeated \
+               checks hit the daemon's cross-request equivalence cache.")
+
 let cmd =
   let doc = "simulation-based parallel sweeping equivalence checker" in
   Cmd.v
     (Cmd.info "simsweep-cec" ~doc)
     Term.(
       const run_check $ engine $ file1 $ file2 $ suite $ scale $ num_domains
-      $ race $ verbose $ certify $ stats_json)
+      $ race $ verbose $ certify $ stats_json $ server)
 
 let () = exit (Cmd.eval' cmd)

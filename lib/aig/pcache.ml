@@ -1,0 +1,31 @@
+(* Proof-cache hook: the record of closures through which the engines
+   consult a cross-request equivalence cache (lib/serve's Ecache) without
+   depending on it.  Implementations must be safe to call from pool
+   workers — the SAT sweeper looks up and records pairs inside parallel
+   proof batches. *)
+
+(* A counter-example sparse over the cone's support: PI indices paired
+   with their value; unlisted inputs are don't-care (replayed as false).
+   Stored sparse so an entry replays onto any network containing the same
+   cone, whatever its total PI count. *)
+type cex = (int * bool) list
+
+type po_verdict =
+  | Const_false  (* the cone was proved constant false: PO discharged *)
+  | Cex of cex  (* an assignment was proved to set the cone to true *)
+
+type t = {
+  lookup_po : string -> po_verdict option;
+  record_po : string -> po_verdict -> unit;
+  lookup_pair : string -> bool;  (* true: this pair was proved equivalent *)
+  record_pair : string -> unit;
+}
+
+let cex_of_array support full =
+  Array.to_list
+    (Array.map (fun pi -> (pi, pi < Array.length full && full.(pi))) support)
+
+let cex_to_array ~num_pis sparse =
+  let a = Array.make num_pis false in
+  List.iter (fun (pi, v) -> if pi >= 0 && pi < num_pis then a.(pi) <- v) sparse;
+  a

@@ -1,0 +1,30 @@
+(** Proof-cache hook consulted by the engines before re-proving.
+
+    A record of closures so the engines (lib/core, lib/sat) can use a
+    cross-request equivalence cache without depending on its
+    implementation (lib/serve's [Ecache]).  Keys come from {!Shash}.
+    Implementations must be thread-safe: the SAT sweeper calls the pair
+    hooks from parallel pool workers. *)
+
+(** Sparse counter-example over a cone's support: (PI index, value)
+    pairs; unlisted inputs replay as false. *)
+type cex = (int * bool) list
+
+type po_verdict =
+  | Const_false  (** the PO's cone was proved constant false *)
+  | Cex of cex  (** a recorded assignment drives the cone to true *)
+
+type t = {
+  lookup_po : string -> po_verdict option;
+  record_po : string -> po_verdict -> unit;
+  lookup_pair : string -> bool;
+      (** [true] iff this pair key was proved equivalent before *)
+  record_pair : string -> unit;
+}
+
+(** Restrict a full-width assignment to the given support PI indices. *)
+val cex_of_array : int array -> bool array -> cex
+
+(** Expand a sparse counter-example to a full assignment of [num_pis]
+    inputs (unlisted inputs false; out-of-range indices ignored). *)
+val cex_to_array : num_pis:int -> cex -> bool array

@@ -1,0 +1,195 @@
+(* Structural cone keys for the cross-request equivalence cache.
+
+   A key is an exact canonical description of a PO/literal cone: equal
+   keys imply equal Boolean functions over the named PI indices, so cache
+   verdicts transfer soundly between networks (and across requests).  Two
+   key forms are produced:
+
+   - cones with at most 4 support PIs get a *functional* key: the cone's
+     truth table in NPN-canonical form (Bv.Npn) together with the
+     transform back to the original function and the support PI indices.
+     This matches restructured-but-equivalent small cones.
+   - larger cones get a *structural* key: the cone serialized with
+     cone-local node numbering (nodes in ascending original id), fanin
+     complement flags and PI indices spelled out.  Node ids never appear,
+     so the key survives any renumbering that preserves the relative
+     construction order of the cone's nodes — the common case after an
+     incremental edit elsewhere in the design.
+
+   Alongside the exact keys, [node_hashes] computes two independent
+   bottom-up 64-bit hash streams for *all* nodes in one O(n) pass; the
+   SAT sweeper keys its pair cache on the resulting 128 bits per side
+   (probabilistically exact, collision odds ~2^-128), because serializing
+   full cones for every candidate pair of every round would dominate the
+   sweep. *)
+
+(* splitmix64 finalizer: full-avalanche 64-bit mixing. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+type hashes = { h1 : int64 array; h2 : int64 array }
+
+let compl_salt = 0x5bf03635f0c35a7dL
+
+let lit_hash h l =
+  let v = h.(Lit.node l) in
+  if Lit.is_compl l then mix64 (Int64.logxor v compl_salt) else v
+
+let stream g salt =
+  let n = Network.num_nodes g in
+  let h = Array.make n 0L in
+  h.(0) <- mix64 salt;
+  for i = 0 to Network.num_pis g - 1 do
+    h.(Network.pi g i) <-
+      mix64 (Int64.add salt (Int64.of_int ((2 * i) + 3)))
+  done;
+  Network.iter_ands g (fun id ->
+      let a = lit_hash h (Network.fanin0 g id)
+      and b = lit_hash h (Network.fanin1 g id) in
+      (* Order fanins by hash value, not literal value: literal order is
+         numbering-dependent, the hash is not. *)
+      let lo, hi = if Int64.unsigned_compare a b <= 0 then (a, b) else (b, a) in
+      h.(id) <-
+        mix64
+          (Int64.logxor
+             (Int64.mul lo 0x2545f4914f6cdd1dL)
+             (Int64.add (Int64.mul hi 0x9e3779b97f4a7c15L) salt)));
+  h
+
+let node_hashes g =
+  { h1 = stream g 0x8b65_01d3_7c3a_11efL; h2 = stream g 0x41c6_4e6d_0000_3039L }
+
+(* One side of a candidate pair, fully described by its two hash streams
+   plus the complement flag. *)
+let side hs l =
+  Printf.sprintf "%Lx.%Lx.%c"
+    (lit_hash hs.h1 l) (lit_hash hs.h2 l)
+    (if Lit.is_compl l then '1' else '0')
+
+let pair_key hs a b =
+  (* The relation [a = b] equals [not a = not b] and is symmetric in the
+     two sides; canonicalize over both freedoms by taking the smallest of
+     the four spelled-out variants. *)
+  let variant a b =
+    let sa = side hs a and sb = side hs b in
+    if sa <= sb then "p:" ^ sa ^ ":" ^ sb else "p:" ^ sb ^ ":" ^ sa
+  in
+  let v1 = variant a b and v2 = variant (Lit.neg a) (Lit.neg b) in
+  if v1 <= v2 then v1 else v2
+
+(* --- exact cone keys ----------------------------------------------------- *)
+
+(* 16-bit projection tables of the four truth-table variables. *)
+let proj4 = [| 0xaaaa; 0xcccc; 0xf0f0; 0xff00 |]
+
+let npn_key g ~cone ~local ~support root =
+  (* Evaluate the cone's 16-bit truth table over the sorted support, then
+     normalize through the exact NPN canonizer.  The transform is part of
+     the key, so the key still identifies the function exactly — the
+     canonical form only makes it independent of the cone's internal
+     structure. *)
+  let nlocal = Array.length cone in
+  let tt = Array.make nlocal 0 in
+  let slot_of = Hashtbl.create 8 in
+  Array.iteri (fun s pi_node -> Hashtbl.replace slot_of pi_node s) support;
+  let lit_tt l =
+    let t = tt.(Hashtbl.find local (Lit.node l)) in
+    if Lit.is_compl l then lnot t land 0xffff else t
+  in
+  Array.iteri
+    (fun i id ->
+      tt.(i) <-
+        (if Network.is_const id then 0
+         else if Network.is_pi g id then proj4.(Hashtbl.find slot_of id)
+         else lit_tt (Network.fanin0 g id) land lit_tt (Network.fanin1 g id)))
+    cone;
+  let f = lit_tt root in
+  let canon, tf = Bv.Npn.canonize f in
+  let buf = Buffer.create 48 in
+  Buffer.add_string buf (Printf.sprintf "n:%04x:o%c:i%x:p" canon
+                           (if tf.Bv.Npn.output_compl then '1' else '0')
+                           tf.Bv.Npn.input_compl);
+  Array.iter (fun p -> Buffer.add_string buf (string_of_int p)) tf.Bv.Npn.perm;
+  Array.iter
+    (fun pi_node ->
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int (Network.pi_index g pi_node)))
+    support;
+  Buffer.contents buf
+
+let structural_key g ~cone ~local root =
+  let buf = Buffer.create (16 * Array.length cone) in
+  Buffer.add_string buf (if Lit.is_compl root then "s!" else "s:");
+  Array.iter
+    (fun id ->
+      if Network.is_const id then Buffer.add_char buf 'c'
+      else if Network.is_pi g id then begin
+        Buffer.add_char buf 'i';
+        Buffer.add_string buf (string_of_int (Network.pi_index g id))
+      end
+      else begin
+        let f0 = Network.fanin0 g id and f1 = Network.fanin1 g id in
+        let emit l =
+          Buffer.add_char buf (if Lit.is_compl l then '!' else '.');
+          Buffer.add_string buf (string_of_int (Hashtbl.find local (Lit.node l)))
+        in
+        Buffer.add_char buf '(';
+        emit f0;
+        emit f1;
+        Buffer.add_char buf ')'
+      end)
+    cone;
+  Buffer.contents buf
+
+let cone_key ?(max_nodes = 200_000) g root =
+  let root_node = Lit.node root in
+  (* Iterative TFI collection (cones can be deeper than the stack). *)
+  let seen = Hashtbl.create 256 in
+  let stack = Stack.create () in
+  Stack.push root_node stack;
+  let count = ref 0 in
+  (try
+     while not (Stack.is_empty stack) do
+       let n = Stack.pop stack in
+       if not (Hashtbl.mem seen n) then begin
+         Hashtbl.replace seen n ();
+         incr count;
+         if !count > max_nodes then raise Exit;
+         if Network.is_and g n then begin
+           Stack.push (Lit.node (Network.fanin0 g n)) stack;
+           Stack.push (Lit.node (Network.fanin1 g n)) stack
+         end
+       end
+     done
+   with Exit -> count := -1);
+  if !count < 0 then None
+  else begin
+    let cone = Array.make !count 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun n () ->
+        cone.(!i) <- n;
+        incr i)
+      seen;
+    Array.sort compare cone;
+    let local = Hashtbl.create !count in
+    Array.iteri (fun i id -> Hashtbl.replace local id i) cone;
+    let support =
+      Array.of_list
+        (List.filter (fun id -> Network.is_pi g id) (Array.to_list cone))
+    in
+    (* [cone] is id-sorted but support must be ordered by PI index. *)
+    Array.sort
+      (fun a b -> compare (Network.pi_index g a) (Network.pi_index g b))
+      support;
+    let key =
+      if Array.length support <= 4 then npn_key g ~cone ~local ~support root
+      else structural_key g ~cone ~local root
+    in
+    let pis = Array.map (fun id -> Network.pi_index g id) support in
+    Some (key, pis)
+  end
+
+let po_key ?max_nodes g i = cone_key ?max_nodes g (Network.po g i)

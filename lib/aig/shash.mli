@@ -1,0 +1,39 @@
+(** Structural cone keys for cross-request proof caching.
+
+    The serve daemon's equivalence cache memoizes verdicts keyed by what a
+    cone {e is}, not where it lives: equal keys imply equal Boolean
+    functions over the named PI indices, so a verdict proved for one
+    request transfers soundly to any later request whose cone produces the
+    same key — re-checking an incrementally edited design re-proves only
+    the cones whose key changed.
+
+    Cones with at most 4 support PIs are keyed {e functionally} — the NPN
+    canonical form ({!Bv.Npn}) of their truth table plus the transform and
+    support indices — which survives arbitrary restructuring.  Larger
+    cones are keyed {e structurally} with cone-local numbering, which
+    survives any renumbering that preserves the cone's relative node
+    order.  Keys of different functions are always different; in the worst
+    case a renumbering costs cache recall, never soundness. *)
+
+(** Two independent bottom-up 64-bit hash streams over all nodes,
+    invariant under node renumbering.  O(n) for the whole network. *)
+type hashes
+
+val node_hashes : Network.t -> hashes
+
+(** [pair_key hs a b] keys the candidate equivalence [a = b] on 128 bits
+    per side: symmetric in the two literals and invariant under jointly
+    complementing both.  Probabilistically exact (hash-based) — used for
+    the SAT sweeper's pair cache, where serializing full cones per pair
+    would dominate the sweep. *)
+val pair_key : hashes -> Lit.t -> Lit.t -> string
+
+(** [cone_key g lit] returns the exact key of [lit]'s cone and the sorted
+    PI indices of its support, or [None] when the cone exceeds
+    [max_nodes] (default 200k — beyond that, serialization cost outweighs
+    cache value). *)
+val cone_key :
+  ?max_nodes:int -> Network.t -> Lit.t -> (string * int array) option
+
+(** [po_key g i] is [cone_key] of PO [i]'s driver literal. *)
+val po_key : ?max_nodes:int -> Network.t -> int -> (string * int array) option

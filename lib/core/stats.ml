@@ -15,6 +15,8 @@ type t = {
   mutable deadline_hits : int;
   mutable deadline_exceeded : bool;
   mutable cancelled : bool;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   exhaustive : Exhaustive.stats;
   psim : Sim.Psim.stats;
 }
@@ -35,6 +37,8 @@ let create () =
     deadline_hits = 0;
     deadline_exceeded = false;
     cancelled = false;
+    cache_hits = 0;
+    cache_misses = 0;
     exhaustive = Exhaustive.new_stats ();
     psim = Sim.Psim.new_stats ();
   }

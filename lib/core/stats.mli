@@ -22,6 +22,10 @@ type t = {
       (** the configured [time_limit] was exceeded during the run *)
   mutable cancelled : bool;
       (** the run's cancellation token fired (portfolio race lost) *)
+  mutable cache_hits : int;
+      (** PO verdicts discharged from the cross-request equivalence cache *)
+  mutable cache_misses : int;
+      (** PO cache lookups that found nothing (cache enabled only) *)
   exhaustive : Exhaustive.stats;
   psim : Sim.Psim.stats;  (** partial (random) simulation effort *)
 }

@@ -333,6 +333,8 @@ let of_sat (s : Sat.Sweep.stats) =
       ("rsim_splits", Int s.rsim_splits);
       ("batches", Int s.batches);
       ("cnf_loads", Int s.cnf_loads);
+      ("cache_hits", Int s.cache_hits);
+      ("cache_misses", Int s.cache_misses);
     ]
 
 let of_engine_stats (s : Stats.t) =
@@ -352,6 +354,8 @@ let of_engine_stats (s : Stats.t) =
       ("deadline_hits", Int s.deadline_hits);
       ("deadline_exceeded", Bool s.deadline_exceeded);
       ("cancelled", Bool s.cancelled);
+      ("cache_hits", Int s.cache_hits);
+      ("cache_misses", Int s.cache_misses);
       ("exhaustive", of_exhaustive s.exhaustive);
       ("psim", of_psim s.psim);
     ]

@@ -40,12 +40,16 @@ type t = {
   sleepers : int Atomic.t;  (* workers parked on [cond] *)
   mutable current : job option;  (* published before [gen] is bumped *)
   gen : int Atomic.t;
-  region_on : int Atomic.t;  (* > 0 while the caller holds a region *)
+  region_on : int Atomic.t;  (* > 0 while some caller holds a region *)
   stopping : bool Atomic.t;
   done_mutex : Mutex.t;
   done_cond : Condition.t;
   mutable domains : unit Domain.t list;
-  mutable region_depth : int;  (* caller-side nesting of parallel_region *)
+  submit : Mutex.t;
+      (* The pool has a single job slot, so concurrent submitters (shared
+         sessions, the serve daemon) are serialized: the mutex is held from
+         job publication through barrier exit.  Per-job stats are mutated
+         under it; only the sequential-fallback counters stay best-effort. *)
   oversubscribed : bool;  (* more domains than cores: see [create] *)
   spin_idle : int;  (* idle spin budget before parking (0 = park at once) *)
   spin_region : int;  (* spin budget inside a region and at the barrier *)
@@ -57,6 +61,12 @@ type t = {
    flag is domain-local so the guard also covers worker domains, which the
    old shared [in_loop] ref raced on. *)
 let in_body : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+(* Caller-side [parallel_region] nesting.  Domain-local, not a pool field:
+   two domains sharing one pool each track their own nesting, so one
+   session's region never makes another session's region collapse to a
+   plain call (or vice versa). *)
+let in_region : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
 (* Spin budgets before parking, in [cpu_relax] iterations.  Inside a
    region the budget is high enough that the gaps between the per-level
@@ -192,7 +202,7 @@ let create ?num_domains () =
       done_mutex = Mutex.create ();
       done_cond = Condition.create ();
       domains = [];
-      region_depth = 0;
+      submit = Mutex.create ();
       oversubscribed = n > cores;
       spin_idle = (if n > cores then 0 else spin_idle_max);
       spin_region = (if n > cores then 0 else spin_region_max);
@@ -267,48 +277,60 @@ let parallel_for t ?chunk ~start ~stop body =
         exn = Atomic.make None;
       }
     in
-    t.stat.jobs <- t.stat.jobs + 1;
-    t.stat.items <- t.stat.items + n;
-    if t.region_depth > 0 then t.stat.region_jobs <- t.stat.region_jobs + 1;
-    t.current <- Some job;
-    Atomic.incr t.gen;
-    wake_sleepers t;
-    run_chunks t 0 job;
-    let wait0 = Unix.gettimeofday () in
-    let rec spin i =
-      if Atomic.get job.pending = 0 then ()
-      else if i < t.spin_region then begin
-        Domain.cpu_relax ();
-        spin (i + 1)
-      end
-      else begin
-        Mutex.lock t.done_mutex;
-        while Atomic.get job.pending > 0 do
-          Condition.wait t.done_cond t.done_mutex
-        done;
-        Mutex.unlock t.done_mutex
-      end
-    in
-    spin 0;
-    (* Drop the job at barrier exit: retaining it would keep the closure —
-       and any buffers it captures — alive until the next loop. *)
-    t.current <- None;
-    t.stat.barrier_wait <- t.stat.barrier_wait +. (Unix.gettimeofday () -. wait0);
+    (* Single job slot: hold [submit] from publication to barrier exit so
+       concurrent submitters queue instead of clobbering [current]/[gen]. *)
+    Mutex.lock t.submit;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.submit)
+      (fun () ->
+        t.stat.jobs <- t.stat.jobs + 1;
+        t.stat.items <- t.stat.items + n;
+        if !(Domain.DLS.get in_region) then
+          t.stat.region_jobs <- t.stat.region_jobs + 1;
+        t.current <- Some job;
+        Atomic.incr t.gen;
+        wake_sleepers t;
+        run_chunks t 0 job;
+        let wait0 = Unix.gettimeofday () in
+        let rec spin i =
+          if Atomic.get job.pending = 0 then ()
+          else if i < t.spin_region then begin
+            Domain.cpu_relax ();
+            spin (i + 1)
+          end
+          else begin
+            Mutex.lock t.done_mutex;
+            while Atomic.get job.pending > 0 do
+              Condition.wait t.done_cond t.done_mutex
+            done;
+            Mutex.unlock t.done_mutex
+          end
+        in
+        spin 0;
+        (* Drop the job at barrier exit: retaining it would keep the
+           closure — and any buffers it captures — alive until the next
+           loop. *)
+        t.current <- None;
+        t.stat.barrier_wait <-
+          t.stat.barrier_wait +. (Unix.gettimeofday () -. wait0));
     match Atomic.get job.exn with None -> () | Some e -> raise e
   end
 
 let parallel_region t f =
-  if t.spawned = 0 || !(Domain.DLS.get in_body) || t.region_depth > 0 then
+  let nested = Domain.DLS.get in_region in
+  if t.spawned = 0 || !(Domain.DLS.get in_body) || !nested then
     (* Sequential pool, worker body, or nested region: plain call. *)
     f ()
   else begin
+    Mutex.lock t.submit;
     t.stat.regions <- t.stat.regions + 1;
-    t.region_depth <- 1;
+    Mutex.unlock t.submit;
+    nested := true;
     Atomic.incr t.region_on;
     Fun.protect
       ~finally:(fun () ->
         Atomic.decr t.region_on;
-        t.region_depth <- 0)
+        nested := false)
       f
   end
 
@@ -348,15 +370,25 @@ let shutdown t =
     t.domains <- []
   end
 
+(* The check-then-set on [default_pool] must be atomic: two domains racing
+   through it would each create a pool and one would leak its worker
+   domains forever.  The mutex also makes the [at_exit] registration
+   happen exactly once, on the single creation path. *)
 let default_pool = ref None
+let default_mutex = Mutex.create ()
 
 let default () =
-  match !default_pool with
-  | Some p -> p
-  | None ->
-      let p = create () in
-      default_pool := Some p;
-      (* The default pool's domains are never joined by callers; tear them
-         down at process exit so runs under test runners exit cleanly. *)
-      at_exit (fun () -> shutdown p);
-      p
+  Mutex.lock default_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock default_mutex)
+    (fun () ->
+      match !default_pool with
+      | Some p -> p
+      | None ->
+          let p = create () in
+          default_pool := Some p;
+          (* The default pool's domains are never joined by callers; tear
+             them down at process exit so runs under test runners exit
+             cleanly. *)
+          at_exit (fun () -> shutdown p);
+          p)

@@ -53,6 +53,13 @@ val reset_stats : t -> unit
     done.  Exceptions raised by [body] are re-raised (first one wins) after
     the barrier.  Nested calls from inside [body] run sequentially.
 
+    Concurrent submitters (several domains or threads sharing one pool —
+    the serve daemon's sessions) are safe: the pool has a single job slot
+    and serializes loops through an internal submit lock, so concurrent
+    loops queue FIFO-ish instead of corrupting each other.  Per-job stats
+    stay exact; only [seq_jobs]/[items] of sequential fallbacks are
+    best-effort under concurrent submission.
+
     The published job is dropped at barrier exit — a regression guard:
     retaining the last job used to keep its closure (and any simulation
     buffers it captured) alive until the next loop dispatched. *)
@@ -90,5 +97,8 @@ val parallel_reduce :
 val shutdown : t -> unit
 
 (** Lazily-created process-wide pool; its workers are shut down
-    automatically at process exit. *)
+    automatically at process exit.  Safe to call from concurrent domains:
+    creation is mutex-guarded, so exactly one pool is ever created (and its
+    [at_exit] teardown registered exactly once), no matter how many domains
+    race through the first call. *)
 val default : unit -> t

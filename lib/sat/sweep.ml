@@ -38,6 +38,8 @@ type stats = {
   mutable conflicts : int;
   mutable batches : int;
   mutable cnf_loads : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let new_stats () =
@@ -54,6 +56,8 @@ let new_stats () =
     conflicts = 0;
     batches = 0;
     cnf_loads = 0;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let merge_stats ~into:a b =
@@ -64,7 +68,9 @@ let merge_stats ~into:a b =
   a.rsim_splits <- a.rsim_splits + b.rsim_splits;
   a.candidates <- a.candidates + b.candidates;
   a.conflicts <- a.conflicts + b.conflicts;
-  a.cnf_loads <- a.cnf_loads + b.cnf_loads
+  a.cnf_loads <- a.cnf_loads + b.cnf_loads;
+  a.cache_hits <- a.cache_hits + b.cache_hits;
+  a.cache_misses <- a.cache_misses + b.cache_misses
 
 (* Prove [target = repr_lit] on [g] through two SAT calls; [solver] holds
    the CNF of [g].  Returns [`Proved], [`Cex assignment] or [`Unknown]. *)
@@ -121,7 +127,8 @@ type pverdict = P_skipped | P_proved | P_cex of Sim.Cex.t | P_unknown
    bit-identical for any pool size.  The price is speculation: a batch
    may prove pairs the commit discards because an earlier batch already
    filled the counter-example budget. *)
-let sweep_core ?(config = default_config) ?classes ?cancel ~pool ~stats g0 =
+let sweep_core ?(config = default_config) ?classes ?pcache ?cancel ~pool ~stats
+    g0 =
   let rng = Sim.Rng.create ~seed:config.seed in
   let g = ref g0 in
   let carried_classes = ref classes in
@@ -159,6 +166,17 @@ let sweep_core ?(config = default_config) ?classes ?cancel ~pool ~stats g0 =
       let verdicts = Array.make n P_skipped in
       let bstats = Array.init nbatches (fun _ -> new_stats ()) in
       stats.batches <- stats.batches + nbatches;
+      (* Cross-request pair cache: one O(n) hash pass per round keys every
+         candidate; a hit skips the SAT proof entirely.  Freshly proved
+         keys are collected per batch and flushed after the barrier, so a
+         lookup never observes a record from the same round — cache-hit
+         counts stay independent of pool scheduling. *)
+      let hashes =
+        match pcache with
+        | Some _ -> Some (Aig.Shash.node_hashes cur)
+        | None -> None
+      in
+      let proved_keys = Array.make nbatches [] in
       Par.Pool.parallel_for pool ~chunk:1 ~start:0 ~stop:nbatches (fun b ->
           let st = bstats.(b) in
           let solver = Solver.create () in
@@ -179,33 +197,61 @@ let sweep_core ?(config = default_config) ?classes ?cancel ~pool ~stats g0 =
             st.candidates <- st.candidates + 1;
             let repr_lit = Aig.Lit.make repr compl_ in
             let target = Aig.Lit.make other false in
-            (* Reverse simulation first: a justified distinguishing pattern
-               disproves the pair without any SAT effort. *)
-            let rsim_cex =
-              if not config.use_reverse_sim then None
-              else
-                match Sim.Rsim.justify_pair cur target repr_lit with
-                | Some c -> Some c
-                | None -> Sim.Rsim.justify_pair cur repr_lit target
+            let ckey =
+              match (pcache, hashes) with
+              | Some pc, Some hs ->
+                  let k = Aig.Shash.pair_key hs repr_lit target in
+                  if pc.Aig.Pcache.lookup_pair k then begin
+                    st.cache_hits <- st.cache_hits + 1;
+                    `Hit
+                  end
+                  else begin
+                    st.cache_misses <- st.cache_misses + 1;
+                    `Miss k
+                  end
+              | _ -> `Off
             in
-            (match
-               match rsim_cex with
-               | Some cex ->
-                   st.rsim_splits <- st.rsim_splits + 1;
-                   `Cex cex
-               | None ->
-                   prove_pair solver st ~conflict_limit:config.conflict_limit
-                     ?cancel cur repr_lit target
-             with
-            | `Proved -> verdicts.(!i) <- P_proved
-            | `Cex cex ->
-                verdicts.(!i) <- P_cex cex;
-                incr fresh
-            | `Unknown -> verdicts.(!i) <- P_unknown);
+            (match ckey with
+            | `Hit -> verdicts.(!i) <- P_proved
+            | `Miss _ | `Off -> (
+                (* Reverse simulation first: a justified distinguishing
+                   pattern disproves the pair without any SAT effort. *)
+                let rsim_cex =
+                  if not config.use_reverse_sim then None
+                  else
+                    match Sim.Rsim.justify_pair cur target repr_lit with
+                    | Some c -> Some c
+                    | None -> Sim.Rsim.justify_pair cur repr_lit target
+                in
+                match
+                  match rsim_cex with
+                  | Some cex ->
+                      st.rsim_splits <- st.rsim_splits + 1;
+                      `Cex cex
+                  | None ->
+                      prove_pair solver st
+                        ~conflict_limit:config.conflict_limit ?cancel cur
+                        repr_lit target
+                with
+                | `Proved ->
+                    verdicts.(!i) <- P_proved;
+                    (match ckey with
+                    | `Miss k -> proved_keys.(b) <- k :: proved_keys.(b)
+                    | _ -> ())
+                | `Cex cex ->
+                    verdicts.(!i) <- P_cex cex;
+                    incr fresh
+                | `Unknown -> verdicts.(!i) <- P_unknown));
             incr i
           done;
           st.conflicts <- st.conflicts + Solver.num_conflicts solver);
       Array.iter (fun st -> merge_stats ~into:stats st) bstats;
+      (match pcache with
+      | Some pc ->
+          Array.iter
+            (List.iter (fun k -> pc.Aig.Pcache.record_pair k))
+            proved_keys
+      | None -> ());
       (* Deterministic commit in pair-index order: merges and fresh
          counter-examples are accepted exactly as the sequential schedule
          would, with the global [cex_batch] cap applied at commit time.
@@ -245,9 +291,35 @@ let sweep_core ?(config = default_config) ?classes ?cancel ~pool ~stats g0 =
   done;
   !g
 
-let check ?(config = default_config) ?classes ?cancel ~pool g0 =
+let check ?(config = default_config) ?classes ?pcache ?cancel ~pool g0 =
   let stats = new_stats () in
-  let g = sweep_core ~config ?classes ?cancel ~pool ~stats g0 in
+  (* Cross-request cache pre-pass.  [consult] discharges cached POs in
+     place, so it runs on a copy — callers hand us their own miter. *)
+  let g0, cache_disproved, cache_pending =
+    match pcache with
+    | None -> (g0, None, [])
+    | Some pc ->
+        let g0 = Aig.Network.copy g0 in
+        let r = Sim.Pcheck.consult pc g0 in
+        stats.cache_hits <- stats.cache_hits + r.Sim.Pcheck.hits;
+        stats.cache_misses <- stats.cache_misses + r.Sim.Pcheck.misses;
+        (g0, r.Sim.Pcheck.disproved, r.Sim.Pcheck.pending)
+  in
+  let finish outcome =
+    (match pcache with
+    | Some pc ->
+        Sim.Pcheck.record pc ~pending:cache_pending
+          (match outcome with
+          | Equivalent -> `Proved
+          | Inequivalent (cex, po) -> `Disproved (cex, po)
+          | Undecided -> `Undecided)
+    | None -> ());
+    (outcome, stats)
+  in
+  match cache_disproved with
+  | Some (cex, po) -> finish (Inequivalent (cex, po))
+  | None ->
+  let g = sweep_core ~config ?classes ?pcache ?cancel ~pool ~stats g0 in
   (* Final PO checking on the reduced miter. *)
   let outcome =
     if Aig.Miter.solved g then Equivalent
@@ -287,7 +359,7 @@ let check ?(config = default_config) ?classes ?cancel ~pool g0 =
       end
     end
   in
-  (outcome, stats)
+  finish outcome
 
 let fraig ?(config = default_config) ?cancel ~pool g =
   let stats = new_stats () in

@@ -54,17 +54,28 @@ type stats = {
   mutable conflicts : int;  (** CDCL conflicts, summed over all solvers *)
   mutable batches : int;  (** parallel proof batches dispatched *)
   mutable cnf_loads : int;  (** solver CNF loads (one per batch per round) *)
+  mutable cache_hits : int;
+      (** PO verdicts and candidate pairs discharged from the
+          cross-request equivalence cache *)
+  mutable cache_misses : int;  (** cache lookups that found nothing *)
 }
 
-(** [check ?config ?classes ?cancel ~pool miter] decides whether every PO
-    of [miter] is constant false.  [classes] optionally seeds the
+(** [check ?config ?classes ?pcache ?cancel ~pool miter] decides whether
+    every PO of [miter] is constant false.  [classes] optionally seeds the
     equivalence classes (EC transfer from the simulation engine, paper
-    §V); node ids in [classes] must refer to [miter].  [cancel] is polled
-    at round boundaries, between batch pairs and inside the SAT search;
-    a cancelled check returns [Undecided]. *)
+    §V); node ids in [classes] must refer to [miter].  [pcache] plugs in a
+    cross-request equivalence cache ({!Aig.Pcache}): cached PO verdicts
+    are consulted before sweeping (on a private copy — [miter] is not
+    mutated), candidate pairs are keyed by {!Aig.Shash.pair_key} and
+    proved pairs skip their SAT calls on a hit; fresh proofs are recorded
+    back.  Pair records flush only at round barriers, so results stay
+    bit-identical for any pool size.  [cancel] is polled at round
+    boundaries, between batch pairs and inside the SAT search; a cancelled
+    check returns [Undecided]. *)
 val check :
   ?config:config ->
   ?classes:Sim.Eclass.t ->
+  ?pcache:Aig.Pcache.t ->
   ?cancel:Par.Cancel.t ->
   pool:Par.Pool.t ->
   Aig.Network.t ->

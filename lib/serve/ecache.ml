@@ -1,0 +1,91 @@
+(* Cross-request equivalence cache: proved PO verdicts (constant-false or
+   a distinguishing counter-example) and proved candidate pairs, keyed by
+   the structural/NPN cone keys of [Aig.Shash].  One cache is shared by
+   every session of a daemon; all access is serialized by one mutex (the
+   engines consult it once per PO pre-pass and once per candidate pair, so
+   the lock is never hot). *)
+
+type t = {
+  mu : Mutex.t;
+  pos : (string, Aig.Pcache.po_verdict) Hashtbl.t;
+  pairs : (string, unit) Hashtbl.t;
+  max_entries : int;
+  mutable hits : int;  (* lifetime, across all sessions *)
+  mutable misses : int;
+}
+
+let create ?(max_entries = 1_000_000) () =
+  {
+    mu = Mutex.create ();
+    pos = Hashtbl.create 1024;
+    pairs = Hashtbl.create 4096;
+    max_entries = max 0 max_entries;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* At capacity the cache stops admitting new keys (existing keys may
+   still be refreshed): dead simple, bounded, and never invalidates an
+   entry a running request just read. *)
+let full t = Hashtbl.length t.pos + Hashtbl.length t.pairs >= t.max_entries
+
+let view t =
+  let hits = ref 0 and misses = ref 0 in
+  let hit () =
+    incr hits;
+    t.hits <- t.hits + 1
+  and miss () =
+    incr misses;
+    t.misses <- t.misses + 1
+  in
+  let hook =
+    {
+      Aig.Pcache.lookup_po =
+        (fun k ->
+          locked t (fun () ->
+              match Hashtbl.find_opt t.pos k with
+              | Some v ->
+                  hit ();
+                  Some v
+              | None ->
+                  miss ();
+                  None));
+      record_po =
+        (fun k v ->
+          locked t (fun () ->
+              if Hashtbl.mem t.pos k || not (full t) then
+                Hashtbl.replace t.pos k v));
+      lookup_pair =
+        (fun k ->
+          locked t (fun () ->
+              if Hashtbl.mem t.pairs k then begin
+                hit ();
+                true
+              end
+              else begin
+                miss ();
+                false
+              end));
+      record_pair =
+        (fun k ->
+          locked t (fun () ->
+              if Hashtbl.mem t.pairs k || not (full t) then
+                Hashtbl.replace t.pairs k ()));
+    }
+  in
+  let take () =
+    locked t (fun () ->
+        let r = (!hits, !misses) in
+        hits := 0;
+        misses := 0;
+        r)
+  in
+  (hook, take)
+
+let stats t =
+  locked t (fun () ->
+      (Hashtbl.length t.pos + Hashtbl.length t.pairs, t.hits, t.misses))

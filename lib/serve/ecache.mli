@@ -1,0 +1,21 @@
+(** The daemon's cross-request equivalence cache.
+
+    Stores proved PO verdicts and proved candidate pairs keyed by the
+    renumbering-invariant cone keys of {!Aig.Shash}, shared by every
+    session of a server.  Thread-safe: all access goes through one
+    mutex.  Bounded: past [max_entries] total entries, new keys are
+    dropped (existing keys may still be refreshed). *)
+
+type t
+
+val create : ?max_entries:int -> unit -> t
+
+(** [view t] is a thread-safe {!Aig.Pcache} hook into [t] plus a [take]
+    function returning — and resetting — the number of (hits, misses)
+    this view has seen since the last [take].  Each session holds its own
+    view, so per-request cache effects can be reported while the
+    underlying store stays shared. *)
+val view : t -> Aig.Pcache.t * (unit -> int * int)
+
+(** (total entries, lifetime hits, lifetime misses) across all views. *)
+val stats : t -> int * int * int

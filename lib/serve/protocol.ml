@@ -1,0 +1,145 @@
+(* Wire protocol: 4-byte big-endian length prefix, then that many bytes
+   of JSON (the hand-rolled [Simsweep.Telemetry] flavour — no external
+   dependency).  One request frame yields exactly one response frame, in
+   order, per connection. *)
+
+type json = Simsweep.Telemetry.json
+
+(* A frame larger than this is a protocol error, not an allocation. *)
+let max_frame = 256 * 1024 * 1024
+
+type request =
+  | Ping
+  | Script of { script : string; timeout_s : float option }
+  | Cec of { aiger : string; engine : string; timeout_s : float option }
+  | Cache_stats
+
+type response = {
+  ok : bool;
+  output : string;  (* printable output, or the error message *)
+  cache_hits : int;
+  cache_misses : int;
+  elapsed_s : float;
+}
+
+let error_response ?(elapsed_s = 0.) msg =
+  { ok = false; output = msg; cache_hits = 0; cache_misses = 0; elapsed_s }
+
+open Simsweep.Telemetry
+
+let timeout_field = function
+  | Some s -> [ ("timeout_s", Float s) ]
+  | None -> []
+
+let request_to_json = function
+  | Ping -> Obj [ ("type", String "ping") ]
+  | Script { script; timeout_s } ->
+      Obj
+        ([ ("type", String "script"); ("script", String script) ]
+        @ timeout_field timeout_s)
+  | Cec { aiger; engine; timeout_s } ->
+      Obj
+        ([
+           ("type", String "cec");
+           ("aiger", String aiger);
+           ("engine", String engine);
+         ]
+        @ timeout_field timeout_s)
+  | Cache_stats -> Obj [ ("type", String "cache-stats") ]
+
+let str_field name j =
+  match member name j with
+  | Some (String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S: expected a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let timeout_of j =
+  match member "timeout_s" j with
+  | Some (Float s) -> Some s
+  | Some (Int s) -> Some (float_of_int s)
+  | _ -> None
+
+let request_of_json j =
+  match str_field "type" j with
+  | Error e -> Error e
+  | Ok "ping" -> Ok Ping
+  | Ok "script" -> (
+      match str_field "script" j with
+      | Ok script -> Ok (Script { script; timeout_s = timeout_of j })
+      | Error e -> Error e)
+  | Ok "cec" -> (
+      match (str_field "aiger" j, str_field "engine" j) with
+      | Ok aiger, Ok engine -> Ok (Cec { aiger; engine; timeout_s = timeout_of j })
+      | Error e, _ | _, Error e -> Error e)
+  | Ok "cache-stats" -> Ok Cache_stats
+  | Ok other -> Error ("unknown request type " ^ other)
+
+let response_to_json r =
+  Obj
+    [
+      ("ok", Bool r.ok);
+      ("output", String r.output);
+      ("cache_hits", Int r.cache_hits);
+      ("cache_misses", Int r.cache_misses);
+      ("elapsed_s", Float r.elapsed_s);
+    ]
+
+let response_of_json j =
+  match (member "ok" j, member "output" j) with
+  | Some (Bool ok), Some (String output) ->
+      let int_field name =
+        match member name j with Some (Int n) -> n | _ -> 0
+      in
+      let float_field name =
+        match member name j with
+        | Some (Float f) -> f
+        | Some (Int n) -> float_of_int n
+        | _ -> 0.
+      in
+      Ok
+        {
+          ok;
+          output;
+          cache_hits = int_field "cache_hits";
+          cache_misses = int_field "cache_misses";
+          elapsed_s = float_field "elapsed_s";
+        }
+  | _ -> Error "malformed response (missing ok/output)"
+
+(* {2 Framing} *)
+
+let write_frame oc (j : json) =
+  let body = to_string j in
+  let n = String.length body in
+  if n > max_frame then invalid_arg "Protocol.write_frame: frame too large";
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int n);
+  output_bytes oc hdr;
+  output_string oc body;
+  flush oc
+
+let really_read ic buf len =
+  let off = ref 0 in
+  (try
+     while !off < len do
+       let r = input ic buf !off (len - !off) in
+       if r = 0 then raise End_of_file;
+       off := !off + r
+     done
+   with End_of_file -> ());
+  !off = len
+
+let read_frame ic : (json, string) result =
+  let hdr = Bytes.create 4 in
+  if not (really_read ic hdr 4) then Error "eof"
+  else
+    let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if n < 0 || n > max_frame then
+      Error (Printf.sprintf "bad frame length %d" n)
+    else
+      let body = Bytes.create n in
+      if not (really_read ic body n) then Error "eof inside frame"
+      else
+        match parse (Bytes.to_string body) with
+        | Ok j -> Ok j
+        | Error e -> Error ("bad frame json: " ^ e)

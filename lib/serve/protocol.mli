@@ -1,0 +1,39 @@
+(** The daemon's wire protocol.
+
+    Frames are a 4-byte big-endian length prefix followed by that many
+    bytes of JSON (the hand-rolled {!Simsweep.Telemetry} flavour).  A
+    connection is a strict request/response alternation: each request
+    frame yields exactly one response frame, in order. *)
+
+type json = Simsweep.Telemetry.json
+
+type request =
+  | Ping  (** liveness probe; answered without queueing *)
+  | Script of { script : string; timeout_s : float option }
+      (** run a shell script ({!Shell.Command.exec_script}) in this
+          connection's session *)
+  | Cec of { aiger : string; engine : string; timeout_s : float option }
+      (** check a miter shipped as an AIGER file with the named [cec]
+          engine (sim, sat, bdd, portfolio, combined, partitioned) *)
+  | Cache_stats  (** snapshot of the shared equivalence cache *)
+
+type response = {
+  ok : bool;
+  output : string;  (** printable output, or the error message *)
+  cache_hits : int;  (** equivalence-cache hits during this request *)
+  cache_misses : int;
+  elapsed_s : float;
+}
+
+val error_response : ?elapsed_s:float -> string -> response
+val request_to_json : request -> json
+val request_of_json : json -> (request, string) result
+val response_to_json : response -> json
+val response_of_json : json -> (response, string) result
+
+(** Blocking frame I/O on buffered channels.  [read_frame] returns
+    [Error "eof"] on clean end-of-stream and a descriptive error on a
+    truncated, oversized or unparsable frame. *)
+val write_frame : out_channel -> json -> unit
+
+val read_frame : in_channel -> (json, string) result

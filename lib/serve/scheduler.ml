@@ -1,0 +1,38 @@
+(* Fair FIFO request scheduler.  Connection handlers run on their own
+   threads, but heavy work (engine runs) shares one domain pool — so the
+   pool is handed to one request at a time, in strict arrival order.  A
+   plain mutex would do mutual exclusion but OCaml mutexes make no
+   fairness promise; the ticket queue does: tickets are served in the
+   order [run] was entered. *)
+
+type t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  mutable next : int;  (* next ticket to hand out *)
+  mutable serving : int;  (* ticket currently allowed to run *)
+}
+
+let create () =
+  { mu = Mutex.create (); cv = Condition.create (); next = 0; serving = 0 }
+
+let run t f =
+  Mutex.lock t.mu;
+  let my = t.next in
+  t.next <- t.next + 1;
+  while t.serving <> my do
+    Condition.wait t.cv t.mu
+  done;
+  Mutex.unlock t.mu;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.mu;
+      t.serving <- t.serving + 1;
+      Condition.broadcast t.cv;
+      Mutex.unlock t.mu)
+    f
+
+let pending t =
+  Mutex.lock t.mu;
+  let n = t.next - t.serving in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,14 @@
+(** Fair FIFO scheduler serializing requests onto the shared pool.
+
+    [run t f] blocks until every earlier [run] call has finished, then
+    runs [f] exclusively.  Tickets are served in strict arrival order —
+    unlike a bare mutex, a flood of requests from one connection cannot
+    starve another. *)
+
+type t
+
+val create : unit -> t
+val run : t -> (unit -> 'a) -> 'a
+
+(** Requests currently queued or running. *)
+val pending : t -> int

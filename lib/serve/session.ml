@@ -1,0 +1,29 @@
+(* One connected client's state: a private shell interpreter (current
+   network + store) over the server's shared pool, plus a private
+   counting view of the shared equivalence cache so each response can
+   report the cache effects of its own request. *)
+
+type t = {
+  shell : Shell.Command.state;
+  take : unit -> int * int;  (* (hits, misses) since last take *)
+}
+
+let create ~pool ~ecache =
+  let pcache, take = Ecache.view ecache in
+  { shell = Shell.Command.create ~pool ~pcache (); take }
+
+let run_script t ?cancel script =
+  ignore (t.take ());
+  let r = Shell.Command.exec_script ?cancel t.shell script in
+  let hits, misses = t.take () in
+  (r, hits, misses)
+
+let run_cec t ?cancel ~aiger ~engine () =
+  ignore (t.take ());
+  let r =
+    match Aig.Aiger_io.of_string aiger with
+    | exception Aig.Aiger_io.Parse_error e -> Error ("parse error: " ^ e)
+    | g -> Shell.Command.run_cec ?cancel t.shell g engine
+  in
+  let hits, misses = t.take () in
+  (r, hits, misses)

@@ -1,0 +1,25 @@
+(** Per-connection session: a private {!Shell.Command.state} (current
+    network + named store) over the server's shared pool, with a private
+    counting view of the shared equivalence cache.
+
+    Sessions are isolated — nothing a session stores is visible to
+    another — but all sessions read and feed the same equivalence cache.
+    A session is single-threaded; the server serializes its requests. *)
+
+type t
+
+val create : pool:Par.Pool.t -> ecache:Ecache.t -> t
+
+(** Run a shell script; returns the script result plus the (hits,
+    misses) this request charged to the equivalence cache. *)
+val run_script :
+  t -> ?cancel:Par.Cancel.t -> string -> (string, string) result * int * int
+
+(** Check a miter shipped as AIGER text with the named [cec] engine. *)
+val run_cec :
+  t ->
+  ?cancel:Par.Cancel.t ->
+  aiger:string ->
+  engine:string ->
+  unit ->
+  (string, string) result * int * int

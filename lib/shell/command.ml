@@ -2,13 +2,15 @@ type state = {
   mutable current : Aig.Network.t option;
   store : (string, Aig.Network.t) Hashtbl.t;
   pool : Par.Pool.t Lazy.t;
+  pcache : Aig.Pcache.t option;
 }
 
-let create ?pool () =
+let create ?pool ?pcache () =
   {
     current = None;
     store = Hashtbl.create 8;
     pool = (match pool with Some p -> lazy p | None -> lazy (Par.Pool.create ()));
+    pcache;
   }
 
 let help_text =
@@ -69,19 +71,37 @@ let outcome_string = function
       Printf.sprintf "NOT EQUIVALENT (output %d, inputs %s)" po bits
   | Simsweep.Engine.Undecided -> "UNDECIDED"
 
-let run_cec st g engine =
+(* Append a cache-effect suffix when an equivalence cache is plugged in,
+   so clients (and the serve smoke test) can observe reuse. *)
+let cache_suffix st ~hits ~misses =
+  match st.pcache with
+  | None -> ""
+  | Some _ -> Printf.sprintf " [cache %d hits, %d misses]" hits misses
+
+let run_cec ?cancel st g engine =
   let pool = Lazy.force st.pool in
+  let pcache = st.pcache in
   match engine with
   | "sim" ->
-      let r = Simsweep.Engine.run ~config:Simsweep.Config.scaled ~pool g in
+      let r =
+        Simsweep.Engine.run ~config:Simsweep.Config.scaled ?pcache ?cancel ~pool
+          g
+      in
+      let s = r.Simsweep.Engine.stats in
       Ok
-        (Printf.sprintf "%s (reduced %.1f%%)"
+        (Printf.sprintf "%s (reduced %.1f%%)%s"
            (outcome_string r.Simsweep.Engine.outcome)
-           (Simsweep.Engine.reduction_percent r))
+           (Simsweep.Engine.reduction_percent r)
+           (cache_suffix st ~hits:s.Simsweep.Stats.cache_hits
+              ~misses:s.Simsweep.Stats.cache_misses))
   | "sat" -> (
-      match Sat.Sweep.check ~pool (Aig.Network.copy g) with
+      match Sat.Sweep.check ?pcache ?cancel ~pool (Aig.Network.copy g) with
       | Sat.Sweep.Equivalent, st_ ->
-          Ok (Printf.sprintf "EQUIVALENT (%d SAT calls)" st_.Sat.Sweep.sat_calls)
+          Ok
+            (Printf.sprintf "EQUIVALENT (%d SAT calls)%s"
+               st_.Sat.Sweep.sat_calls
+               (cache_suffix st ~hits:st_.Sat.Sweep.cache_hits
+                  ~misses:st_.Sat.Sweep.cache_misses))
       | Sat.Sweep.Inequivalent (cex, po), _ ->
           Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
       | Sat.Sweep.Undecided, _ -> Ok "UNDECIDED")
@@ -102,9 +122,20 @@ let run_cec st g engine =
            | None -> "none"))
   | "combined" ->
       let c =
-        Simsweep.Engine.check_with_fallback ~config:Simsweep.Config.scaled ~pool g
+        Simsweep.Engine.check_with_fallback ~config:Simsweep.Config.scaled
+          ?pcache ?cancel ~pool g
       in
-      Ok (outcome_string c.Simsweep.Engine.final)
+      let es = c.Simsweep.Engine.engine.Simsweep.Engine.stats in
+      let sat_hits, sat_misses =
+        match c.Simsweep.Engine.sat_stats with
+        | Some s -> (s.Sat.Sweep.cache_hits, s.Sat.Sweep.cache_misses)
+        | None -> (0, 0)
+      in
+      Ok
+        (outcome_string c.Simsweep.Engine.final
+        ^ cache_suffix st
+            ~hits:(es.Simsweep.Stats.cache_hits + sat_hits)
+            ~misses:(es.Simsweep.Stats.cache_misses + sat_misses))
   | "partitioned" ->
       let outcome, n =
         Simsweep.Partition.check ~config:Simsweep.Config.scaled ~pool g
@@ -112,16 +143,51 @@ let run_cec st g engine =
       Ok (Printf.sprintf "%s (%d groups)" (outcome_string outcome) n)
   | other -> Error ("unknown engine " ^ other)
 
-let exec st line =
-  let line =
-    match String.index_opt line '#' with
-    | Some i -> String.sub line 0 i
-    | None -> line
+(* Tokenize one command line ABC-style: words split on blanks; double or
+   single quotes group a word, so filenames may contain blanks, [;] or
+   [#]; a [#] starts a comment only at the start of the line or after a
+   blank — [read foo#1.aig] names a file, [read x  # note] carries a
+   comment. *)
+let tokenize line =
+  let n = String.length line in
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let in_word = ref false in
+  let flush () =
+    if !in_word then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf;
+      in_word := false
+    end
   in
-  let words =
-    String.split_on_char ' ' (String.trim line)
-    |> List.filter (fun w -> w <> "")
-  in
+  let err = ref None in
+  let i = ref 0 in
+  while !err = None && !i < n do
+    (match line.[!i] with
+    | ' ' | '\t' | '\r' -> flush ()
+    | ('"' | '\'') as q -> (
+        match String.index_from_opt line (!i + 1) q with
+        | Some j ->
+            Buffer.add_string buf (String.sub line (!i + 1) (j - !i - 1));
+            in_word := true;
+            i := j
+        | None -> err := Some (Printf.sprintf "unterminated %c quote" q))
+    | '#' when not !in_word -> i := n
+    | c ->
+        Buffer.add_char buf c;
+        in_word := true);
+    incr i
+  done;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      flush ();
+      Ok (List.rev !words)
+
+let exec ?cancel st line =
+  match tokenize line with
+  | Error e -> Error e
+  | Ok words ->
   let set g out =
     st.current <- Some g;
     Ok out
@@ -185,8 +251,8 @@ let exec st line =
             with_current st (fun g ->
                 let m = Aig.Miter.build g other in
                 set m ("miter: " ^ stats_line m)))
-    | [ "cec" ] -> with_current st (fun g -> run_cec st g "combined")
-    | [ "cec"; engine ] -> with_current st (fun g -> run_cec st g engine)
+    | [ "cec" ] -> with_current st (fun g -> run_cec ?cancel st g "combined")
+    | [ "cec"; engine ] -> with_current st (fun g -> run_cec ?cancel st g engine)
     | [ "certify" ] ->
         with_current st (fun g ->
             let pool = Lazy.force st.pool in
@@ -229,7 +295,7 @@ let exec st line =
     | [ "fraig" ] ->
         with_current st (fun g ->
             let pool = Lazy.force st.pool in
-            let g', fstats = Sat.Sweep.fraig ~pool g in
+            let g', fstats = Sat.Sweep.fraig ?cancel ~pool g in
             set g'
               (Printf.sprintf "fraig: %s (%d merges)" (stats_line g')
                  fstats.Sat.Sweep.merged))
@@ -264,21 +330,71 @@ let exec st line =
   | Sys_error e -> Error e
   | Invalid_argument e -> Error e
 
-let exec_script st text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.concat_map (String.split_on_char ';')
+(* Split a script into commands at newlines and at [;] — but not inside
+   quotes (so [read "a;b.aig"] is one command) and not inside a comment
+   (which runs to the end of its line). *)
+let split_commands text =
+  let cmds = ref [] in
+  let buf = Buffer.create 64 in
+  let flush () =
+    cmds := Buffer.contents buf :: !cmds;
+    Buffer.clear buf
   in
+  let n = String.length text in
+  let quote = ref None in
+  let in_word = ref false in
+  let in_comment = ref false in
+  for i = 0 to n - 1 do
+    let c = text.[i] in
+    if !in_comment then begin
+      if c = '\n' then begin
+        in_comment := false;
+        in_word := false;
+        flush ()
+      end
+      else Buffer.add_char buf c
+    end
+    else
+      match !quote with
+      | Some q ->
+          Buffer.add_char buf c;
+          if c = q then quote := None
+      | None -> (
+          match c with
+          | '\n' | ';' ->
+              in_word := false;
+              flush ()
+          | ' ' | '\t' | '\r' ->
+              in_word := false;
+              Buffer.add_char buf c
+          | ('"' | '\'') as q ->
+              quote := Some q;
+              in_word := true;
+              Buffer.add_char buf c
+          | '#' when not !in_word ->
+              in_comment := true;
+              Buffer.add_char buf c
+          | c ->
+              in_word := true;
+              Buffer.add_char buf c)
+  done;
+  flush ();
+  List.rev !cmds
+
+let exec_script ?cancel st text =
   let buf = Buffer.create 256 in
-  let rec go = function
+  let rec go idx = function
     | [] -> Ok (Buffer.contents buf)
-    | line :: rest -> (
-        match exec st line with
-        | Ok "" -> go rest
+    | cmd :: rest -> (
+        let blank = String.trim cmd = "" in
+        let idx = if blank then idx else idx + 1 in
+        match exec ?cancel st cmd with
+        | Ok "" -> go idx rest
         | Ok out ->
             Buffer.add_string buf out;
             Buffer.add_char buf '\n';
-            go rest
-        | Error e -> Error e)
+            go idx rest
+        | Error e ->
+            Error (Printf.sprintf "command %d (%s): %s" idx (String.trim cmd) e))
   in
-  go lines
+  go 0 (split_commands text)

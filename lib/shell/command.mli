@@ -32,13 +32,40 @@
 type state
 
 (** Fresh interpreter state.  When [pool] is omitted a private pool is
-    created lazily and shut down by [Gc] finalisation at exit. *)
-val create : ?pool:Par.Pool.t -> unit -> state
+    created lazily and shut down by [Gc] finalisation at exit.  [pcache]
+    plugs in a cross-request equivalence cache ({!Aig.Pcache}) consulted
+    by the [cec] engines; cache effects are reported in the command
+    output.
 
-(** [exec state line] runs one command; returns its printable output or an
-    error message.  Empty lines and [#] comments yield [Ok ""]. *)
-val exec : state -> string -> (string, string) result
+    A [state] is single-session: it is not safe to share one state
+    between domains or threads.  Concurrent sessions must each own a
+    [state]; they {e may} share one [pool] (submissions are serialized by
+    the pool) and one thread-safe [pcache]. *)
+val create : ?pool:Par.Pool.t -> ?pcache:Aig.Pcache.t -> unit -> state
 
-(** Run a whole script (newline- or [;]-separated), stopping at the first
-    error; returns the concatenated output. *)
-val exec_script : state -> string -> (string, string) result
+(** [exec ?cancel state line] runs one command; returns its printable
+    output or an error message.  Blank lines and comments yield [Ok ""].
+    A [#] starts a comment only at the start of the line or after a
+    blank, so [read foo#1.aig] names a file.  Double or single quotes
+    group a word ([read "my file.aig"]).  [cancel] is forwarded to the
+    long-running commands ([cec], [fraig]). *)
+val exec : ?cancel:Par.Cancel.t -> state -> string -> (string, string) result
+
+(** [run_cec ?cancel state miter engine] checks [miter] with the named
+    [cec] engine (sim, sat, bdd, portfolio, combined, partitioned) using
+    the state's pool and equivalence cache, without touching the state's
+    current network or store.  The daemon's direct-CEC entry point. *)
+val run_cec :
+  ?cancel:Par.Cancel.t ->
+  state ->
+  Aig.Network.t ->
+  string ->
+  (string, string) result
+
+(** Run a whole script, stopping at the first error; returns the
+    concatenated output.  Commands are separated by newlines or [;] —
+    except inside quotes or comments — and an error is reported as
+    [command N (TEXT): MESSAGE] with N the 1-based index of the offending
+    command (blank segments are not counted). *)
+val exec_script :
+  ?cancel:Par.Cancel.t -> state -> string -> (string, string) result

@@ -1,0 +1,66 @@
+(* Shared proof-cache pre-pass over a miter's POs, used by both the
+   simulation engine and the SAT sweeper (which cannot see lib/core).
+
+   Consulting mutates [g] in place: POs with a cached constant-false
+   verdict are discharged by rewriting their driver, exactly like a proved
+   PO of the P phase.  Replayed counter-examples are re-evaluated on [g]
+   before being trusted, so a stale or colliding entry costs a miss, never
+   a wrong verdict. *)
+
+type result = {
+  disproved : (Cex.t * int) option;  (* first verified counter-example *)
+  pending : (int * string * int array) list;
+      (* (po, key, support) of POs this run still has to decide *)
+  hits : int;
+  misses : int;
+}
+
+let consult (pc : Aig.Pcache.t) g =
+  let num_pis = Aig.Network.num_pis g in
+  let pending = ref [] in
+  let hits = ref 0 and misses = ref 0 in
+  let disproved = ref None in
+  let n = Aig.Network.num_pos g in
+  let po = ref 0 in
+  while !disproved = None && !po < n do
+    let i = !po in
+    incr po;
+    if Aig.Network.po g i <> Aig.Lit.const_false then begin
+      match Aig.Shash.po_key g i with
+      | None -> ()  (* cone too large to key: never cached *)
+      | Some (key, support) -> (
+          let miss () =
+            incr misses;
+            pending := (i, key, support) :: !pending
+          in
+          match pc.Aig.Pcache.lookup_po key with
+          | Some Aig.Pcache.Const_false ->
+              incr hits;
+              Aig.Network.set_po g i Aig.Lit.const_false
+          | Some (Aig.Pcache.Cex sparse) ->
+              let cex = Aig.Pcache.cex_to_array ~num_pis sparse in
+              if Cex.eval_lit g cex (Aig.Network.po g i) then begin
+                incr hits;
+                disproved := Some (cex, i)
+              end
+              else miss ()
+          | None -> miss ())
+    end
+  done;
+  { disproved = !disproved; pending = List.rev !pending; hits = !hits;
+    misses = !misses }
+
+let record (pc : Aig.Pcache.t) ~pending outcome =
+  match outcome with
+  | `Proved ->
+      List.iter
+        (fun (_, key, _) -> pc.Aig.Pcache.record_po key Aig.Pcache.Const_false)
+        pending
+  | `Disproved ((cex : Cex.t), po) ->
+      List.iter
+        (fun (po', key, support) ->
+          if po' = po then
+            pc.Aig.Pcache.record_po key
+              (Aig.Pcache.Cex (Aig.Pcache.cex_of_array support cex)))
+        pending
+  | `Undecided -> ()

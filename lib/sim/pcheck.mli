@@ -1,0 +1,28 @@
+(** Shared proof-cache pre-pass over a miter's POs ({!Aig.Pcache} hooks),
+    used by the simulation engine and the SAT sweeper before sweeping.
+
+    [consult pc g] mutates [g]: POs with a cached constant-false verdict
+    are discharged in place (driver rewritten to constant false).  Cached
+    counter-examples are re-evaluated on [g] before being trusted — a
+    stale entry can only cost a cache miss, never a wrong verdict. *)
+
+type result = {
+  disproved : (Cex.t * int) option;
+      (** first replayed-and-verified counter-example, with its PO *)
+  pending : (int * string * int array) list;
+      (** (po index, cone key, support PI indices) of the POs that remain
+          to be decided — hand these to {!record} with the final outcome *)
+  hits : int;
+  misses : int;
+}
+
+val consult : Aig.Pcache.t -> Aig.Network.t -> result
+
+(** Record the run's conclusion for every pending PO: a proved run stores
+    constant-false verdicts, a disproved run stores the counter-example
+    against the PO it sets, an undecided run stores nothing. *)
+val record :
+  Aig.Pcache.t ->
+  pending:(int * string * int array) list ->
+  [ `Proved | `Disproved of Cex.t * int | `Undecided ] ->
+  unit

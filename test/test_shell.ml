@@ -123,6 +123,112 @@ let test_map () =
       let out = exec_ok st "cec sat" in
       Alcotest.(check bool) "mapped equivalent" true (contains out "EQUIVALENT"))
 
+(* Regression: a [#] inside a word (e.g. a filename) is not a comment —
+   only a [#] at the start of the line or after a blank is. *)
+let test_hash_in_filename () =
+  with_state (fun st ->
+      let dir = Filename.temp_file "shell" ".d" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o755;
+      let file = Filename.concat dir "net#1.aag" in
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists file then Sys.remove file;
+          Sys.rmdir dir)
+        (fun () ->
+          ignore (exec_ok st "gen adder 4");
+          let out = exec_ok st ("write " ^ file) in
+          Alcotest.(check bool) "wrote" true (contains out "written");
+          Alcotest.(check bool) "file exists" true (Sys.file_exists file);
+          let out = exec_ok st ("read " ^ file) in
+          Alcotest.(check bool) "reloaded" true (contains out "pi=8");
+          (* Trailing comments still work. *)
+          let out = exec_ok st "stats   # the adder again" in
+          Alcotest.(check bool) "comment stripped" true (contains out "pi=8");
+          Alcotest.(check string) "whole-line comment" ""
+            (exec_ok st "# stats would fail on a blank state")))
+
+(* Quotes group words: filenames may contain blanks and [;], and a
+   quoted [;] does not split a script. *)
+let test_quoted_filenames () =
+  with_state (fun st ->
+      let dir = Filename.temp_file "shell" ".d" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o755;
+      let file = Filename.concat dir "a;b c.aag" in
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists file then Sys.remove file;
+          Sys.rmdir dir)
+        (fun () ->
+          match
+            Shell.Command.exec_script st
+              (Printf.sprintf "gen voter 5; write \"%s\"; read \"%s\"" file file)
+          with
+          | Ok out ->
+              Alcotest.(check bool) "file exists" true (Sys.file_exists file);
+              Alcotest.(check bool) "reloaded" true (contains out "pi=5")
+          | Error e -> Alcotest.failf "script failed: %s" e))
+
+(* Script errors name the offending command and its 1-based index. *)
+let test_script_error_index () =
+  with_state (fun st ->
+      match Shell.Command.exec_script st "gen adder 4\nfrobnicate; stats" with
+      | Ok _ -> Alcotest.fail "script should fail"
+      | Error e ->
+          Alcotest.(check bool) "index" true (contains e "command 2");
+          Alcotest.(check bool) "text" true (contains e "frobnicate");
+          Alcotest.(check bool) "cause" true (contains e "unknown command"))
+
+(* Concurrent sessions: N domains, each with its own state, all sharing
+   the process-wide default pool.  Stores stay isolated, every check
+   concludes correctly, and nothing crashes or deadlocks. *)
+let test_concurrent_sessions () =
+  let n = 4 in
+  let results =
+    Array.init n (fun i ->
+        Domain.spawn (fun () ->
+            let pool = Par.Pool.default () in
+            let st = Shell.Command.create ~pool () in
+            let name = Printf.sprintf "g%d" i in
+            let script =
+              Printf.sprintf
+                "gen adder %d; store %s; xorflip; miter %s; cec sim; load %s"
+                (4 + i) name name name
+            in
+            (* Another session's store name must be invisible here. *)
+            let other = Printf.sprintf "g%d" ((i + 1) mod n) in
+            ( Shell.Command.exec_script st script,
+              Shell.Command.exec st ("load " ^ other) )))
+    |> Array.map Domain.join
+  in
+  Array.iteri
+    (fun i (script_result, load_missing) ->
+      (match script_result with
+      | Ok out ->
+          Alcotest.(check bool)
+            (Printf.sprintf "session %d equivalent" i)
+            true (contains out "EQUIVALENT")
+      | Error e -> Alcotest.failf "session %d failed: %s" i e);
+      match load_missing with
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "session %d isolated" i)
+            true (contains e "no stored network")
+      | Ok _ -> Alcotest.failf "session %d saw another session's store" i)
+    results
+
+(* The default pool is created exactly once even under a concurrent
+   first call (the lazy-init race regression). *)
+let test_default_pool_once () =
+  let pools =
+    Array.init 8 (fun _ -> Domain.spawn (fun () -> Par.Pool.default ()))
+    |> Array.map Domain.join
+  in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "same pool" true (p == pools.(0)))
+    pools
+
 let test_errors () =
   with_state (fun st ->
       ignore (exec_err st "gen nosuchfamily");
@@ -151,5 +257,11 @@ let () =
           Alcotest.test_case "inequivalent" `Quick test_inequivalent_report;
           Alcotest.test_case "map" `Quick test_map;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "hash in filename" `Quick test_hash_in_filename;
+          Alcotest.test_case "quoted filenames" `Quick test_quoted_filenames;
+          Alcotest.test_case "script error index" `Quick test_script_error_index;
+          Alcotest.test_case "concurrent sessions" `Quick
+            test_concurrent_sessions;
+          Alcotest.test_case "default pool once" `Quick test_default_pool_once;
         ] );
     ]
