@@ -8,7 +8,7 @@
    print the response — the scripting companion to [simsweep-cec
    --server]. *)
 
-let serve socket tcp cache_entries timeout num_domains =
+let serve socket tcp cache_entries cache_mb timeout num_domains =
   let addr =
     match tcp with
     | Some spec -> (
@@ -28,11 +28,18 @@ let serve socket tcp cache_entries timeout num_domains =
     {
       Serve.Server.addr;
       cache_entries;
+      cache_bytes = cache_mb * 1_000_000;
       default_timeout_s = timeout;
       pool;
     }
   in
-  let srv = Serve.Server.start ~config () in
+  let srv =
+    match Serve.Server.start ~config () with
+    | srv -> srv
+    | exception Failure e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 2
+  in
   (match Serve.Server.sockaddr srv with
   | Unix.ADDR_UNIX path -> Printf.printf "listening on %s\n%!" path
   | Unix.ADDR_INET (ip, port) ->
@@ -65,7 +72,7 @@ let run_client addr script timeout =
             2
           end)
 
-let main connect script script_file socket tcp cache_entries timeout
+let main connect script script_file socket tcp cache_entries cache_mb timeout
     num_domains =
   match connect with
   | Some addr -> (
@@ -81,7 +88,7 @@ let main connect script script_file socket tcp cache_entries timeout
       | Some _, Some _ ->
           prerr_endline "error: give --script or a FILE, not both";
           2)
-  | None -> serve socket tcp cache_entries timeout num_domains
+  | None -> serve socket tcp cache_entries cache_mb timeout num_domains
 
 open Cmdliner
 
@@ -110,7 +117,12 @@ let tcp =
 
 let cache_entries =
   Arg.(value & opt int 1_000_000 & info [ "cache-entries" ] ~docv:"N"
-         ~doc:"Equivalence-cache size cap (PO verdicts + proved pairs).")
+         ~doc:"Equivalence-cache entry cap (PO verdicts + proved pairs).")
+
+let cache_mb =
+  Arg.(value & opt int 256 & info [ "cache-mb" ] ~docv:"MB"
+         ~doc:"Equivalence-cache memory cap in megabytes (cone keys can be \
+               large, so the entry cap alone does not bound memory).")
 
 let timeout =
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS"
@@ -128,6 +140,6 @@ let cmd =
     (Cmd.info "simsweep-serve" ~doc)
     Term.(
       const main $ connect $ script $ script_file $ socket $ tcp
-      $ cache_entries $ timeout $ num_domains)
+      $ cache_entries $ cache_mb $ timeout $ num_domains)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,9 +1,10 @@
 type t = { steps : Engine.trace_step list; claims_proved : bool }
 
-let generate ?config ~pool miter =
+let generate ?config ?cancel ~pool miter =
   let steps = ref [] in
   let result =
-    Engine.run ?config ~trace:(fun s -> steps := s :: !steps) ~pool miter
+    Engine.run ?config ?cancel ~trace:(fun s -> steps := s :: !steps) ~pool
+      miter
   in
   ( result,
     {

@@ -14,10 +14,15 @@ type t = {
   claims_proved : bool;  (** the engine claims the miter fully proved *)
 }
 
-(** [generate ?config ~pool miter] runs the engine while recording the
-    trace.  The input network is not modified. *)
+(** [generate ?config ?cancel ~pool miter] runs the engine while recording
+    the trace.  The input network is not modified.  A cancelled run yields
+    an [Undecided] result with [claims_proved = false]. *)
 val generate :
-  ?config:Config.t -> pool:Par.Pool.t -> Aig.Network.t -> Engine.run_result * t
+  ?config:Config.t ->
+  ?cancel:Cancel.t ->
+  pool:Par.Pool.t ->
+  Aig.Network.t ->
+  Engine.run_result * t
 
 (** [validate ?conflict_limit miter cert] replays the certificate on the
     original miter: every merge [n -> l] is re-proved equivalent by SAT on

@@ -76,12 +76,14 @@ let extract g pos =
     pos;
   (ng, Array.of_list (List.rev !pi_origin))
 
-let check ?config ?sat_config ~pool g =
+let check ?config ?sat_config ?cancel ~pool g =
   let gs = groups g in
   let num_groups = List.length gs in
   let rec solve = function
     | [] -> (Engine.Proved, num_groups)
     | group :: rest -> (
+        if Par.Cancel.poll_opt cancel then (Engine.Undecided, num_groups)
+        else
         let sub, pi_origin = extract g group in
         if Aig.Miter.solved sub then
           (* Constant-false outputs only. *)
@@ -94,7 +96,9 @@ let check ?config ?sat_config ~pool g =
             in
             (Engine.Disproved (Array.make (Aig.Network.num_pis g) false, bad), num_groups)
         else
-          let combined = Engine.check_with_fallback ?config ?sat_config ~pool sub in
+          let combined =
+            Engine.check_with_fallback ?config ?sat_config ?cancel ~pool sub
+          in
           match combined.Engine.final with
           | Engine.Proved -> solve rest
           | Engine.Disproved (sub_cex, sub_po) ->

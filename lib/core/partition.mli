@@ -17,13 +17,16 @@ val groups : Aig.Network.t -> int list list
     of its PIs, the original PI index. *)
 val extract : Aig.Network.t -> int list -> Aig.Network.t * int array
 
-(** [check ?config ~pool miter] runs the engine (with SAT fallback) on
-    every support group independently and combines the verdicts; a group's
-    counter-example is lifted back to the full input space.  Returns the
-    outcome and the number of groups. *)
+(** [check ?config ?cancel ~pool miter] runs the engine (with SAT
+    fallback) on every support group independently and combines the
+    verdicts; a group's counter-example is lifted back to the full input
+    space.  Returns the outcome and the number of groups.  [cancel] is
+    threaded into every group's engines and polled between groups; a
+    cancelled check returns [Undecided]. *)
 val check :
   ?config:Config.t ->
   ?sat_config:Sat.Sweep.config ->
+  ?cancel:Cancel.t ->
   pool:Par.Pool.t ->
   Aig.Network.t ->
   Engine.outcome * int

@@ -43,11 +43,16 @@ type 'a race_outcome = {
   race_time : float;
 }
 
-let race racers =
+let race ?cancel:outer racers =
   let racers = Array.of_list racers in
   let n = Array.length racers in
   if n = 0 then invalid_arg "Portfolio.race: no racers";
-  let cancel = Cancel.create () in
+  (* The racers share a token private to this race (the winner fires it);
+     an outer per-request token propagates into it on poll, but a race
+     verdict never sets the caller's token. *)
+  let cancel =
+    match outer with Some c -> Cancel.child c | None -> Cancel.create ()
+  in
   let t0 = Unix.gettimeofday () in
   (* First conclusive finisher wins the CAS, records the verdict time and
      fires the shared token; inconclusive finishers never cancel anyone. *)
@@ -140,8 +145,8 @@ let sim_payload (r : Engine.run_result) =
 
 (* --- sequential portfolio -------------------------------------------------- *)
 
-let check_sequential ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool
-    miter =
+let check_sequential ?cancel ~config ~sat_config ~bdd_node_limit
+    ~bdd_step_limit ~pool miter =
   let t0 = Unix.gettimeofday () in
   let per = ref [] in
   let timed e f =
@@ -167,7 +172,8 @@ let check_sequential ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool
      aborts fast on arithmetic. *)
   match
     timed Bdd_engine (fun () ->
-        Bdd.check ~node_limit:bdd_node_limit ?step_limit:bdd_step_limit miter)
+        Bdd.check ~node_limit:bdd_node_limit ?step_limit:bdd_step_limit ?cancel
+          miter)
   with
   | `Equivalent -> finish Engine.Proved (Some Bdd_engine)
   | `Inequivalent (cex, po) ->
@@ -175,7 +181,9 @@ let check_sequential ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool
   | (`Node_limit | `Timeout) as aborted -> (
       let bdd_timeout = aborted = `Timeout in
       (* Engine 2: the simulation engine. *)
-      let er = timed Sim_engine (fun () -> Engine.run ~config ~pool miter) in
+      let er =
+        timed Sim_engine (fun () -> Engine.run ~config ?cancel ~pool miter)
+      in
       let engine_stats = er.Engine.stats in
       if conclusive er.Engine.outcome then
         finish ~engine_stats ~bdd_timeout er.Engine.outcome (Some Sim_engine)
@@ -183,7 +191,8 @@ let check_sequential ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool
         (* Engine 3: SAT sweeping on the reduced miter. *)
         let sat_outcome, sat_stats =
           timed Sat_engine (fun () ->
-              Sat.Sweep.check ~config:sat_config ~pool er.Engine.reduced)
+              Sat.Sweep.check ~config:sat_config ?cancel ~pool
+                er.Engine.reduced)
         in
         let p = sat_payload (sat_outcome, sat_stats) in
         (* The winner is the engine that produced the final verdict — an
@@ -200,8 +209,8 @@ let check_sequential ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool
 let race_fits ~pool =
   Par.Pool.num_workers pool + race_domains <= Domain.recommended_domain_count ()
 
-let check_race ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool miter
-    =
+let check_race ?cancel ~config ~sat_config ~bdd_node_limit ~bdd_step_limit
+    ~pool miter =
   let t0 = Unix.gettimeofday () in
   let payload_conclusive p = conclusive p.p_outcome in
   let racers =
@@ -241,7 +250,7 @@ let check_race ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool miter
       };
     ]
   in
-  let ro = race racers in
+  let ro = race ?cancel racers in
   let find_payload e =
     Array.fold_left
       (fun acc r ->
@@ -281,12 +290,12 @@ let check_race ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool miter
   }
 
 let check ?(config = Config.default) ?(sat_config = Sat.Sweep.default_config)
-    ?(bdd_node_limit = 1 lsl 20) ?bdd_step_limit ?(mode = `Sequential) ~pool
-    miter =
+    ?(bdd_node_limit = 1 lsl 20) ?bdd_step_limit ?(mode = `Sequential) ?cancel
+    ~pool miter =
   match mode with
   | `Race when race_fits ~pool ->
-      check_race ~config ~sat_config ~bdd_node_limit ~bdd_step_limit ~pool
-        miter
-  | `Race | `Sequential ->
-      check_sequential ~config ~sat_config ~bdd_node_limit ~bdd_step_limit
+      check_race ?cancel ~config ~sat_config ~bdd_node_limit ~bdd_step_limit
         ~pool miter
+  | `Race | `Sequential ->
+      check_sequential ?cancel ~config ~sat_config ~bdd_node_limit
+        ~bdd_step_limit ~pool miter

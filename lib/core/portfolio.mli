@@ -76,23 +76,29 @@ type 'a race_outcome = {
   race_time : float;
 }
 
-(** [race racers] runs racer 0 on the calling domain and every other racer
-    on a dedicated spawned domain, all sharing one fresh cancellation
-    token.  The first racer whose result is [racer_conclusive] fires the
-    token; the call returns once every racer finished or unwound.  A racer
-    raising any other exception also fires the token, and the exception is
-    re-raised. *)
-val race : 'a racer list -> 'a race_outcome
+(** [race ?cancel racers] runs racer 0 on the calling domain and every
+    other racer on a dedicated spawned domain, all sharing one fresh
+    cancellation token.  The first racer whose result is
+    [racer_conclusive] fires the token; the call returns once every racer
+    finished or unwound.  A racer raising any other exception also fires
+    the token, and the exception is re-raised.  [cancel] is an outer
+    (e.g. per-request deadline) token: its firing propagates to every
+    racer via a {!Cancel.child}, but a race verdict never sets it. *)
+val race : ?cancel:Cancel.t -> 'a racer list -> 'a race_outcome
 
-(** [check ?config ?sat_config ?bdd_node_limit ?bdd_step_limit ?mode ~pool
-    miter].  [bdd_step_limit] defaults to [64 * bdd_node_limit] (see
-    {!Bdd.check}); [mode] defaults to [`Sequential]. *)
+(** [check ?config ?sat_config ?bdd_node_limit ?bdd_step_limit ?mode
+    ?cancel ~pool miter].  [bdd_step_limit] defaults to
+    [64 * bdd_node_limit] (see {!Bdd.check}); [mode] defaults to
+    [`Sequential].  [cancel] bounds every member engine (threaded directly
+    in sequential mode, as the racers' parent token in race mode); a
+    cancelled portfolio reports [Undecided] with no winner. *)
 val check :
   ?config:Config.t ->
   ?sat_config:Sat.Sweep.config ->
   ?bdd_node_limit:int ->
   ?bdd_step_limit:int ->
   ?mode:mode ->
+  ?cancel:Cancel.t ->
   pool:Par.Pool.t ->
   Aig.Network.t ->
   result

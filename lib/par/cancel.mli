@@ -19,6 +19,14 @@ exception Cancelled
     the token as if {!set} had been called. *)
 val create : ?deadline_in:float -> unit -> t
 
+(** [child ?deadline_in parent] is a token that fires when [parent] fires
+    (observed on [poll]) or when its own deadline expires or {!set} is
+    called on it — but setting the child never touches [parent].  The
+    racing portfolio uses this to share a per-request deadline token with
+    its racers: the winner cancels the losers through the child while the
+    request's own token stays clean for later work. *)
+val child : ?deadline_in:float -> t -> t
+
 (** Request cancellation.  Idempotent. *)
 val set : t -> unit
 

@@ -10,16 +10,20 @@ type t = {
   pos : (string, Aig.Pcache.po_verdict) Hashtbl.t;
   pairs : (string, unit) Hashtbl.t;
   max_entries : int;
+  max_bytes : int;
+  mutable bytes : int;  (* accumulated entry cost, see [po_cost] *)
   mutable hits : int;  (* lifetime, across all sessions *)
   mutable misses : int;
 }
 
-let create ?(max_entries = 1_000_000) () =
+let create ?(max_entries = 1_000_000) ?(max_bytes = 256_000_000) () =
   {
     mu = Mutex.create ();
     pos = Hashtbl.create 1024;
     pairs = Hashtbl.create 4096;
     max_entries = max 0 max_entries;
+    max_bytes = max 0 max_bytes;
+    bytes = 0;
     hits = 0;
     misses = 0;
   }
@@ -28,10 +32,28 @@ let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
-(* At capacity the cache stops admitting new keys (existing keys may
-   still be refreshed): dead simple, bounded, and never invalidates an
-   entry a running request just read. *)
-let full t = Hashtbl.length t.pos + Hashtbl.length t.pairs >= t.max_entries
+(* Approximate heap cost of one entry: the key string dominates (a
+   structural cone key covers up to 200k nodes, i.e. megabytes), plus a
+   flat allowance for the hashtable slot and, for a PO verdict, its
+   sparse counter-example. *)
+let entry_overhead = 64
+
+let po_cost k v =
+  String.length k + entry_overhead
+  + (match v with
+    | Aig.Pcache.Const_false -> 0
+    | Aig.Pcache.Cex cex -> 32 * List.length cex)
+
+let pair_cost k = String.length k + entry_overhead
+
+(* At capacity — by entry count or by accumulated bytes (the entry cap
+   alone is no memory bound: a million 1 MB cone keys is a terabyte) —
+   the cache stops admitting new keys (existing keys may still be
+   refreshed): dead simple, bounded, and never invalidates an entry a
+   running request just read. *)
+let full t cost =
+  Hashtbl.length t.pos + Hashtbl.length t.pairs >= t.max_entries
+  || t.bytes + cost > t.max_bytes
 
 let view t =
   let hits = ref 0 and misses = ref 0 in
@@ -57,8 +79,16 @@ let view t =
       record_po =
         (fun k v ->
           locked t (fun () ->
-              if Hashtbl.mem t.pos k || not (full t) then
-                Hashtbl.replace t.pos k v));
+              match Hashtbl.find_opt t.pos k with
+              | Some old ->
+                  t.bytes <- t.bytes - po_cost k old + po_cost k v;
+                  Hashtbl.replace t.pos k v
+              | None ->
+                  let c = po_cost k v in
+                  if not (full t c) then begin
+                    t.bytes <- t.bytes + c;
+                    Hashtbl.replace t.pos k v
+                  end));
       lookup_pair =
         (fun k ->
           locked t (fun () ->
@@ -73,8 +103,13 @@ let view t =
       record_pair =
         (fun k ->
           locked t (fun () ->
-              if Hashtbl.mem t.pairs k || not (full t) then
-                Hashtbl.replace t.pairs k ()));
+              if not (Hashtbl.mem t.pairs k) then begin
+                let c = pair_cost k in
+                if not (full t c) then begin
+                  t.bytes <- t.bytes + c;
+                  Hashtbl.replace t.pairs k ()
+                end
+              end));
     }
   in
   let take () =
@@ -89,3 +124,5 @@ let view t =
 let stats t =
   locked t (fun () ->
       (Hashtbl.length t.pos + Hashtbl.length t.pairs, t.hits, t.misses))
+
+let bytes_used t = locked t (fun () -> t.bytes)

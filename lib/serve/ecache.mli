@@ -3,12 +3,15 @@
     Stores proved PO verdicts and proved candidate pairs keyed by the
     renumbering-invariant cone keys of {!Aig.Shash}, shared by every
     session of a server.  Thread-safe: all access goes through one
-    mutex.  Bounded: past [max_entries] total entries, new keys are
-    dropped (existing keys may still be refreshed). *)
+    mutex.  Bounded two ways: past [max_entries] total entries, or past
+    [max_bytes] of accumulated key/value cost — structural cone keys can
+    reach megabytes each, so an entry count alone is no memory bound —
+    new keys are dropped (existing keys may still be refreshed). *)
 
 type t
 
-val create : ?max_entries:int -> unit -> t
+(** Defaults: 1M entries, 256 MB. *)
+val create : ?max_entries:int -> ?max_bytes:int -> unit -> t
 
 (** [view t] is a thread-safe {!Aig.Pcache} hook into [t] plus a [take]
     function returning — and resetting — the number of (hits, misses)
@@ -19,3 +22,7 @@ val view : t -> Aig.Pcache.t * (unit -> int * int)
 
 (** (total entries, lifetime hits, lifetime misses) across all views. *)
 val stats : t -> int * int * int
+
+(** Accumulated byte cost of the stored entries (the quantity capped by
+    [max_bytes]). *)
+val bytes_used : t -> int

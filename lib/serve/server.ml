@@ -11,6 +11,7 @@ type addr = Unix_path of string | Tcp of string * int
 type config = {
   addr : addr;
   cache_entries : int;
+  cache_bytes : int;
   default_timeout_s : float option;
   pool : Par.Pool.t option;  (* [None]: the process-wide default pool *)
 }
@@ -19,6 +20,7 @@ let default_config =
   {
     addr = Unix_path "simsweep.sock";
     cache_entries = 1_000_000;
+    cache_bytes = 256_000_000;
     default_timeout_s = None;
     pool = None;
   }
@@ -44,12 +46,32 @@ type t = {
 let sockaddr t = t.sockaddr
 let ecache t = t.cache
 
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A socket file may be left behind by a dead daemon (stale: bind would
+   fail for no good reason) or owned by a live one (unlinking it would
+   silently strand that daemon's clients).  Only a connection attempt
+   tells the two apart. *)
+let unix_socket_alive path =
+  let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> close_noerr probe)
+    (fun () ->
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> false)
+
 let resolve_addr = function
   | Unix_path path ->
-      (* A stale socket file from a dead daemon would make bind fail. *)
-      (try
-         if (Unix.lstat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
-       with Unix.Unix_error _ -> ());
+      (match (Unix.lstat path).Unix.st_kind with
+      | Unix.S_SOCK ->
+          if unix_socket_alive path then
+            failwith
+              (Printf.sprintf
+                 "%s: another daemon is already listening on this socket" path)
+          else Unix.unlink path  (* stale leftover of a dead daemon *)
+      | _ -> ()  (* not ours to delete; bind will report the conflict *)
+      | exception Unix.Unix_error (ENOENT, _, _) -> ());
       (Unix.ADDR_UNIX path, Unix.PF_UNIX)
   | Tcp (host, port) ->
       let ip =
@@ -57,8 +79,6 @@ let resolve_addr = function
         with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
       in
       (Unix.ADDR_INET (ip, port), Unix.PF_INET)
-
-let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let handle_request t session req =
   let started = Unix.gettimeofday () in
@@ -92,7 +112,8 @@ let handle_request t session req =
         Simsweep.Telemetry.(
           Obj
             [ ("entries", Int entries); ("hits", Int hits);
-              ("misses", Int misses) ])
+              ("misses", Int misses);
+              ("bytes", Int (Ecache.bytes_used t.cache)) ])
       in
       finish (Ok (Simsweep.Telemetry.to_string j), 0, 0)
   | Protocol.Script { script; timeout_s } ->
@@ -123,10 +144,13 @@ let handle_conn t fd =
                 Protocol.error_response
                   ("internal error: " ^ Printexc.to_string e))
         in
-        (* A write failure means the client hung up mid-request. *)
+        (* A write failure means the client hung up mid-request.  With
+           SIGPIPE ignored (see [start]) the write surfaces as
+           EPIPE/ECONNRESET — through the buffered channel as [Sys_error],
+           or directly as [Unix_error]. *)
         (match Protocol.write_frame oc (Protocol.response_to_json resp) with
         | () -> loop ()
-        | exception Sys_error _ -> ())
+        | exception (Sys_error _ | Unix.Unix_error _) -> ())
   in
   Fun.protect ~finally:(fun () -> close_noerr fd) loop
 
@@ -164,6 +188,13 @@ let accept_loop t =
   done
 
 let start ?(config = default_config) () =
+  (* A client that disconnects before reading its response would otherwise
+     deliver SIGPIPE on the response write, whose default disposition kills
+     the whole process — one impatient client must not take down the warm
+     cache for everyone.  Ignored, the write fails with EPIPE and the
+     connection handler drops that client alone. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> () (* platform without SIGPIPE *));
   let sockaddr, domain = resolve_addr config.addr in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   (match config.addr with
@@ -177,7 +208,9 @@ let start ?(config = default_config) () =
       config;
       listen_fd = fd;
       sockaddr = Unix.getsockname fd;
-      cache = Ecache.create ~max_entries:config.cache_entries ();
+      cache =
+        Ecache.create ~max_entries:config.cache_entries
+          ~max_bytes:config.cache_bytes ();
       sched = Scheduler.create ();
       pool =
         (match config.pool with

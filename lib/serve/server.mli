@@ -14,19 +14,26 @@ type addr = Unix_path of string | Tcp of string * int
 
 type config = {
   addr : addr;
-  cache_entries : int;  (** equivalence-cache size cap *)
+  cache_entries : int;  (** equivalence-cache entry cap *)
+  cache_bytes : int;
+      (** equivalence-cache byte cap (cone keys can be megabytes each, so
+          the entry cap alone bounds no memory) *)
   default_timeout_s : float option;
       (** applied to requests that carry no timeout of their own *)
   pool : Par.Pool.t option;  (** [None]: the process-wide default pool *)
 }
 
-(** Unix socket [simsweep.sock], 1M cache entries, no timeout. *)
+(** Unix socket [simsweep.sock], 1M cache entries / 256 MB, no timeout. *)
 val default_config : config
 
 type t
 
 (** Bind, listen and start the accept loop (on its own thread); returns
-    immediately. *)
+    immediately.  Ignores SIGPIPE process-wide, so a client that hangs up
+    before reading its response costs only that connection.  A stale Unix
+    socket file (no daemon answers a probe connect) is removed before
+    bind; raises [Failure] when a live daemon already listens on the
+    requested path. *)
 val start : ?config:config -> unit -> t
 
 (** The bound address — useful with [Tcp (host, 0)] (ephemeral port). *)

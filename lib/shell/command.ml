@@ -106,14 +106,16 @@ let run_cec ?cancel st g engine =
           Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
       | Sat.Sweep.Undecided, _ -> Ok "UNDECIDED")
   | "bdd" -> (
-      match Bdd.check g with
+      match Bdd.check ?cancel g with
       | `Equivalent -> Ok "EQUIVALENT"
       | `Inequivalent (cex, po) ->
           Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
       | `Node_limit -> Ok "UNDECIDED (BDD node limit)"
       | `Timeout -> Ok "UNDECIDED (BDD step budget)")
   | "portfolio" ->
-      let r = Simsweep.Portfolio.check ~config:Simsweep.Config.scaled ~pool g in
+      let r =
+        Simsweep.Portfolio.check ~config:Simsweep.Config.scaled ?cancel ~pool g
+      in
       Ok
         (Printf.sprintf "%s (winner: %s)"
            (outcome_string r.Simsweep.Portfolio.outcome)
@@ -138,7 +140,7 @@ let run_cec ?cancel st g engine =
             ~misses:(es.Simsweep.Stats.cache_misses + sat_misses))
   | "partitioned" ->
       let outcome, n =
-        Simsweep.Partition.check ~config:Simsweep.Config.scaled ~pool g
+        Simsweep.Partition.check ~config:Simsweep.Config.scaled ?cancel ~pool g
       in
       Ok (Printf.sprintf "%s (%d groups)" (outcome_string outcome) n)
   | other -> Error ("unknown engine " ^ other)
@@ -257,7 +259,8 @@ let exec ?cancel st line =
         with_current st (fun g ->
             let pool = Lazy.force st.pool in
             let result, cert =
-              Simsweep.Certificate.generate ~config:Simsweep.Config.scaled ~pool g
+              Simsweep.Certificate.generate ~config:Simsweep.Config.scaled
+                ?cancel ~pool g
             in
             let verdict = outcome_string result.Simsweep.Engine.outcome in
             if not cert.Simsweep.Certificate.claims_proved then

@@ -34,6 +34,31 @@ let test_token_check_raises () =
   Alcotest.check_raises "check raises" Par.Cancel.Cancelled (fun () ->
       Par.Cancel.check c)
 
+let test_token_child () =
+  (* Parent firing propagates into the child on poll… *)
+  let p = Par.Cancel.create () in
+  let c = Par.Cancel.child p in
+  Alcotest.(check bool) "fresh child" false (Par.Cancel.poll c);
+  Par.Cancel.set p;
+  Alcotest.(check bool) "child unpolled" false (Par.Cancel.is_set c);
+  Alcotest.(check bool) "child sees parent" true (Par.Cancel.poll c);
+  Alcotest.(check bool) "latched" true (Par.Cancel.is_set c);
+  (* …but setting a child never touches the parent (the racing
+     portfolio's winner cancels the losers, not the request). *)
+  let p2 = Par.Cancel.create () in
+  let c2 = Par.Cancel.child p2 in
+  Par.Cancel.set c2;
+  Alcotest.(check bool) "child set" true (Par.Cancel.poll c2);
+  Alcotest.(check bool) "parent clean" false (Par.Cancel.poll p2);
+  (* A child may carry its own deadline independent of the parent. *)
+  let c3 = Par.Cancel.child ~deadline_in:(-1.0) p2 in
+  Alcotest.(check bool) "child deadline" true (Par.Cancel.poll c3);
+  Alcotest.(check bool) "parent still clean" false (Par.Cancel.poll p2);
+  (* An expired parent deadline also reaches the grandchild. *)
+  let gp = Par.Cancel.create ~deadline_in:(-1.0) () in
+  let gc = Par.Cancel.child (Par.Cancel.child gp) in
+  Alcotest.(check bool) "grandchild sees expiry" true (Par.Cancel.poll gc)
+
 (* --- a pre-set token unwinds every engine immediately --------------- *)
 
 let preset () =
@@ -98,6 +123,56 @@ let test_combined_preset () =
     (c.Simsweep.Engine.final = Simsweep.Engine.Undecided);
   Alcotest.(check bool) "no sat fallback" true
     (c.Simsweep.Engine.sat_outcome = None)
+
+let test_portfolio_preset () =
+  (* Every path through the portfolio honors the request token: the
+     sequential chain threads it into each member engine, the race makes
+     it the racers' parent. *)
+  Util.with_pool @@ fun pool ->
+  List.iter
+    (fun mode ->
+      let r =
+        Simsweep.Portfolio.check ~mode ~cancel:(preset ()) ~pool (hard_miter ())
+      in
+      Alcotest.(check bool)
+        (Simsweep.Portfolio.mode_name mode ^ " -> Undecided")
+        true
+        (r.Simsweep.Portfolio.outcome = Simsweep.Engine.Undecided);
+      Alcotest.(check bool)
+        (Simsweep.Portfolio.mode_name mode ^ " no winner")
+        true
+        (r.Simsweep.Portfolio.winner = None))
+    [ `Sequential; `Race ]
+
+let test_race_parent_token_stays_clean () =
+  (* A conclusive race fires its internal child token, never the caller's
+     per-request token: later work under the same request must not find
+     it cancelled. *)
+  let outer = Par.Cancel.create () in
+  let instant v = { Simsweep.Portfolio.racer_name = "instant";
+                    racer_run = (fun ~cancel:_ -> v);
+                    racer_conclusive = (fun _ -> true) } in
+  let ro = Simsweep.Portfolio.race ~cancel:outer [ instant 1; instant 2 ] in
+  Alcotest.(check bool) "race had a winner" true (ro.Simsweep.Portfolio.race_winner <> None);
+  Alcotest.(check bool) "outer token clean" false (Par.Cancel.poll outer)
+
+let test_partition_preset () =
+  Util.with_pool @@ fun pool ->
+  let o, _ =
+    Simsweep.Partition.check ~cancel:(preset ()) ~pool (hard_miter ())
+  in
+  Alcotest.(check bool) "partition -> Undecided" true
+    (o = Simsweep.Engine.Undecided)
+
+let test_certificate_preset () =
+  Util.with_pool @@ fun pool ->
+  let r, cert =
+    Simsweep.Certificate.generate ~cancel:(preset ()) ~pool (hard_miter ())
+  in
+  Alcotest.(check bool) "certify -> Undecided" true
+    (r.Simsweep.Engine.outcome = Simsweep.Engine.Undecided);
+  Alcotest.(check bool) "no proof claimed" false
+    cert.Simsweep.Certificate.claims_proved
 
 let test_engine_deadline_token () =
   (* An expired deadline behaves exactly like an explicit set. *)
@@ -302,6 +377,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_token_basics;
           Alcotest.test_case "deadline" `Quick test_token_deadline;
           Alcotest.test_case "check raises" `Quick test_token_check_raises;
+          Alcotest.test_case "child link" `Quick test_token_child;
         ] );
       ( "engines",
         [
@@ -311,6 +387,11 @@ let () =
           Alcotest.test_case "sweep" `Quick test_sweep_preset;
           Alcotest.test_case "engine" `Quick test_engine_preset;
           Alcotest.test_case "combined" `Quick test_combined_preset;
+          Alcotest.test_case "portfolio" `Quick test_portfolio_preset;
+          Alcotest.test_case "race parent clean" `Quick
+            test_race_parent_token_stays_clean;
+          Alcotest.test_case "partition" `Quick test_partition_preset;
+          Alcotest.test_case "certificate" `Quick test_certificate_preset;
           Alcotest.test_case "engine deadline" `Quick test_engine_deadline_token;
         ] );
       ( "race",

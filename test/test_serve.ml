@@ -96,6 +96,25 @@ let test_ecache_cap () =
   let entries, _, _ = Serve.Ecache.stats cache in
   Alcotest.(check int) "bounded" 2 entries
 
+let test_ecache_byte_cap () =
+  (* A generous entry cap but a tiny byte budget: megabyte-scale cone
+     keys must not accumulate past the byte bound. *)
+  let cache = Serve.Ecache.create ~max_entries:1_000_000 ~max_bytes:4_096 () in
+  let hook, _ = Serve.Ecache.view cache in
+  let big i = String.make 1_500 (Char.chr (Char.code 'a' + i)) in
+  hook.Aig.Pcache.record_pair (big 0);
+  hook.Aig.Pcache.record_pair (big 1);
+  hook.Aig.Pcache.record_pair (big 2);  (* would exceed the byte budget *)
+  Alcotest.(check bool) "kept 0" true (hook.Aig.Pcache.lookup_pair (big 0));
+  Alcotest.(check bool) "kept 1" true (hook.Aig.Pcache.lookup_pair (big 1));
+  Alcotest.(check bool) "dropped 2" false (hook.Aig.Pcache.lookup_pair (big 2));
+  Alcotest.(check bool) "bytes bounded" true
+    (Serve.Ecache.bytes_used cache <= 4_096);
+  (* A small key still fits: the cap is bytes, not entries. *)
+  hook.Aig.Pcache.record_po "tiny" Aig.Pcache.Const_false;
+  Alcotest.(check bool) "small key admitted" true
+    (hook.Aig.Pcache.lookup_po "tiny" = Some Aig.Pcache.Const_false)
+
 (* {2 Scheduler} *)
 
 let test_scheduler_fifo () =
@@ -152,6 +171,7 @@ let with_server f =
         {
           Serve.Server.addr = Serve.Server.Unix_path path;
           cache_entries = 100_000;
+          cache_bytes = 256_000_000;
           default_timeout_s = None;
           pool = Some pool;
         }
@@ -294,15 +314,62 @@ let test_server_deadline () =
       let c = client path in
       Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
       (* A deadline that expired before the engines first poll it: the
-         check must come back UNDECIDED, not run to completion. *)
-      let r =
-        request c
-          (script ~timeout_s:1e-9
-             "gen multiplier 8; store a; resyn2; miter a; cec sat")
-      in
-      Alcotest.(check bool) "ok" true r.Serve.Protocol.ok;
-      Alcotest.(check bool) "undecided" true
-        (contains r.Serve.Protocol.output "UNDECIDED"))
+         check must come back UNDECIDED, not run to completion — for
+         every engine the shell can dispatch, so no daemon request can
+         dodge its deadline by picking the right engine. *)
+      List.iter
+        (fun last ->
+          let r =
+            request c
+              (script ~timeout_s:1e-9
+                 ("gen multiplier 8; store a; resyn2; miter a; " ^ last))
+          in
+          Alcotest.(check bool) (last ^ " ok") true r.Serve.Protocol.ok;
+          Alcotest.(check bool) (last ^ " undecided") true
+            (contains r.Serve.Protocol.output "UNDECIDED"))
+        [
+          "cec sat"; "cec sim"; "cec bdd"; "cec portfolio"; "cec partitioned";
+          "cec combined"; "certify";
+        ])
+
+let test_server_client_hangup () =
+  (* A client that sends a request and hangs up without reading the
+     response: the response write hits a closed socket, which without
+     SIGPIPE ignored would kill the whole daemon (here: this test
+     process).  The daemon must drop that client alone and keep serving
+     others. *)
+  with_server (fun _srv path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let oc = Unix.out_channel_of_descr fd in
+      Serve.Protocol.write_frame oc
+        (Serve.Protocol.request_to_json
+           (script "gen multiplier 6; store a; resyn2; miter a; cec sim"));
+      (* Close without ever reading the response frame. *)
+      Unix.close fd;
+      (* The daemon finishes the abandoned request, then serves us. *)
+      let c = client path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let r = request c Serve.Protocol.Ping in
+      Alcotest.(check bool) "daemon survived the hangup" true
+        r.Serve.Protocol.ok)
+
+let test_server_socket_in_use () =
+  (* Starting a second daemon on a live daemon's socket path must fail
+     loudly instead of silently unlinking the first one's endpoint. *)
+  with_server (fun _srv path ->
+      (match Serve.Server.start ~config:{ Serve.Server.default_config with
+                                          addr = Serve.Server.Unix_path path }
+               () with
+      | _ -> Alcotest.fail "second daemon bound a live socket"
+      | exception Failure msg ->
+          Alcotest.(check bool) "explains" true (contains msg "listening"));
+      (* The first daemon's endpoint is untouched. *)
+      let c = client path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let r = request c Serve.Protocol.Ping in
+      Alcotest.(check bool) "original daemon still serves" true
+        r.Serve.Protocol.ok)
 
 let () =
   Alcotest.run "serve"
@@ -316,6 +383,7 @@ let () =
         [
           Alcotest.test_case "counting views" `Quick test_ecache_counting;
           Alcotest.test_case "size cap" `Quick test_ecache_cap;
+          Alcotest.test_case "byte cap" `Quick test_ecache_byte_cap;
         ] );
       ( "scheduler",
         [ Alcotest.test_case "fifo order" `Quick test_scheduler_fifo ] );
@@ -329,5 +397,7 @@ let () =
           Alcotest.test_case "concurrent clients" `Quick
             test_server_concurrent_clients;
           Alcotest.test_case "deadline" `Quick test_server_deadline;
+          Alcotest.test_case "client hangup" `Quick test_server_client_hangup;
+          Alcotest.test_case "socket in use" `Quick test_server_socket_in_use;
         ] );
     ]
