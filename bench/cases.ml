@@ -21,6 +21,13 @@ type case = {
   doubles : int;  (** applications of [double] at bench scale 1 *)
 }
 
+(* Gen.Double-enlarged stress cases.  Not part of the default table2 run
+   (select them explicitly, e.g. BENCH_CASES=sqrt,sqrt_x4) so CI smoke
+   stays fast; sqrt_x4 is the 4x-size arithmetic case the SAT
+   preprocessing payoff is measured on. *)
+let enlarged =
+  [ { name = "sqrt_x4"; build = (fun () -> Gen.Arith.sqrt ~bits:24); doubles = 2 } ]
+
 let table2 =
   [
     { name = "hyp"; build = (fun () -> Gen.Arith.hypot ~bits:11); doubles = 0 };
@@ -54,4 +61,4 @@ let prepare case =
       Hashtbl.replace cache case.name p;
       p
 
-let find name = List.find (fun c -> c.name = name) table2
+let find name = List.find (fun c -> c.name = name) (table2 @ enlarged)

@@ -12,6 +12,29 @@ let geomean xs =
       let logs = List.fold_left (fun acc x -> acc +. Float.log x) 0. xs in
       Float.exp (logs /. float_of_int (List.length xs))
 
+(* Deterministic CPU calibration kernel (SplitMix64): the perf gate
+   normalizes case timings by this, so its regression threshold compares
+   work, not machines. *)
+let calibrate () =
+  let golden = 0x9E3779B97F4A7C15L in
+  let s = ref golden in
+  let acc = ref 0L in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 200_000_000 do
+    s := Int64.add !s golden;
+    let z = !s in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+    in
+    acc := Int64.add !acc (Int64.logxor z (Int64.shift_right_logical z 31))
+  done;
+  let t = Unix.gettimeofday () -. t0 in
+  ignore (Sys.opaque_identity !acc);
+  t
+
 let outcome_tag = function
   | Simsweep.Engine.Proved -> "EQ"
   | Simsweep.Engine.Disproved _ -> "NEQ"

@@ -21,6 +21,10 @@ let heading title = pr "\n=== %s ===\n%!" title
 
 let bench_json_file = "BENCH_cec.json"
 
+(* Compact perf-trajectory digest, committed to the repo; the check-summary
+   gate compares a fresh run against it. *)
+let summary_file = "BENCH_summary.json"
+
 (* BENCH_CASES=log2,sin restricts table2 to a subset — the CI smoke job
    uses this to exercise the full harness and JSON schema in minutes. *)
 let selected_cases () =
@@ -73,17 +77,34 @@ let table2 () =
   pr "%-11s %7s %6s %8s | %8s %8s %8s | %8s %7s %8s %9s | %8s %8s\n" "case"
     "PIs" "POs" "ANDs" "SAT(s)" "Pf(s)" "Race(s)" "GPU(s)" "Red%" "SATf(s)"
     "Total(s)" "vs SAT" "vs Pf";
+  let calibration = Harness.calibrate () in
   let sp_sat = ref [] and sp_pf = ref [] and sp_race = ref [] in
   let seq_hist = Hashtbl.create 4 and race_hist = Hashtbl.create 4 in
-  let rows = ref [] in
+  let rows = ref [] and srows = ref [] in
+  (* Per-stage progress on stderr: a full table2 run takes tens of minutes
+     on small machines and each case's row only prints once all four
+     measurements finish. *)
+  let progress case stage f =
+    Printf.eprintf "[bench] %-11s %s...\n%!" case.Cases.name stage;
+    let r, t = Harness.time f in
+    Printf.eprintf "[bench] %-11s %s done (%.3fs)\n%!" case.Cases.name stage t;
+    r
+  in
   List.iter
     (fun case ->
-      let p = Cases.prepare case in
+      let p = progress case "prepare" (fun () -> Cases.prepare case) in
       let m = p.Cases.miter in
-      let sat_outcome, sat_time = Harness.run_sat_baseline ~pool m in
-      let pf, pf_time = Harness.run_portfolio ~pool m in
-      let pfr, pfr_time = Harness.run_portfolio ~mode:`Race ~pool m in
-      let ours = Harness.run_ours ~pool m in
+      let sat_outcome, sat_time =
+        progress case "sat-baseline" (fun () -> Harness.run_sat_baseline ~pool m)
+      in
+      let pf, pf_time =
+        progress case "portfolio-seq" (fun () -> Harness.run_portfolio ~pool m)
+      in
+      let pfr, pfr_time =
+        progress case "portfolio-race" (fun () ->
+            Harness.run_portfolio ~mode:`Race ~pool m)
+      in
+      let ours = progress case "ours" (fun () -> Harness.run_ours ~pool m) in
       let su_sat = sat_time /. ours.Harness.total in
       let su_pf = pf_time /. ours.Harness.total in
       sp_sat := su_sat :: !sp_sat;
@@ -120,7 +141,25 @@ let table2 () =
                | None -> Null
                | Some s -> of_sat s );
            ]
-         :: !rows);
+         :: !rows;
+       srows :=
+         Obj
+           [
+             ("name", String case.Cases.name);
+             ("ands", Int (Aig.Network.num_ands m));
+             ("outcome", String (outcome_string ours.Harness.outcome));
+             ("sat_s", Float sat_time);
+             ("portfolio_s", Float pf_time);
+             ("race_s", Float pfr_time);
+             ("gpu_s", Float ours.Harness.gpu_time);
+             ( "sat_fallback_s",
+               match ours.Harness.sat_time with
+               | None -> Null
+               | Some t -> Float t );
+             ("total_s", Float ours.Harness.total);
+             ("speedup_vs_sat", Float su_sat);
+           ]
+         :: !srows);
       pr
         "%-11s %7d %6d %8d | %8.3f %8.3f %8.3f | %8.3f %7.1f %8s %9.3f | %7.2fx %7.2fx\n%!"
         case.Cases.name (Aig.Network.num_pis m) (Aig.Network.num_pos m)
@@ -155,7 +194,143 @@ let table2 () =
              ] );
          ("pool", of_pool (Par.Pool.stats pool));
        ]);
-  pr "wrote %s\n%!" bench_json_file
+  pr "wrote %s\n%!" bench_json_file;
+  write_file summary_file
+    (Obj
+       [
+         ("schema", String "bench-summary-v3");
+         ("experiment", String "table2");
+         ("domains", Int (Par.Pool.num_workers pool));
+         ("calibration_s", Float calibration);
+         ("cases", List (List.rev !srows));
+         ("geomean_speedup_vs_sat", Float (Harness.geomean !sp_sat));
+         ("geomean_speedup_vs_portfolio", Float (Harness.geomean !sp_pf));
+         ("geomean_race_vs_sequential", Float (Harness.geomean !sp_race));
+         ( "winner_histogram",
+           Obj
+             [
+               ("sequential", hist_json seq_hist); ("race", hist_json race_hist);
+             ] );
+       ]);
+  pr "wrote %s\n%!" summary_file
+
+(* ------------------------------------------------------------- perf gate *)
+
+(* check-summary: compare the BENCH_summary.json just regenerated by
+   [table2] against a baseline (the checked-in digest; override with
+   BENCH_BASELINE).  Per-case totals are normalized by each run's
+   calibration kernel, so the gate compares work rather than machines;
+   >10% geomean regression (BENCH_GATE overrides) exits non-zero. *)
+let check_summary () =
+  heading "perf gate - fresh BENCH_summary.json vs baseline";
+  let open Simsweep.Telemetry in
+  let read file =
+    let ic = open_in file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match parse text with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "check-summary: cannot parse %s: %s\n" file e;
+        exit 2
+  in
+  let fresh = read summary_file in
+  (* Default baseline: the git-committed copy.  [table2] has just
+     overwritten the working-tree file, so falling back to [summary_file]
+     would compare the fresh run against itself and trivially pass. *)
+  let baseline_from_git () =
+    let tmp = Filename.temp_file "bench-baseline" ".json" in
+    at_exit (fun () -> try Sys.remove tmp with Sys_error _ -> ());
+    let cmd =
+      Printf.sprintf "git show HEAD:%s > %s 2>/dev/null"
+        (Filename.quote summary_file) (Filename.quote tmp)
+    in
+    if Sys.command cmd = 0 then tmp
+    else begin
+      Printf.eprintf
+        "check-summary: BENCH_BASELINE is unset and `git show HEAD:%s` \
+         failed;\nrefusing to use the freshly written %s as its own \
+         baseline.\nSet BENCH_BASELINE to a copy of the committed summary.\n"
+        summary_file summary_file;
+      exit 2
+    end
+  in
+  let baseline_file =
+    match Sys.getenv_opt "BENCH_BASELINE" with
+    | Some f when f <> summary_file -> f
+    | Some _ ->
+        Printf.eprintf
+          "check-summary: BENCH_BASELINE points at %s itself; the gate \
+           would trivially pass.\n"
+          summary_file;
+        exit 2
+    | None -> baseline_from_git ()
+  in
+  let baseline = read baseline_file in
+  let num = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None in
+  let calib j =
+    match Option.bind (member "calibration_s" j) num with
+    | Some c when c > 0. -> c
+    | _ -> 1.
+  in
+  let cases j =
+    match member "cases" j with
+    | Some (List l) -> l
+    | _ -> []
+  in
+  let field row key = Option.bind (member key row) num in
+  let name_of row =
+    match member "name" row with Some (String s) -> s | _ -> ""
+  in
+  let base_by_name =
+    List.map (fun row -> (name_of row, row)) (cases baseline)
+  in
+  let fc = calib fresh and bc = calib baseline in
+  let gate =
+    match Option.bind (Sys.getenv_opt "BENCH_GATE") float_of_string_opt with
+    | Some g -> g
+    | None -> 1.10
+  in
+  let ratios = ref [] and sat_ratios = ref [] in
+  List.iter
+    (fun row ->
+      match List.assoc_opt (name_of row) base_by_name with
+      | None -> ()
+      | Some base_row ->
+          let ratio key acc =
+            match (field row key, field base_row key) with
+            | Some f, Some b when f > 0. && b > 0. ->
+                let r = f /. fc /. (b /. bc) in
+                acc := (name_of row, r) :: !acc
+            | _ -> ()
+          in
+          ratio "total_s" ratios;
+          ratio "sat_s" sat_ratios)
+    (cases fresh);
+  if !ratios = [] then begin
+    Printf.eprintf
+      "check-summary: no common cases between %s and %s\n" summary_file
+      baseline_file;
+    exit 2
+  end;
+  List.iter
+    (fun (name, r) -> pr "%-11s total %.2fx of baseline (normalized)\n" name r)
+    (List.rev !ratios);
+  let g_total = Harness.geomean (List.map snd !ratios) in
+  let g_sat = Harness.geomean (List.map snd !sat_ratios) in
+  pr "geomean: total %.3fx, sat %.3fx (gate %.2fx, calibration %.3fs vs %.3fs)\n%!"
+    g_total g_sat gate fc bc;
+  if g_total > gate then begin
+    Printf.eprintf
+      "check-summary: FAIL - %.1f%% geomean regression exceeds the %.0f%% gate\n"
+      ((g_total -. 1.) *. 100.)
+      ((gate -. 1.) *. 100.);
+    exit 1
+  end
+  else pr "check-summary: OK\n%!"
 
 (* ----------------------------------------------------------------- Fig. 6 *)
 
@@ -493,6 +668,7 @@ let micro () =
 let experiments =
   [
     ("table2", table2);
+    ("check-summary", check_summary);
     ("fig6", fig6);
     ("fig7", fig7);
     ("ablation-passes", ablation_passes);

@@ -85,7 +85,7 @@ let run_remote addr engine name miter stats_json =
             else 3)
 
 let run_check engine file1 file2 suite scale num_domains race verbose certify
-    stats_json server =
+    stats_json server no_simplify =
   match read_inputs file1 file2 suite scale with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
@@ -135,7 +135,10 @@ let run_check engine file1 file2 suite scale num_domains race verbose certify
             telemetry := [ ("combined", Simsweep.Telemetry.of_combined c) ];
             c.Simsweep.Engine.final
         | `Sat ->
-            let sat_outcome, sat_stats = Sat.Sweep.check ~pool miter in
+            let config =
+              { Sat.Sweep.default_config with simplify = not no_simplify }
+            in
+            let sat_outcome, sat_stats = Sat.Sweep.check ~config ~pool miter in
             telemetry := [ ("sat", Simsweep.Telemetry.of_sat sat_stats) ];
             (match sat_outcome with
             | Sat.Sweep.Equivalent -> Simsweep.Engine.Proved
@@ -296,6 +299,13 @@ let stats_json =
                per-phase times, window/word counts, pool utilization, SAT \
                effort) to FILE as JSON.")
 
+let no_simplify =
+  Arg.(value & flag & info [ "no-simplify" ]
+         ~doc:"Disable SAT-solver preprocessing (BVE, subsumption, \
+               equivalent literals, XOR/Gauss, probing) in the SAT \
+               sweeping engine.  Verdicts are identical either way; the \
+               flag exists for A/B timing and debugging.")
+
 let server =
   Arg.(value & opt (some string) None & info [ "server" ] ~docv:"ADDR"
          ~doc:"Check on a running simsweep-serve daemon at ADDR (a Unix \
@@ -308,6 +318,6 @@ let cmd =
     (Cmd.info "simsweep-cec" ~doc)
     Term.(
       const run_check $ engine $ file1 $ file2 $ suite $ scale $ num_domains
-      $ race $ verbose $ certify $ stats_json $ server)
+      $ race $ verbose $ certify $ stats_json $ server $ no_simplify)
 
 let () = exit (Cmd.eval' cmd)

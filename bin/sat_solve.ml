@@ -7,7 +7,7 @@
    model line; exit codes follow the SAT-competition convention
    (10 = SAT, 20 = UNSAT). *)
 
-let solve_file path conflict_limit dump =
+let solve_file path conflict_limit dump no_simplify =
   let ic = open_in_bin path in
   let text = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -33,6 +33,7 @@ let solve_file path conflict_limit dump =
         print_endline "s UNSATISFIABLE";
         20
     | Ok true -> (
+        if not no_simplify then Sat.Solver.simplify solver;
         match Sat.Solver.solve ~conflict_limit solver with
         | Sat.Solver.Unsat ->
             print_endline "s UNSATISFIABLE";
@@ -66,8 +67,14 @@ let dump =
          ~doc:"Print the DIMACS formula instead of solving (useful with an \
                AIGER miter, to hand the problem to an external solver).")
 
+let no_simplify =
+  Arg.(value & flag & info [ "no-simplify" ]
+         ~doc:"Skip preprocessing (BVE, subsumption, equivalent literals, \
+               XOR/Gauss, probing) before the search.")
+
 let cmd =
   let doc = "CDCL SAT solver over DIMACS or AIGER miters" in
-  Cmd.v (Cmd.info "simsweep-sat" ~doc) Term.(const solve_file $ path $ conflict_limit $ dump)
+  Cmd.v (Cmd.info "simsweep-sat" ~doc)
+    Term.(const solve_file $ path $ conflict_limit $ dump $ no_simplify)
 
 let () = exit (Cmd.eval' cmd)

@@ -318,6 +318,23 @@ let of_pool (s : Par.Pool.stats) =
       ("region_jobs", Int s.region_jobs);
     ]
 
+let of_simplify (s : Sat.Simplify.stats) =
+  Obj
+    [
+      ("rounds", Int s.s_rounds);
+      ("units", Int s.s_units);
+      ("eliminated", Int s.s_eliminated);
+      ("subsumed", Int s.s_subsumed);
+      ("strengthened", Int s.s_strengthened);
+      ("equiv_lits", Int s.s_elit);
+      ("xor_rows", Int s.s_xor_rows);
+      ("xor_units", Int s.s_xor_units);
+      ("xor_equivs", Int s.s_xor_equivs);
+      ("probes", Int s.s_probes);
+      ("failed_lits", Int s.s_failed_lits);
+      ("cancelled", Bool s.s_cancelled);
+    ]
+
 let of_sat (s : Sat.Sweep.stats) =
   Obj
     [
@@ -335,6 +352,10 @@ let of_sat (s : Sat.Sweep.stats) =
       ("cnf_loads", Int s.cnf_loads);
       ("cache_hits", Int s.cache_hits);
       ("cache_misses", Int s.cache_misses);
+      ("restarts", Int s.restarts);
+      ("reduce_dbs", Int s.reduce_dbs);
+      ("learnts_removed", Int s.learnts_removed);
+      ("simplify", of_simplify s.simp);
     ]
 
 let of_engine_stats (s : Stats.t) =

@@ -40,6 +40,10 @@ val of_exhaustive : Exhaustive.stats -> json
 val of_psim : Sim.Psim.stats -> json
 val of_pool : Par.Pool.stats -> json
 val of_sat : Sat.Sweep.stats -> json
+
+(** Preprocessing counters ({!Sat.Simplify.stats}); nested under
+    ["simplify"] inside {!of_sat} output. *)
+val of_simplify : Sat.Simplify.stats -> json
 val of_engine_stats : Stats.t -> json
 
 (** Lower-case outcome tag: ["equivalent"], ["not_equivalent"],

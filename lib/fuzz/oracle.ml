@@ -63,6 +63,18 @@ let default_engines ?(bdd_node_limit = 200_000) ?(sat_conflict_limit = 10_000) (
           of_sat_outcome (Sat.Sweep.check_direct ~conflict_limit:sat_conflict_limit m));
     };
     {
+      (* Same check with preprocessing off: cross-checks that BVE /
+         subsumption / XOR-Gauss / probing never flip a verdict, and that
+         reconstructed counter-examples replay (stage 1 validates every
+         CEX against the miter). *)
+      name = "satdirect-nosimp";
+      run =
+        (fun ~pool:_ m ->
+          of_sat_outcome
+            (Sat.Sweep.check_direct ~simplify:false
+               ~conflict_limit:sat_conflict_limit m));
+    };
+    {
       name = "bdd";
       run =
         (fun ~pool:_ m ->

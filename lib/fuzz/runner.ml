@@ -75,6 +75,101 @@ let run ?(log = null_log) ?(extra_engines = []) ~pool config =
    the harness exists to catch. *)
 let liar = { Oracle.name = "liar"; run = (fun ~pool:_ _ -> Oracle.V_equivalent) }
 
+(* Broken model reconstruction: a direct per-PO SAT check that runs the
+   preprocessor but reads counter-example PI values from the raw search
+   model ({!Sat.Solver.model_value_raw}) instead of the reconstructed one.
+   When preprocessing eliminates a PI that matters, the CEX is garbage —
+   the failure class the oracle's replay stage exists to catch. *)
+let badrecon =
+  {
+    Oracle.name = "badrecon";
+    run =
+      (fun ~pool:_ m ->
+        let solver = Sat.Solver.create () in
+        if not (Sat.Cnf.load solver m) then Oracle.V_equivalent
+        else begin
+          let pos = Aig.Miter.unsolved_outputs m in
+          let frozen =
+            List.filter_map
+              (fun po ->
+                let l = Aig.Network.po m po in
+                if Aig.Network.is_const (Aig.Lit.node l) then None
+                else Some (Sat.Solver.var_of_lit (Sat.Cnf.lit l)))
+              pos
+          in
+          Sat.Solver.simplify ~frozen solver;
+          let rec go = function
+            | [] -> Oracle.V_equivalent
+            | po :: rest -> (
+                let l = Aig.Network.po m po in
+                if Aig.Network.is_const (Aig.Lit.node l) then
+                  if Aig.Lit.is_compl l then go rest
+                  else
+                    Oracle.V_inequivalent
+                      (Array.make (Aig.Network.num_pis m) false, po)
+                else
+                  match
+                    Sat.Solver.solve ~assumptions:[ Sat.Cnf.lit l ]
+                      ~conflict_limit:10_000 solver
+                  with
+                  | Sat.Solver.Unsat -> go rest
+                  | Sat.Solver.Unknown -> Oracle.V_unknown "budget"
+                  | Sat.Solver.Sat ->
+                      let cex =
+                        Array.init (Aig.Network.num_pis m) (fun i ->
+                            Sat.Solver.model_value_raw solver (Aig.Network.pi m i))
+                      in
+                      Oracle.V_inequivalent (cex, po))
+          in
+          go pos
+        end);
+  }
+
+(* Broken-reconstruction stage: generate injected-fault miters until the
+   stub emits a CEX that does not replay (i.e. preprocessing eliminated a
+   PI the raw model gets wrong), then check the oracle flags it. *)
+let badrecon_stage log ~pool ~seed =
+  let rec attempt k =
+    if k >= 20 then
+      Error
+        "self-test: the broken-reconstruction stub never produced an \
+         invalid CEX in 20 attempts"
+    else
+      let rng =
+        Sim.Rng.create ~seed:(Int64.add seed (Int64.of_int (7001 + k)))
+      in
+      let left =
+        Gen.Control.random_logic ~pis:12 ~nodes:200 ~pos:4 ~seed:(Sim.Rng.next64 rng)
+      in
+      let right = Opt.Resyn.light left in
+      let _fault, mutant = Gencase.inject rng ~left right in
+      let miter = Aig.Miter.build left mutant in
+      match badrecon.Oracle.run ~pool miter with
+      | Oracle.V_inequivalent (cex, po) when not (Sim.Cex.check miter cex po) ->
+          let o = Oracle.run ~engines:[ badrecon ] ~pool miter in
+          let flagged =
+            List.exists
+              (function
+                | Oracle.Bad_cex { engine = "badrecon"; _ } -> true
+                | _ -> false)
+              o.Oracle.failures
+          in
+          if flagged then begin
+            log
+              (Printf.sprintf
+                 "self-test: broken reconstruction flagged as bad-cex \
+                  (attempt %d, PO %d)"
+                 (k + 1) po);
+            Ok ()
+          end
+          else
+            Error
+              "self-test: the broken-reconstruction CEX was NOT flagged by \
+               the oracle"
+      | _ -> attempt (k + 1)
+  in
+  attempt 0
+
 (* Race-cancellation stage of the self-test: a deliberately hanging engine
    (it returns only once the shared token fires) races a fast conclusive
    one; the race must return promptly with the fast winner and a recorded
@@ -189,8 +284,11 @@ let self_test ?(log = null_log) ~pool ~out_dir ~seed () =
       else
         match race_cancel_stage log miter with
         | Error e -> Error e
-        | Ok () ->
-            log (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
-            Ok repro
+        | Ok () -> (
+            match badrecon_stage log ~pool ~seed with
+            | Error e -> Error e
+            | Ok () ->
+                log (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
+                Ok repro)
     end
   end

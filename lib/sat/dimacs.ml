@@ -1,3 +1,11 @@
+(* DIMACS separates tokens with any whitespace run — spaces, tabs, and the
+   CR left on every line of a CRLF file. *)
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun w -> w <> "")
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let nvars = ref (-1) in
@@ -11,7 +19,7 @@ let parse text =
       let line = String.trim line in
       if !error <> None || line = "" || line.[0] = 'c' then ()
       else if line.[0] = 'p' then begin
-        match String.split_on_char ' ' line |> List.filter (fun w -> w <> "") with
+        match tokens line with
         | [ "p"; "cnf"; v; c ] -> (
             match (int_of_string_opt v, int_of_string_opt c) with
             | Some v, Some c when v >= 0 && c >= 0 ->
@@ -22,8 +30,7 @@ let parse text =
       end
       else if !nvars < 0 then fail "clause before p line"
       else
-        String.split_on_char ' ' line
-        |> List.filter (fun w -> w <> "")
+        tokens line
         |> List.iter (fun w ->
                match int_of_string_opt w with
                | None -> fail ("bad literal " ^ w)

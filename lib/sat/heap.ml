@@ -1,0 +1,112 @@
+(* Indexed binary max-heap over small non-negative integers.
+
+   The heap does not own the priorities: every mutating operation takes a
+   [less] comparison so the caller can keep priorities in its own (possibly
+   reallocated) arrays.  [less u v] must mean "u has strictly higher
+   priority than v"; the element with the highest priority sits at the
+   top.  After an element's priority changes, [update] restores the heap
+   property from that element alone in O(log n). *)
+
+type t = {
+  mutable heap : int array;  (* elements, heap-ordered *)
+  mutable n : int;
+  mutable pos : int array;  (* per element: index in [heap], or -1 *)
+}
+
+let create ?(capacity = 16) () =
+  { heap = Array.make (max 1 capacity) 0; n = 0; pos = Array.make (max 1 capacity) (-1) }
+
+let size t = t.n
+let is_empty t = t.n = 0
+
+(* Make room for element ids up to [e] inclusive. *)
+let reserve t e =
+  let old = Array.length t.pos in
+  if e >= old then begin
+    let cap = max (e + 1) (2 * old) in
+    let pos = Array.make cap (-1) in
+    Array.blit t.pos 0 pos 0 old;
+    t.pos <- pos
+  end;
+  if t.n >= Array.length t.heap then begin
+    let heap = Array.make (max (t.n + 1) (2 * Array.length t.heap)) 0 in
+    Array.blit t.heap 0 heap 0 t.n;
+    t.heap <- heap
+  end
+
+let mem t e = e < Array.length t.pos && t.pos.(e) >= 0
+
+let swap t i j =
+  let u = t.heap.(i) and v = t.heap.(j) in
+  t.heap.(i) <- v;
+  t.heap.(j) <- u;
+  t.pos.(v) <- i;
+  t.pos.(u) <- j
+
+let rec sift_up ~less t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if less t.heap.(i) t.heap.(p) then begin
+      swap t i p;
+      sift_up ~less t p
+    end
+  end
+
+let rec sift_down ~less t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.n && less t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.n && less t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down ~less t !best
+  end
+
+let insert ~less t e =
+  reserve t e;
+  if t.pos.(e) < 0 then begin
+    t.heap.(t.n) <- e;
+    t.pos.(e) <- t.n;
+    t.n <- t.n + 1;
+    sift_up ~less t t.pos.(e)
+  end
+
+let top t = if t.n = 0 then None else Some t.heap.(0)
+
+let pop ~less t =
+  let e = t.heap.(0) in
+  t.n <- t.n - 1;
+  t.pos.(e) <- -1;
+  if t.n > 0 then begin
+    t.heap.(0) <- t.heap.(t.n);
+    t.pos.(t.heap.(0)) <- 0;
+    sift_down ~less t 0
+  end;
+  e
+
+(* Restore the heap property around [e] after its priority changed in
+   either direction.  No-op when [e] is not in the heap. *)
+let update ~less t e =
+  if mem t e then begin
+    sift_up ~less t t.pos.(e);
+    sift_down ~less t t.pos.(e)
+  end
+
+let remove ~less t e =
+  if mem t e then begin
+    let i = t.pos.(e) in
+    t.n <- t.n - 1;
+    t.pos.(e) <- -1;
+    if i < t.n then begin
+      t.heap.(i) <- t.heap.(t.n);
+      t.pos.(t.heap.(i)) <- i;
+      sift_up ~less t i;
+      sift_down ~less t i
+    end
+  end
+
+let clear t =
+  for i = 0 to t.n - 1 do
+    t.pos.(t.heap.(i)) <- -1
+  done;
+  t.n <- 0

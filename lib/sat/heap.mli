@@ -1,0 +1,41 @@
+(** Indexed binary max-heap over small non-negative integers.
+
+    The branching-order heap of the CDCL solver: elements are variable
+    ids, priorities live in the caller's activity array.  Every mutating
+    operation takes the [less] comparison explicitly ([less u v] = "u has
+    strictly higher priority"), so the caller's priority store may be
+    swapped or regrown without notifying the heap — only the next
+    operation needs the fresh comparison.  [update] implements
+    increase/decrease-key in O(log n) after an external priority
+    change. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+(** [mem t e] — is [e] currently in the heap? *)
+val mem : t -> int -> bool
+
+(** Insert [e]; no-op when already present.  Grows internal storage as
+    needed. *)
+val insert : less:(int -> int -> bool) -> t -> int -> unit
+
+(** Highest-priority element, or [None] when empty. *)
+val top : t -> int option
+
+(** Remove and return the highest-priority element.  The heap must not be
+    empty. *)
+val pop : less:(int -> int -> bool) -> t -> int
+
+(** Restore the heap property around [e] after its priority changed in
+    either direction (increase- or decrease-key).  No-op when [e] is not
+    in the heap. *)
+val update : less:(int -> int -> bool) -> t -> int -> unit
+
+(** Remove [e] from any position; no-op when absent. *)
+val remove : less:(int -> int -> bool) -> t -> int -> unit
+
+(** Empty the heap (keeps storage). *)
+val clear : t -> unit

@@ -8,7 +8,12 @@ type result = Sat | Unsat | Unknown
 
 (* Variable values: 0 = unassigned, 1 = true, -1 = false. *)
 
-type clause = { lits : int array; learnt : bool; mutable act : float }
+type clause = {
+  lits : int array;
+  learnt : bool;
+  mutable act : float;
+  mutable lbd : int;  (* literal block distance at learn time *)
+}
 
 type ivec = { mutable a : int array; mutable n : int }
 
@@ -33,9 +38,8 @@ type t = {
   mutable reasons : int array;  (* per var: clause index or -1 *)
   mutable activity : float array;  (* per var *)
   mutable polarity : bool array;  (* per var: saved phase *)
-  mutable heap : int array;  (* binary max-heap of vars *)
-  mutable heap_n : int;
-  mutable heap_pos : int array;  (* per var: index in heap or -1 *)
+  order : Heap.t;  (* branching order: max-heap on activity *)
+  mutable elim : bool array;  (* per var: eliminated by preprocessing *)
   mutable trail : int array;  (* assigned literals in order *)
   mutable trail_n : int;
   mutable trail_lim : int array;  (* decision-level boundaries *)
@@ -44,17 +48,26 @@ type t = {
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable ok : bool;  (* false once level-0 conflict found *)
-  mutable model : bool array;
+  mutable model : bool array;  (* after reconstruction of eliminated vars *)
+  mutable raw_model : bool array;  (* before reconstruction *)
+  mutable recon : Simplify.recon list;  (* model-reconstruction stack *)
   mutable conflicts : int;
   mutable propagations : int;
   mutable seen : bool array;  (* scratch for analyze *)
+  mutable lbd_stamp : int array;  (* scratch for LBD: per level *)
+  mutable lbd_time : int;
   mutable max_learnts : float;
+  mutable nlearnts : int;
+  mutable restarts : int;
+  mutable reduce_dbs : int;
+  mutable learnts_removed : int;
+  simp_stats : Simplify.stats;
 }
 
 let create () =
   {
     nvars = 0;
-    clauses = Array.make 16 { lits = [||]; learnt = false; act = 0. };
+    clauses = Array.make 16 { lits = [||]; learnt = false; act = 0.; lbd = 0 };
     nclauses = 0;
     watches = Array.init 16 (fun _ -> ivec_make ());
     values = [||];
@@ -62,9 +75,8 @@ let create () =
     reasons = [||];
     activity = [||];
     polarity = [||];
-    heap = [||];
-    heap_n = 0;
-    heap_pos = [||];
+    order = Heap.create ();
+    elim = [||];
     trail = [||];
     trail_n = 0;
     trail_lim = [||];
@@ -74,10 +86,19 @@ let create () =
     cla_inc = 1.0;
     ok = true;
     model = [||];
+    raw_model = [||];
+    recon = [];
     conflicts = 0;
     propagations = 0;
     seen = [||];
+    lbd_stamp = [||];
+    lbd_time = 0;
     max_learnts = 4000.;
+    nlearnts = 0;
+    restarts = 0;
+    reduce_dbs = 0;
+    learnts_removed = 0;
+    simp_stats = Simplify.mk_stats ();
   }
 
 let num_vars t = t.nvars
@@ -97,12 +118,11 @@ let grow_arrays t n =
     t.reasons <- copy_m1 t.reasons;
     t.activity <- copy_f t.activity;
     t.polarity <- copy_b t.polarity;
-    t.heap_pos <- copy_m1 t.heap_pos;
+    t.elim <- copy_b t.elim;
     t.seen <- copy_b t.seen;
     t.model <- copy_b t.model;
-    let heap = Array.make cap 0 in
-    Array.blit t.heap 0 heap 0 t.heap_n;
-    t.heap <- heap;
+    t.raw_model <- copy_b t.raw_model;
+    t.lbd_stamp <- copy_int t.lbd_stamp;
     let trail = Array.make cap 0 in
     Array.blit t.trail 0 trail 0 t.trail_n;
     t.trail <- trail;
@@ -119,54 +139,12 @@ let grow_arrays t n =
 
 (* --- variable-order heap (max-heap on activity) --- *)
 
+(* The comparison closes over [t], not over the activity array itself, so
+   it stays valid across [grow_arrays] reallocations. *)
 let heap_less t u v = t.activity.(u) > t.activity.(v)
-
-let heap_swap t i j =
-  let u = t.heap.(i) and v = t.heap.(j) in
-  t.heap.(i) <- v;
-  t.heap.(j) <- u;
-  t.heap_pos.(v) <- i;
-  t.heap_pos.(u) <- j
-
-let rec heap_up t i =
-  if i > 0 then begin
-    let p = (i - 1) / 2 in
-    if heap_less t t.heap.(i) t.heap.(p) then begin
-      heap_swap t i p;
-      heap_up t p
-    end
-  end
-
-let rec heap_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let best = ref i in
-  if l < t.heap_n && heap_less t t.heap.(l) t.heap.(!best) then best := l;
-  if r < t.heap_n && heap_less t t.heap.(r) t.heap.(!best) then best := r;
-  if !best <> i then begin
-    heap_swap t i !best;
-    heap_down t !best
-  end
-
-let heap_insert t v =
-  if t.heap_pos.(v) < 0 then begin
-    t.heap.(t.heap_n) <- v;
-    t.heap_pos.(v) <- t.heap_n;
-    t.heap_n <- t.heap_n + 1;
-    heap_up t t.heap_pos.(v)
-  end
-
-let heap_pop t =
-  let v = t.heap.(0) in
-  t.heap_n <- t.heap_n - 1;
-  t.heap_pos.(v) <- -1;
-  if t.heap_n > 0 then begin
-    t.heap.(0) <- t.heap.(t.heap_n);
-    t.heap_pos.(t.heap.(0)) <- 0;
-    heap_down t 0
-  end;
-  v
-
-let heap_bump t v = if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+let heap_insert t v = Heap.insert ~less:(heap_less t) t.order v
+let heap_pop t = Heap.pop ~less:(heap_less t) t.order
+let heap_bump t v = Heap.update ~less:(heap_less t) t.order v
 
 let new_var t =
   let v = t.nvars in
@@ -175,6 +153,7 @@ let new_var t =
   t.values.(v) <- 0;
   t.reasons.(v) <- -1;
   t.polarity.(v) <- false;
+  t.elim.(v) <- false;
   heap_insert t v;
   v
 
@@ -228,7 +207,7 @@ let add_clause t lits =
           enqueue t l (-1);
           true
       | lits ->
-          let c = { lits = Array.of_list lits; learnt = false; act = 0. } in
+          let c = { lits = Array.of_list lits; learnt = false; act = 0.; lbd = 0 } in
           let ci = push_clause t c in
           watch_clause t ci;
           true
@@ -393,6 +372,23 @@ let analyze t confl =
   List.iter (fun l -> t.seen.(l lsr 1) <- false) !learnt;
   (learnt_lits, bt)
 
+(* Literal block distance: number of distinct non-zero decision levels in
+   the clause.  Low-LBD ("glue") clauses connect few decision levels and
+   are the best predictors of future usefulness, so [reduce_db] keeps
+   them. *)
+let compute_lbd t lits =
+  t.lbd_time <- t.lbd_time + 1;
+  let n = ref 0 in
+  List.iter
+    (fun l ->
+      let lv = t.levels.(l lsr 1) in
+      if lv > 0 && t.lbd_stamp.(lv) <> t.lbd_time then begin
+        t.lbd_stamp.(lv) <- t.lbd_time;
+        incr n
+      end)
+    lits;
+  !n
+
 let record_learnt t lits =
   match lits with
   | [ l ] ->
@@ -400,6 +396,7 @@ let record_learnt t lits =
       if lit_value t l = 0 then enqueue t l (-1)
       else if lit_value t l < 0 then t.ok <- false
   | asserting :: _ ->
+      let lbd = compute_lbd t lits in
       let arr = Array.of_list lits in
       (* Position 1 must hold a literal of the backtrack level for correct
          watching: pick the highest-level literal among the rest. *)
@@ -412,25 +409,31 @@ let record_learnt t lits =
         arr.(1) <- arr.(!best);
         arr.(!best) <- tmp
       end;
-      let c = { lits = arr; learnt = true; act = 0. } in
+      let c = { lits = arr; learnt = true; act = 0.; lbd } in
       clause_bump t c;
       let ci = push_clause t c in
       watch_clause t ci;
+      t.nlearnts <- t.nlearnts + 1;
       enqueue t asserting ci
   | [] -> t.ok <- false
 
 (* --- learnt-clause database reduction --- *)
 
 let reduce_db t =
-  (* Remove the less active half of the learnt clauses that are not
-     currently reasons.  Rebuild the database and all watch lists. *)
+  (* Remove the worse half of the learnt clauses, ranked by LBD with
+     activity as tie-break.  Glue clauses (LBD <= 2), binary clauses and
+     current reasons are always kept.  Rebuild the database and all
+     watch lists. *)
   let learnts = ref [] in
   for ci = 0 to t.nclauses - 1 do
     if t.clauses.(ci).learnt then learnts := ci :: !learnts
   done;
   let learnts = Array.of_list !learnts in
   Array.sort
-    (fun a b -> compare t.clauses.(a).act t.clauses.(b).act)
+    (fun a b ->
+      let ca = t.clauses.(a) and cb = t.clauses.(b) in
+      if ca.lbd <> cb.lbd then compare cb.lbd ca.lbd  (* worst LBD first *)
+      else compare ca.act cb.act)
     learnts;
   let is_reason = Array.make t.nclauses false in
   for i = 0 to t.trail_n - 1 do
@@ -442,12 +445,20 @@ let reduce_db t =
   let dropped = ref 0 in
   Array.iter
     (fun ci ->
-      if !dropped < ndrop && (not is_reason.(ci)) && Array.length t.clauses.(ci).lits > 2
+      let c = t.clauses.(ci) in
+      if
+        !dropped < ndrop
+        && (not is_reason.(ci))
+        && Array.length c.lits > 2
+        && c.lbd > 2
       then begin
         drop.(ci) <- true;
         incr dropped
       end)
     learnts;
+  t.reduce_dbs <- t.reduce_dbs + 1;
+  t.learnts_removed <- t.learnts_removed + !dropped;
+  t.nlearnts <- t.nlearnts - !dropped;
   (* Compact. *)
   let remap = Array.make t.nclauses (-1) in
   let n = ref 0 in
@@ -489,10 +500,10 @@ let luby y x =
 
 let pick_branch t =
   let rec go () =
-    if t.heap_n = 0 then -1
+    if Heap.is_empty t.order then -1
     else
       let v = heap_pop t in
-      if t.values.(v) = 0 then v else go ()
+      if t.values.(v) = 0 && not t.elim.(v) then v else go ()
   in
   go ()
 
@@ -543,12 +554,13 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) ?cancel t =
           if not t.ok then result := Some Unsat;
           var_decay_activity t;
           clause_decay_activity t;
-          if float_of_int t.nclauses > t.max_learnts then begin
+          if float_of_int t.nlearnts > t.max_learnts then begin
             reduce_db t;
             t.max_learnts <- t.max_learnts *. 1.3
           end;
           if !local_conflicts >= !restart_limit then begin
             incr restart_num;
+            t.restarts <- t.restarts + 1;
             restart_limit :=
               !local_conflicts
               + int_of_float (100. *. luby 2. !restart_num);
@@ -582,6 +594,11 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) ?cancel t =
             for i = 0 to t.nvars - 1 do
               t.model.(i) <- t.values.(i) > 0
             done;
+            Array.blit t.model 0 t.raw_model 0 t.nvars;
+            (* Map the model of the simplified formula back onto the
+               eliminated variables so callers (CEX replay!) see a model
+               of the original clauses. *)
+            if t.recon <> [] then Simplify.extend_model t.recon t.model;
             result := Some Sat
           end
           else begin
@@ -596,3 +613,116 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) ?cancel t =
   end
 
 let model_value t v = t.model.(v)
+let model_value_raw t v = t.raw_model.(v)
+let is_eliminated t v = t.elim.(v)
+let num_restarts t = t.restarts
+let num_reduce_dbs t = t.reduce_dbs
+let num_learnts_removed t = t.learnts_removed
+let simp_stats t = t.simp_stats
+
+(* --- preprocessing ----------------------------------------------------- *)
+
+(* Failed-literal probing: assume a candidate literal at a fresh decision
+   level and propagate; a conflict proves its negation at level 0.
+   Candidates are the roots of the binary implication graph (their
+   propagation covers the most consequences). *)
+let probe t (config : Simplify.config) cancel =
+  let bimp = Bimp.create ~nvars:t.nvars () in
+  for ci = 0 to t.nclauses - 1 do
+    let c = t.clauses.(ci) in
+    if Array.length c.lits = 2 then Bimp.add_clause bimp c.lits.(0) c.lits.(1)
+  done;
+  let budget = ref config.probe_limit in
+  let stop = ref false in
+  let k = ref 0 in
+  List.iter
+    (fun l ->
+      if (not !stop) && !budget > 0 && t.ok then begin
+        incr k;
+        if !k land 15 = 0 && Par.Cancel.poll_opt cancel then begin
+          stop := true;
+          t.simp_stats.s_cancelled <- true
+        end
+        else if lit_value t l = 0 then begin
+          decr budget;
+          t.simp_stats.s_probes <- t.simp_stats.s_probes + 1;
+          new_decision_level t;
+          enqueue t l (-1);
+          let confl = propagate t in
+          cancel_until t 0;
+          if confl >= 0 then begin
+            t.simp_stats.s_failed_lits <- t.simp_stats.s_failed_lits + 1;
+            enqueue t (neg l) (-1);
+            if propagate t >= 0 then begin
+              t.ok <- false;
+              stop := true
+            end
+          end
+        end
+      end)
+    (Bimp.probe_candidates bimp)
+
+let simplify ?(config = Simplify.default_config) ?cancel ?(frozen = []) t =
+  assert (decision_level t = 0);
+  if t.ok && propagate t >= 0 then t.ok <- false;
+  if t.ok then begin
+    let frozen_arr = Array.make (max 1 t.nvars) false in
+    List.iter (fun v -> if v >= 0 && v < t.nvars then frozen_arr.(v) <- true) frozen;
+    (* Variables eliminated by an earlier call occur in no clause; keep
+       the passes away from them so no second reconstruction record is
+       pushed. *)
+    for v = 0 to t.nvars - 1 do
+      if t.elim.(v) then frozen_arr.(v) <- true
+    done;
+    let units = ref [] in
+    for i = t.trail_n - 1 downto 0 do
+      units := t.trail.(i) :: !units
+    done;
+    let cls = ref [] in
+    for ci = t.nclauses - 1 downto 0 do
+      let c = t.clauses.(ci) in
+      (* Learnt clauses are consequences: dropping them is sound, and it
+         frees the passes from tracking them through eliminations. *)
+      if (not c.learnt) && not (Array.exists (fun l -> lit_value t l > 0) c.lits)
+      then
+        cls :=
+          Array.of_list
+            (List.filter (fun l -> lit_value t l = 0) (Array.to_list c.lits))
+          :: !cls
+    done;
+    let res =
+      Simplify.run ~config ?cancel ~stats:t.simp_stats ~nvars:t.nvars
+        ~frozen:frozen_arr ~units:!units !cls
+    in
+    if res.unsat then t.ok <- false
+    else begin
+      (* Rebuild the solver around the simplified database. *)
+      t.nclauses <- 0;
+      t.nlearnts <- 0;
+      for l = 0 to (2 * t.nvars) - 1 do
+        t.watches.(l).n <- 0
+      done;
+      t.trail_n <- 0;
+      t.trail_lim_n <- 0;
+      t.qhead <- 0;
+      for v = 0 to t.nvars - 1 do
+        t.values.(v) <- 0;
+        t.reasons.(v) <- -1;
+        if res.eliminated.(v) then t.elim.(v) <- true
+      done;
+      List.iter (fun l -> if lit_value t l = 0 then enqueue t l (-1)) res.units;
+      List.iter
+        (fun lits ->
+          let ci = push_clause t { lits; learnt = false; act = 0.; lbd = 0 } in
+          watch_clause t ci)
+        res.clauses;
+      t.recon <- res.recon @ t.recon;
+      Heap.clear t.order;
+      for v = 0 to t.nvars - 1 do
+        if (not t.elim.(v)) && t.values.(v) = 0 then heap_insert t v
+      done;
+      if propagate t >= 0 then t.ok <- false;
+      if t.ok && config.probe && not (Par.Cancel.poll_opt cancel) then
+        probe t config cancel
+    end
+  end

@@ -8,6 +8,7 @@ type config = {
   pair_batch : int;
   use_distance_one : bool;
   use_reverse_sim : bool;
+  simplify : bool;
 }
 
 let default_config =
@@ -18,9 +19,10 @@ let default_config =
     seed = 0x5eedL;
     max_rounds = 30;
     cex_batch = 48;
-    pair_batch = 256;
+    pair_batch = max_int;
     use_distance_one = false;
     use_reverse_sim = false;
+    simplify = true;
   }
 
 type outcome = Equivalent | Inequivalent of Sim.Cex.t * int | Undecided
@@ -40,6 +42,10 @@ type stats = {
   mutable cnf_loads : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable restarts : int;
+  mutable reduce_dbs : int;
+  mutable learnts_removed : int;
+  simp : Simplify.stats;
 }
 
 let new_stats () =
@@ -58,6 +64,10 @@ let new_stats () =
     cnf_loads = 0;
     cache_hits = 0;
     cache_misses = 0;
+    restarts = 0;
+    reduce_dbs = 0;
+    learnts_removed = 0;
+    simp = Simplify.mk_stats ();
   }
 
 let merge_stats ~into:a b =
@@ -70,7 +80,35 @@ let merge_stats ~into:a b =
   a.conflicts <- a.conflicts + b.conflicts;
   a.cnf_loads <- a.cnf_loads + b.cnf_loads;
   a.cache_hits <- a.cache_hits + b.cache_hits;
-  a.cache_misses <- a.cache_misses + b.cache_misses
+  a.cache_misses <- a.cache_misses + b.cache_misses;
+  a.restarts <- a.restarts + b.restarts;
+  a.reduce_dbs <- a.reduce_dbs + b.reduce_dbs;
+  a.learnts_removed <- a.learnts_removed + b.learnts_removed;
+  Simplify.add_stats a.simp b.simp
+
+(* Fold one solver's search/preprocessing counters into sweep stats. *)
+let absorb_solver stats solver =
+  stats.conflicts <- stats.conflicts + Solver.num_conflicts solver;
+  stats.restarts <- stats.restarts + Solver.num_restarts solver;
+  stats.reduce_dbs <- stats.reduce_dbs + Solver.num_reduce_dbs solver;
+  stats.learnts_removed <-
+    stats.learnts_removed + Solver.num_learnts_removed solver;
+  Simplify.add_stats stats.simp (Solver.simp_stats solver)
+
+(* Preprocess [solver] for PO checking on [g]: the unsolved PO node
+   variables are frozen (they are assumed one by one afterwards), every
+   other variable — PIs included — may be eliminated; counter-example
+   values for eliminated PIs come back through model reconstruction. *)
+let simplify_for_pos ?cancel solver g pos =
+  let frozen =
+    List.filter_map
+      (fun po ->
+        let l = Aig.Network.po g po in
+        if Aig.Network.is_const (Aig.Lit.node l) then None
+        else Some (Solver.var_of_lit (Cnf.lit l)))
+      pos
+  in
+  Solver.simplify ?cancel ~frozen solver
 
 (* Prove [target = repr_lit] on [g] through two SAT calls; [solver] holds
    the CNF of [g].  Returns [`Proved], [`Cex assignment] or [`Unknown]. *)
@@ -158,32 +196,50 @@ let sweep_core ?(config = default_config) ?classes ?pcache ?cancel ~pool ~stats
       |> Array.of_list
     in
     let n = Array.length pairs in
+    let dbg = Sys.getenv_opt "SIMSWEEP_SWEEP_DEBUG" <> None in
+    let t_round = Sys.time () in
+    if dbg then
+      Printf.eprintf "[sweep] round %d: nodes=%d pairs=%d\n%!" !round
+        (Aig.Network.num_nodes !g) n;
     if n = 0 then finished := true
     else begin
       let cur = !g in
-      let bsz = max 1 config.pair_batch in
+      (* Clamp to [n] so [pair_batch = max_int] (the default) cannot
+         overflow the batch count. *)
+      let bsz = max 1 (min config.pair_batch n) in
       let nbatches = (n + bsz - 1) / bsz in
       let verdicts = Array.make n P_skipped in
       let bstats = Array.init nbatches (fun _ -> new_stats ()) in
-      stats.batches <- stats.batches + nbatches;
       (* Cross-request pair cache: one O(n) hash pass per round keys every
          candidate; a hit skips the SAT proof entirely.  Freshly proved
-         keys are collected per batch and flushed after the barrier, so a
-         lookup never observes a record from the same round — cache-hit
-         counts stay independent of pool scheduling. *)
+         keys are collected per batch and flushed at the end of the round,
+         so a lookup never observes a record from the same round —
+         cache-hit counts stay independent of pool scheduling. *)
       let hashes =
         match pcache with
         | Some _ -> Some (Aig.Shash.node_hashes cur)
         | None -> None
       in
       let proved_keys = Array.make nbatches [] in
-      Par.Pool.parallel_for pool ~chunk:1 ~start:0 ~stop:nbatches (fun b ->
+      let eval_batch b =
           let st = bstats.(b) in
           let solver = Solver.create () in
           st.cnf_loads <- st.cnf_loads + 1;
           let loaded = Cnf.load solver cur in
           assert loaded;
           let lo = b * bsz and hi = min n ((b + 1) * bsz) in
+          (* Preprocess the batch solver with every node variable this
+             batch may assume frozen.  The frozen set depends only on the
+             batch slice, so verdicts stay scheduling-independent. *)
+          if config.simplify then begin
+            let frozen = ref [] in
+            for i = lo to hi - 1 do
+              let { Sim.Eclass.repr; other; _ } = pairs.(i) in
+              if not (Aig.Network.is_const repr) then frozen := repr :: !frozen;
+              frozen := other :: !frozen
+            done;
+            Solver.simplify ?cancel ~frozen:!frozen solver
+          end;
           (* The batch-local counter-example cap mirrors the global commit
              cap: once this batch alone could fill the refinement budget
              there is no point proving its remaining pairs. *)
@@ -244,27 +300,31 @@ let sweep_core ?(config = default_config) ?classes ?pcache ?cancel ~pool ~stats
                 | `Unknown -> verdicts.(!i) <- P_unknown));
             incr i
           done;
-          st.conflicts <- st.conflicts + Solver.num_conflicts solver);
-      Array.iter (fun st -> merge_stats ~into:stats st) bstats;
-      (match pcache with
-      | Some pc ->
-          Array.iter
-            (List.iter (fun k -> pc.Aig.Pcache.record_pair k))
-            proved_keys
-      | None -> ());
+          absorb_solver st solver
+      in
       (* Deterministic commit in pair-index order: merges and fresh
          counter-examples are accepted exactly as the sequential schedule
          would, with the global [cex_batch] cap applied at commit time.
          Whenever a [P_skipped] pair is reached here, the cap is already
          filled — batches stop early only after [cex_batch] local CEXs —
-         so no provable pair is ever lost to batching. *)
+         so no provable pair is ever lost to batching.
+
+         Once the cap is filled, nothing later in the round can commit, so
+         batches are evaluated lazily in pool-sized waves and the round
+         stops scheduling as soon as the committed prefix fills the cap.
+         Results stay bit-identical for any pool size: each batch's
+         verdicts depend only on its slice, the commit is an in-order
+         prefix scan, and batches past the stopping point — evaluated or
+         not — never contribute verdicts, stats or cache records.
+         (Without this, CEX-rich rounds pay the proof-and-discard cost of
+         every batch: nbatches × the sequential schedule's work.) *)
       let repl = Array.make (Aig.Network.num_nodes cur) None in
       let fresh_cexs = ref 0 in
       let merged_round = ref 0 in
-      Array.iteri
-        (fun i verdict ->
+      let commit_batch b =
+        for i = b * bsz to min n ((b + 1) * bsz) - 1 do
           if !fresh_cexs < config.cex_batch then
-            match verdict with
+            match verdicts.(i) with
             | P_skipped | P_unknown -> ()
             | P_proved ->
                 let { Sim.Eclass.repr; other; compl_ } = pairs.(i) in
@@ -279,8 +339,39 @@ let sweep_core ?(config = default_config) ?classes ?pcache ?cancel ~pool ~stats
                 pending_cexs := cex :: !pending_cexs;
                 if config.use_distance_one then
                   pending_cexs :=
-                    Sim.Cex.distance_one ~limit:8 cex @ !pending_cexs)
-        verdicts;
+                    Sim.Cex.distance_one ~limit:8 cex @ !pending_cexs
+        done
+      in
+      let wave = max 1 (Par.Pool.num_workers pool) in
+      let next = ref 0 in
+      while
+        !next < nbatches
+        && !fresh_cexs < config.cex_batch
+        && not (Par.Cancel.is_set_opt cancel)
+      do
+        let hi = min nbatches (!next + wave) in
+        Par.Pool.parallel_for pool ~chunk:1 ~start:!next ~stop:hi eval_batch;
+        let b = ref !next in
+        while !b < hi && !fresh_cexs < config.cex_batch do
+          commit_batch !b;
+          merge_stats ~into:stats bstats.(!b);
+          stats.batches <- stats.batches + 1;
+          incr b
+        done;
+        next := !b
+      done;
+      (match pcache with
+      | Some pc ->
+          for b = 0 to !next - 1 do
+            List.iter (fun k -> pc.Aig.Pcache.record_pair k) proved_keys.(b)
+          done
+      | None -> ());
+      if dbg then
+        Printf.eprintf
+          "[sweep] round %d: committed %d/%d batches, merged=%d cexs=%d \
+           conflicts=%d (%.2fs)\n%!"
+          !round !next nbatches !merged_round !fresh_cexs stats.conflicts
+          (Sys.time () -. t_round);
       if !merged_round > 0 then begin
         let r = Aig.Reduce.apply cur ~repl in
         g := r.Aig.Reduce.network
@@ -330,6 +421,8 @@ let check ?(config = default_config) ?classes ?pcache ?cancel ~pool g0 =
       let loaded = Cnf.load solver g in
       if not loaded then Equivalent
       else begin
+        let unsolved = Aig.Miter.unsolved_outputs g in
+        if config.simplify then simplify_for_pos ?cancel solver g unsolved;
         let rec check_pos = function
           | [] -> Equivalent
           | po :: rest -> (
@@ -353,8 +446,8 @@ let check ?(config = default_config) ?classes ?pcache ?cancel ~pool g0 =
                     Undecided
               end)
         in
-        let r = check_pos (Aig.Miter.unsolved_outputs g) in
-        stats.conflicts <- stats.conflicts + Solver.num_conflicts solver;
+        let r = check_pos unsolved in
+        absorb_solver stats solver;
         r
       end
     end
@@ -367,12 +460,14 @@ let fraig ?(config = default_config) ?cancel ~pool g =
   let reduced = sweep_core ~config ?cancel ~pool ~stats (Aig.Network.copy g) in
   (reduced, stats)
 
-let check_direct ?(conflict_limit = max_int) ?cancel g =
+let check_direct ?(simplify = true) ?(conflict_limit = max_int) ?cancel g =
   if Aig.Miter.solved g then Equivalent
   else begin
     let solver = Solver.create () in
     if not (Cnf.load solver g) then Equivalent
     else begin
+      let unsolved = Aig.Miter.unsolved_outputs g in
+      if simplify then simplify_for_pos ?cancel solver g unsolved;
       let rec go = function
         | [] -> Equivalent
         | po :: rest -> (
@@ -384,6 +479,6 @@ let check_direct ?(conflict_limit = max_int) ?cancel g =
             | Solver.Sat -> Inequivalent (Cnf.model_cex solver g, po)
             | Solver.Unknown -> Undecided)
       in
-      go (Aig.Miter.unsolved_outputs g)
+      go unsolved
     end
   end

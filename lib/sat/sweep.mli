@@ -13,8 +13,11 @@
     speculatively on a private solver (its own CNF load), so its verdicts
     depend only on the network and the batch slice, never on scheduling;
     the verdicts are then committed in pair-index order under the global
-    [cex_batch] cap.  Verdicts, merge counts, reduced networks and stats
-    are bit-identical for any pool size. *)
+    [cex_batch] cap.  Batches are evaluated lazily in pool-sized waves:
+    once the committed prefix fills the cap, the round stops scheduling
+    and any speculatively evaluated batch past the stopping point is
+    discarded wholesale — so verdicts, merge counts, reduced networks and
+    stats are bit-identical for any pool size. *)
 
 type config = {
   conflict_limit : int;  (** budget per pair-proving SAT call (ABC's [-C]) *)
@@ -25,13 +28,23 @@ type config = {
   cex_batch : int;  (** resimulate after this many fresh counter-examples *)
   pair_batch : int;
       (** candidate pairs per parallel proof batch; each batch gets a
-          private solver and CNF load, so smaller batches buy parallelism
-          with more redundant loading *)
+          private solver and CNF load, so batching buys parallelism at the
+          price of redundant loading, preprocessing and lost learnt-clause
+          reuse across the round.  That price is steep — a fresh solver
+          re-pays the warm-up conflicts of every cone its slice touches —
+          so the default is [max_int]: one batch, one solver per round,
+          exactly the sequential schedule.  Lower it only when rounds are
+          enormous and cores are plentiful. *)
   use_distance_one : bool;  (** expand CEXs at Hamming distance 1 (§V) *)
   use_reverse_sim : bool;
       (** try backward justification ({!Sim.Rsim.justify_pair}) to disprove
           a candidate pair before spending SAT effort on it (§V, after
           Zhang et al.) *)
+  simplify : bool;
+      (** preprocess the final-PO solver ({!Solver.simplify}: BVE,
+          subsumption, equivalent literals, XOR/Gauss, probing) with the
+          unsolved PO variables frozen.  Counter-examples remain valid:
+          eliminated PI values are reconstructed into the model. *)
 }
 
 val default_config : config
@@ -52,12 +65,16 @@ type stats = {
   mutable rsim_splits : int;  (** pairs disproved by reverse simulation *)
   mutable candidates : int;  (** candidate pairs attempted (speculation included) *)
   mutable conflicts : int;  (** CDCL conflicts, summed over all solvers *)
-  mutable batches : int;  (** parallel proof batches dispatched *)
-  mutable cnf_loads : int;  (** solver CNF loads (one per batch per round) *)
+  mutable batches : int;  (** proof batches evaluated and committed *)
+  mutable cnf_loads : int;  (** solver CNF loads (one per committed batch) *)
   mutable cache_hits : int;
       (** PO verdicts and candidate pairs discharged from the
           cross-request equivalence cache *)
   mutable cache_misses : int;  (** cache lookups that found nothing *)
+  mutable restarts : int;  (** CDCL restarts, summed over all solvers *)
+  mutable reduce_dbs : int;  (** learnt-database reductions *)
+  mutable learnts_removed : int;  (** learnt clauses dropped by reductions *)
+  simp : Simplify.stats;  (** preprocessing counters, summed over solvers *)
 }
 
 (** [check ?config ?classes ?pcache ?cancel ~pool miter] decides whether
@@ -82,9 +99,16 @@ val check :
   outcome * stats
 
 (** Direct SAT check of every PO without sweeping (used by tests and as a
-    portfolio member on small miters). *)
+    portfolio member on small miters).  [simplify] (default true)
+    preprocesses the solver before the PO loop, with the PO variables
+    frozen; [~simplify:false] gives the plain solver — the fuzz oracle
+    cross-checks the two on every case. *)
 val check_direct :
-  ?conflict_limit:int -> ?cancel:Par.Cancel.t -> Aig.Network.t -> outcome
+  ?simplify:bool ->
+  ?conflict_limit:int ->
+  ?cancel:Par.Cancel.t ->
+  Aig.Network.t ->
+  outcome
 
 (** Functional reduction (FRAIGing, Mishchenko et al. — the paper's [7]):
     run the sweeping rounds on a {e single} network and return it with all

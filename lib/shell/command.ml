@@ -26,7 +26,7 @@ let help_text =
       "store NAME           save the current network";
       "load NAME            recall a stored network";
       "miter NAME           current := miter(current, NAME)";
-      "cec [ENGINE]         sim sat bdd portfolio combined partitioned";
+      "cec [ENGINE]         sim sat satdirect bdd portfolio combined partitioned";
       "map [K]              map to K-input LUTs and resynthesise (default 6)";
       "fraig                merge functionally equivalent internal nodes";
       "certify              combined check with certificate validation";
@@ -105,6 +105,14 @@ let run_cec ?cancel st g engine =
       | Sat.Sweep.Inequivalent (cex, po), _ ->
           Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
       | Sat.Sweep.Undecided, _ -> Ok "UNDECIDED")
+  | "satdirect" -> (
+      (* Monolithic SAT with preprocessing, no sweeping — exercises the
+         Solver.simplify pipeline end to end. *)
+      match Sat.Sweep.check_direct ?cancel g with
+      | Sat.Sweep.Equivalent -> Ok "EQUIVALENT"
+      | Sat.Sweep.Inequivalent (cex, po) ->
+          Ok (outcome_string (Simsweep.Engine.Disproved (cex, po)))
+      | Sat.Sweep.Undecided -> Ok "UNDECIDED")
   | "bdd" -> (
       match Bdd.check ?cancel g with
       | `Equivalent -> Ok "EQUIVALENT"

@@ -33,6 +33,38 @@ let test_roundtrip () =
   | Ok (3, cs) -> Alcotest.(check bool) "same clauses" true (cs = clauses)
   | _ -> Alcotest.fail "roundtrip failed"
 
+(* Write -> parse -> write must reproduce the exact bytes: to_string is
+   canonical, so a formula that survives one round survives any number. *)
+let prop_write_parse_write_identity =
+  QCheck.Test.make ~name:"write->parse->write byte identity" ~count:100
+    Util.arb_seed (fun seed ->
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      let bits n = Int64.to_int (Sim.Rng.next64 rng) land ((1 lsl n) - 1) in
+      let nvars = 1 + bits 4 in
+      let nclauses = bits 4 in
+      let clauses =
+        List.init nclauses (fun _ ->
+            let len = 1 + bits 2 in
+            List.init len (fun _ ->
+                let v = 1 + (bits 8 mod nvars) in
+                if bits 1 = 0 then v else -v))
+      in
+      let text = Sat.Dimacs.to_string ~nvars clauses in
+      match Sat.Dimacs.parse text with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok (nvars', clauses') ->
+          let text' = Sat.Dimacs.to_string ~nvars:nvars' clauses' in
+          text = text')
+
+let test_parse_whitespace () =
+  (* Tabs and CRLF line endings are legal DIMACS token separators. *)
+  let text = "c\tcomment\r\np cnf 3\t2\r\n1\t-2 0\r\n2 \t 3 0\r\n" in
+  match Sat.Dimacs.parse text with
+  | Ok (3, [ [ 1; -2 ]; [ 2; 3 ] ]) -> ()
+  | Ok (v, cs) ->
+      Alcotest.failf "wrong parse: %d vars %d clauses" v (List.length cs)
+  | Error e -> Alcotest.failf "parse error: %s" e
+
 let test_load_and_solve () =
   let s = Sat.Solver.create () in
   (match Sat.Dimacs.load s "p cnf 2 3\n1 2 0\n-1 0\n-2 0\n" with
@@ -103,9 +135,12 @@ let () =
           Alcotest.test_case "multiline clause" `Quick test_parse_multiline_clause;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace;
           Alcotest.test_case "load+solve" `Quick test_load_and_solve;
           Alcotest.test_case "miter equivalent" `Quick test_of_miter_equivalent;
           Alcotest.test_case "miter inequivalent" `Quick test_of_miter_inequivalent;
         ] );
-      ("props", [ QCheck_alcotest.to_alcotest prop_export_matches_sweep ]);
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_export_matches_sweep; prop_write_parse_write_identity ] );
     ]

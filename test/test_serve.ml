@@ -328,8 +328,8 @@ let test_server_deadline () =
           Alcotest.(check bool) (last ^ " undecided") true
             (contains r.Serve.Protocol.output "UNDECIDED"))
         [
-          "cec sat"; "cec sim"; "cec bdd"; "cec portfolio"; "cec partitioned";
-          "cec combined"; "certify";
+          "cec sat"; "cec satdirect"; "cec sim"; "cec bdd"; "cec portfolio";
+          "cec partitioned"; "cec combined"; "certify";
         ])
 
 let test_server_client_hangup () =

@@ -1,0 +1,431 @@
+(* The SAT preprocessing pipeline: activity heap, BVE model
+   reconstruction, subsumption soundness, XOR/Gauss, probing and
+   equivalent literals, cancellation — cross-checked against brute force
+   on small random CNFs. *)
+
+let l v = Sat.Solver.mklit v false
+let nl v = Sat.Solver.mklit v true
+
+(* --- deterministic random CNFs ------------------------------------------ *)
+
+let mk_rng seed = Sim.Rng.create ~seed:(Int64.of_int (seed + 17))
+
+let bits rng n = Int64.to_int (Sim.Rng.next64 rng) land ((1 lsl n) - 1)
+
+(* A random CNF over [nvars] variables as lists of solver literals. *)
+let random_cnf rng ~nvars ~nclauses =
+  List.init nclauses (fun _ ->
+      let len = 1 + (bits rng 8 mod 4) in
+      List.init len (fun _ ->
+          let v = bits rng 8 mod nvars in
+          if bits rng 1 = 0 then Sat.Solver.mklit v false
+          else Sat.Solver.mklit v true))
+
+let lit_true model lit = model.(lit / 2) <> (lit land 1 = 1)
+
+let clause_sat model clause = List.exists (lit_true model) clause
+
+let cnf_sat model cnf = List.for_all (clause_sat model) cnf
+
+(* Brute-force satisfiability of a literal-list CNF. *)
+let brute_solutions ~nvars cnf =
+  let sols = ref [] in
+  for m = 0 to (1 lsl nvars) - 1 do
+    let model = Array.init nvars (fun i -> (m lsr i) land 1 = 1) in
+    if cnf_sat model cnf then sols := model :: !sols
+  done;
+  List.rev !sols
+
+(* --- activity heap ------------------------------------------------------ *)
+
+(* Random insert/update/pop trace vs a reference model: every pop must
+   return an element of maximum priority, and membership must track. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches reference model" ~count:200
+    Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let n = 24 in
+      let prio = Array.init n (fun _ -> float_of_int (bits rng 16)) in
+      let less u v = prio.(u) > prio.(v) in
+      let h = Sat.Heap.create ~capacity:n () in
+      let in_model = Array.make n false in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      for _ = 1 to 200 do
+        let v = bits rng 16 mod n in
+        match bits rng 8 mod 4 with
+        | 0 ->
+            if not in_model.(v) then begin
+              Sat.Heap.insert ~less h v;
+              in_model.(v) <- true
+            end
+        | 1 ->
+            (* decrease- or increase-key: change priority, re-sift. *)
+            prio.(v) <- float_of_int (bits rng 16);
+            if in_model.(v) then Sat.Heap.update ~less h v
+        | 2 ->
+            if Array.exists Fun.id in_model then begin
+              let top = Sat.Heap.pop ~less h in
+              check in_model.(top);
+              Array.iteri
+                (fun u inside ->
+                  if inside && u <> top then check (prio.(u) <= prio.(top)))
+                in_model;
+              in_model.(top) <- false
+            end
+        | _ ->
+            check (Sat.Heap.mem h v = in_model.(v));
+            check
+              (Sat.Heap.size h
+              = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in_model)
+      done;
+      (* Draining yields non-increasing priorities. *)
+      let last = ref infinity in
+      while not (Sat.Heap.is_empty h) do
+        let v = Sat.Heap.pop ~less h in
+        check (prio.(v) <= !last);
+        last := prio.(v)
+      done;
+      !ok)
+
+(* --- full-pipeline round trip on random CNFs ---------------------------- *)
+
+(* Simplify.run must (a) preserve satisfiability and (b) return a
+   reconstruction stack that extends any model of the simplified CNF to a
+   model of the original one. *)
+let prop_simplify_roundtrip =
+  QCheck.Test.make ~name:"simplify round-trip vs brute force" ~count:150
+    Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let nvars = 4 + (bits rng 8 mod 5) in
+      let cnf = random_cnf rng ~nvars ~nclauses:(2 + (bits rng 8 mod 14)) in
+      let frozen = Array.init nvars (fun _ -> bits rng 2 = 0) in
+      let stats = Sat.Simplify.mk_stats () in
+      let res =
+        Sat.Simplify.run ~stats ~nvars ~frozen ~units:[]
+          (List.map Array.of_list cnf)
+      in
+      let orig_sols = brute_solutions ~nvars cnf in
+      if res.Sat.Simplify.unsat then orig_sols = []
+      else begin
+        let simplified =
+          List.map Array.to_list res.Sat.Simplify.clauses
+          @ List.map (fun u -> [ u ]) res.Sat.Simplify.units
+        in
+        let simp_sols = brute_solutions ~nvars simplified in
+        (* Equisatisfiable... *)
+        (orig_sols = []) = (simp_sols = [])
+        (* ...and every simplified model reconstructs to an original one. *)
+        && List.for_all
+             (fun m ->
+               let model = Array.copy m in
+               Sat.Simplify.extend_model res.Sat.Simplify.recon model;
+               cnf_sat model cnf)
+             simp_sols
+      end)
+
+(* Same contract end-to-end through the solver: simplify, solve, and the
+   (reconstructed) model must satisfy every original clause; the verdict
+   must match brute force. *)
+let prop_solver_simplify_verdict =
+  QCheck.Test.make ~name:"solver simplify: verdict and model vs brute force"
+    ~count:150 Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let nvars = 4 + (bits rng 8 mod 5) in
+      let cnf = random_cnf rng ~nvars ~nclauses:(2 + (bits rng 8 mod 14)) in
+      let s = Sat.Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      let root_ok = List.for_all (Sat.Solver.add_clause s) cnf in
+      if root_ok then Sat.Solver.simplify s;
+      let brute_sat = brute_solutions ~nvars cnf <> [] in
+      match (root_ok, if root_ok then Sat.Solver.solve s else Sat.Solver.Unsat) with
+      | false, _ | _, Sat.Solver.Unsat -> not brute_sat
+      | _, Sat.Solver.Unknown -> false
+      | _, Sat.Solver.Sat ->
+          brute_sat
+          && cnf_sat (Array.init nvars (Sat.Solver.model_value s)) cnf)
+
+(* --- subsumption -------------------------------------------------------- *)
+
+(* With only subsumption + self-subsuming resolution enabled (no variable
+   ever leaves the formula), simplification must preserve logical
+   equivalence, assignment by assignment. *)
+let prop_subsumption_equivalent =
+  QCheck.Test.make ~name:"subsumption preserves logical equivalence"
+    ~count:150 Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let nvars = 4 + (bits rng 8 mod 4) in
+      let cnf = random_cnf rng ~nvars ~nclauses:(4 + (bits rng 8 mod 12)) in
+      let config =
+        {
+          Sat.Simplify.default_config with
+          bve = false;
+          elit = false;
+          xor_ = false;
+          probe = false;
+        }
+      in
+      let stats = Sat.Simplify.mk_stats () in
+      let res =
+        Sat.Simplify.run ~config ~stats ~nvars
+          ~frozen:(Array.make nvars false) ~units:[]
+          (List.map Array.of_list cnf)
+      in
+      let simplified =
+        List.map Array.to_list res.Sat.Simplify.clauses
+        @ List.map (fun u -> [ u ]) res.Sat.Simplify.units
+      in
+      let ok = ref true in
+      for m = 0 to (1 lsl nvars) - 1 do
+        let model = Array.init nvars (fun i -> (m lsr i) land 1 = 1) in
+        let a = cnf_sat model cnf in
+        let b = if res.Sat.Simplify.unsat then false else cnf_sat model simplified in
+        if a <> b then ok := false
+      done;
+      !ok)
+
+(* --- XOR extraction and Gaussian elimination ---------------------------- *)
+
+(* CNF encoding of x0 xor x1 xor x2 = rhs: the four clauses with an odd
+   (rhs=1) / even (rhs=0) number of negations. *)
+let xor3_clauses a b c rhs =
+  let combos =
+    [ (false, false, false); (false, true, true); (true, false, true); (true, true, false) ]
+  in
+  List.map
+    (fun (sa, sb, sc) ->
+      (* clause forbids the assignment where parity is wrong *)
+      [ Sat.Solver.mklit a sa; Sat.Solver.mklit b sb; Sat.Solver.mklit c sc ])
+    (List.map
+       (fun (sa, sb, sc) -> if rhs then (sa, sb, sc) else (not sa, sb, sc))
+       combos)
+
+let prop_xor_chain =
+  QCheck.Test.make ~name:"xor/gauss solves random parity chains" ~count:100
+    Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let nvars = 5 + (bits rng 8 mod 4) in
+      (* Overlapping 3-var parity constraints over a small pool. *)
+      let rows = 3 + (bits rng 8 mod 4) in
+      let cnf = ref [] in
+      for i = 0 to rows - 1 do
+        let a = i mod nvars
+        and b = (i + 1) mod nvars
+        and c = (i + 2 + (bits rng 8 mod (nvars - 2))) mod nvars in
+        if a <> b && b <> c && a <> c then
+          cnf := xor3_clauses a b c (bits rng 1 = 1) @ !cnf
+      done;
+      let cnf = !cnf in
+      let s = Sat.Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      let root_ok = List.for_all (Sat.Solver.add_clause s) cnf in
+      if root_ok then Sat.Solver.simplify s;
+      let brute_sat = brute_solutions ~nvars cnf <> [] in
+      match (root_ok, if root_ok then Sat.Solver.solve s else Sat.Solver.Unsat) with
+      | false, _ | _, Sat.Solver.Unsat -> not brute_sat
+      | _, Sat.Solver.Unknown -> false
+      | _, Sat.Solver.Sat ->
+          brute_sat
+          && cnf_sat (Array.init nvars (Sat.Solver.model_value s)) cnf)
+
+let test_xor_extract () =
+  (* x0^x1^x2 = 1 and x1^x2^x3 = 0, explicitly. *)
+  let clauses =
+    List.map Array.of_list (xor3_clauses 0 1 2 true @ xor3_clauses 1 2 3 false)
+  in
+  let rows = Sat.Xor.extract clauses in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun (r : Sat.Xor.xor_row) ->
+      match r.Sat.Xor.vars with
+      | [ 0; 1; 2 ] -> Alcotest.(check bool) "rhs 012" true r.Sat.Xor.rhs
+      | [ 1; 2; 3 ] -> Alcotest.(check bool) "rhs 123" false r.Sat.Xor.rhs
+      | _ -> Alcotest.fail "unexpected row")
+    rows
+
+let test_gauss_unsat () =
+  (* a^b^c=0, a^b^d=1, c^d (via c^d^e=0, c^d^e=1) -> contradiction. *)
+  let rows =
+    [
+      { Sat.Xor.vars = [ 0; 1; 2 ]; rhs = false };
+      { Sat.Xor.vars = [ 0; 1; 2 ]; rhs = true };
+    ]
+  in
+  match Sat.Xor.eliminate rows with
+  | [ Sat.Xor.Unsat ] -> ()
+  | _ -> Alcotest.fail "expected Unsat"
+
+(* Gauss-derived unit and equivalence facts must hold in every brute-force
+   solution of the parity system. *)
+let prop_gauss_facts_sound =
+  QCheck.Test.make ~name:"gauss facts hold in every solution" ~count:200
+    Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let nvars = 4 + (bits rng 8 mod 3) in
+      let nrows = 2 + (bits rng 8 mod 4) in
+      let rows =
+        List.init nrows (fun _ ->
+            let arity = 3 + (bits rng 8 mod 2) in
+            let vars =
+              List.init arity (fun _ -> bits rng 8 mod nvars)
+              |> List.sort_uniq compare
+            in
+            { Sat.Xor.vars; rhs = bits rng 1 = 1 })
+        |> List.filter (fun (r : Sat.Xor.xor_row) -> List.length r.Sat.Xor.vars >= 2)
+      in
+      let row_sat model (r : Sat.Xor.xor_row) =
+        List.fold_left (fun p v -> p <> model.(v)) false r.Sat.Xor.vars
+        = r.Sat.Xor.rhs
+      in
+      let sols = ref [] in
+      for m = 0 to (1 lsl nvars) - 1 do
+        let model = Array.init nvars (fun i -> (m lsr i) land 1 = 1) in
+        if List.for_all (row_sat model) rows then sols := model :: !sols
+      done;
+      let facts = Sat.Xor.eliminate rows in
+      if List.mem Sat.Xor.Unsat facts then !sols = []
+      else
+        List.for_all
+          (fun model ->
+            List.for_all
+              (function
+                | Sat.Xor.Unit (v, b) -> model.(v) = b
+                | Sat.Xor.Equiv (x, y, odd) -> model.(x) <> model.(y) = odd
+                | Sat.Xor.Unsat -> false)
+              facts)
+          !sols)
+
+(* --- equivalent literals and probing ------------------------------------ *)
+
+let test_elit_substitution () =
+  (* a <-> b (binary implication cycle) plus ternary clauses so nothing
+     propagates to units before the SCC pass: the equivalence must be
+     substituted away and counted, and any model must still set a = b
+     (reconstruction included). *)
+  let s = Sat.Solver.create () in
+  let a = Sat.Solver.new_var s in
+  let b = Sat.Solver.new_var s in
+  let c = Sat.Solver.new_var s in
+  let d = Sat.Solver.new_var s in
+  ignore (Sat.Solver.add_clause s [ nl a; l b ]);
+  ignore (Sat.Solver.add_clause s [ nl b; l a ]);
+  ignore (Sat.Solver.add_clause s [ l a; l c; l d ]);
+  ignore (Sat.Solver.add_clause s [ nl c; nl d; l b ]);
+  Sat.Solver.simplify s;
+  Alcotest.(check bool) "elit counted" true
+    ((Sat.Solver.simp_stats s).Sat.Simplify.s_elit >= 1);
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat ->
+      Alcotest.(check bool) "a = b" (Sat.Solver.model_value s a)
+        (Sat.Solver.model_value s b)
+  | _ -> Alcotest.fail "expected SAT"
+
+let test_probe_failed_literal () =
+  (* a -> b and a -> not b: probing must derive the unit (not a). *)
+  let s = Sat.Solver.create () in
+  let a = Sat.Solver.new_var s in
+  let b = Sat.Solver.new_var s in
+  let c = Sat.Solver.new_var s in
+  ignore (Sat.Solver.add_clause s [ nl a; l b ]);
+  ignore (Sat.Solver.add_clause s [ nl a; nl b ]);
+  ignore (Sat.Solver.add_clause s [ l a; l c; l b ]);
+  (* keep the instance from being trivially solved before probing *)
+  let config =
+    { Sat.Simplify.default_config with bve = false; xor_ = false }
+  in
+  Sat.Solver.simplify ~config ~frozen:[ a; b; c ] s;
+  (match Sat.Solver.solve ~assumptions:[ l a ] s with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "assuming a must now be UNSAT");
+  match Sat.Solver.solve s with
+  | Sat.Solver.Sat ->
+      Alcotest.(check bool) "a false" false (Sat.Solver.model_value s a)
+  | _ -> Alcotest.fail "expected SAT"
+
+(* --- cancellation ------------------------------------------------------- *)
+
+(* A token that fires immediately: simplify must return promptly and leave
+   an equisatisfiable solver behind (partial simplification is fine, a
+   wrong verdict afterwards is not). *)
+let prop_cancelled_simplify_sound =
+  QCheck.Test.make ~name:"cancelled simplify stays equisatisfiable"
+    ~count:100 Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let nvars = 4 + (bits rng 8 mod 5) in
+      let cnf = random_cnf rng ~nvars ~nclauses:(2 + (bits rng 8 mod 14)) in
+      let cancel = Par.Cancel.create () in
+      Par.Cancel.set cancel;
+      let s = Sat.Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      let root_ok = List.for_all (Sat.Solver.add_clause s) cnf in
+      if root_ok then Sat.Solver.simplify ~cancel s;
+      let brute_sat = brute_solutions ~nvars cnf <> [] in
+      match (root_ok, if root_ok then Sat.Solver.solve s else Sat.Solver.Unsat) with
+      | false, _ | _, Sat.Solver.Unsat -> not brute_sat
+      | _, Sat.Solver.Unknown -> false
+      | _, Sat.Solver.Sat ->
+          brute_sat
+          && cnf_sat (Array.init nvars (Sat.Solver.model_value s)) cnf)
+
+(* --- frozen variables under assumptions --------------------------------- *)
+
+(* Frozen variables survive simplification and keep working as
+   assumptions; non-frozen variables may be eliminated but their model
+   values are still reconstructed. *)
+let prop_frozen_assumptions =
+  QCheck.Test.make ~name:"frozen vars usable as assumptions after simplify"
+    ~count:100 Util.arb_seed (fun seed ->
+      let rng = mk_rng seed in
+      let nvars = 4 + (bits rng 8 mod 4) in
+      let cnf = random_cnf rng ~nvars ~nclauses:(2 + (bits rng 8 mod 10)) in
+      let fv = bits rng 8 mod nvars in
+      let s = Sat.Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      let root_ok = List.for_all (Sat.Solver.add_clause s) cnf in
+      if not root_ok then true
+      else begin
+        Sat.Solver.simplify ~frozen:[ fv ] s;
+        (not (Sat.Solver.is_eliminated s fv))
+        &&
+        let assumption = Sat.Solver.mklit fv false in
+        let with_assumption = [ assumption ] :: cnf in
+        let brute_sat = brute_solutions ~nvars with_assumption <> [] in
+        match Sat.Solver.solve ~assumptions:[ assumption ] s with
+        | Sat.Solver.Unsat -> not brute_sat
+        | Sat.Solver.Unknown -> false
+        | Sat.Solver.Sat ->
+            brute_sat
+            && cnf_sat (Array.init nvars (Sat.Solver.model_value s)) with_assumption
+      end)
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "xor extract" `Quick test_xor_extract;
+          Alcotest.test_case "gauss unsat" `Quick test_gauss_unsat;
+          Alcotest.test_case "equivalent literals" `Quick test_elit_substitution;
+          Alcotest.test_case "failed-literal probing" `Quick test_probe_failed_literal;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_heap_model;
+            prop_simplify_roundtrip;
+            prop_solver_simplify_verdict;
+            prop_subsumption_equivalent;
+            prop_xor_chain;
+            prop_gauss_facts_sound;
+            prop_cancelled_simplify_sound;
+            prop_frozen_assumptions;
+          ] );
+    ]
