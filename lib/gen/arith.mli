@@ -5,6 +5,11 @@
 (** Ripple-carry adder: [2n] PIs, [n+1] POs. *)
 val adder : bits:int -> Aig.Network.t
 
+(** Balanced tree of ripple-carry adders summing [operands] inputs of
+    [bits] bits each ([operands * bits] PIs) — a multi-operand
+    accumulation datapath. *)
+val addtree : operands:int -> bits:int -> Aig.Network.t
+
 (** Array multiplier: [2n] PIs, [2n] POs. *)
 val multiplier : bits:int -> Aig.Network.t
 

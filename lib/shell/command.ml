@@ -26,7 +26,8 @@ let help_text =
       "store NAME           save the current network";
       "load NAME            recall a stored network";
       "miter NAME           current := miter(current, NAME)";
-      "cec [ENGINE]         sim sat satdirect bdd portfolio combined partitioned";
+      "cec [ENGINE]         sim sat satdirect bdd portfolio combined \
+       partitioned wordsweep";
       "map [K]              map to K-input LUTs and resynthesise (default 6)";
       "fraig                merge functionally equivalent internal nodes";
       "certify              combined check with certificate validation";
@@ -151,6 +152,17 @@ let run_cec ?cancel st g engine =
         Simsweep.Partition.check ~config:Simsweep.Config.scaled ?cancel ~pool g
       in
       Ok (Printf.sprintf "%s (%d groups)" (outcome_string outcome) n)
+  | "wordsweep" ->
+      let outcome, ws =
+        Word.Sweep.check ~config:Simsweep.Config.scaled ?pcache ?cancel ~pool g
+      in
+      Ok
+        (Printf.sprintf
+           "%s (%.1f%% word coverage, %d words proved, %d bits merged)%s"
+           (outcome_string outcome) ws.Word.Sweep.coverage_percent
+           ws.Word.Sweep.words_proved ws.Word.Sweep.bits_merged
+           (cache_suffix st ~hits:ws.Word.Sweep.cache_hits
+              ~misses:ws.Word.Sweep.cache_misses))
   | other -> Error ("unknown engine " ^ other)
 
 (* Tokenize one command line ABC-style: words split on blanks; double or

@@ -20,7 +20,7 @@
     store NAME             save the current network under NAME
     load NAME              make a stored network current
     miter NAME             replace current with miter(current, NAME)
-    cec [sim|sat|bdd|portfolio|combined|partitioned]
+    cec [sim|sat|bdd|portfolio|combined|partitioned|wordsweep]
                            check the current miter (default combined)
     certify                check with certificate generation + validation
     sim N                  print N random simulation vectors
@@ -52,7 +52,8 @@ val create : ?pool:Par.Pool.t -> ?pcache:Aig.Pcache.t -> unit -> state
 val exec : ?cancel:Par.Cancel.t -> state -> string -> (string, string) result
 
 (** [run_cec ?cancel state miter engine] checks [miter] with the named
-    [cec] engine (sim, sat, bdd, portfolio, combined, partitioned) using
+    [cec] engine (sim, sat, bdd, portfolio, combined, partitioned,
+    wordsweep) using
     the state's pool and equivalence cache, without touching the state's
     current network or store.  The daemon's direct-CEC entry point. *)
 val run_cec :

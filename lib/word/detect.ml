@@ -1,0 +1,468 @@
+module N = Aig.Network
+module L = Aig.Lit
+
+type cell = {
+  sum : L.t;
+  carry : L.t;
+  ops : L.t array;
+  cut : Cuts.Cut.t;
+}
+
+type chain = { cells : cell array }
+type mux = { out : L.t; select : L.t; t_in : L.t; e_in : L.t }
+type row = { select : L.t; muxes : mux array }
+
+type t = {
+  cells : cell list;
+  chains : chain list;
+  columns : cell list array;
+  rows : row list;
+  covered_ands : int;
+  num_ands : int;
+}
+
+let coverage_percent t =
+  if t.num_ands = 0 then 0.0
+  else 100.0 *. float_of_int t.covered_ands /. float_of_int t.num_ands
+
+(* ------------------------------------------------------------------ *)
+(* Local truth tables: 8-bit tables over at most 3 cut leaves.        *)
+
+let masks = [| 0xAA; 0xCC; 0xF0 |]
+let tt_full = 0xFF
+
+exception Bail
+
+(* Truth table of [root] over [cut], or [None] when the cut does not
+   bound a small cone (the enumerator guarantees cut-ness, so this is
+   only a size guard). *)
+let node_tt g ~cut root =
+  let k = Array.length cut in
+  let leaf node =
+    let rec f i = if i >= k then -1 else if cut.(i) = node then i else f (i + 1) in
+    f 0
+  in
+  let memo = Hashtbl.create 16 in
+  let budget = ref 64 in
+  let rec go node =
+    if node = 0 then 0
+    else
+      let i = leaf node in
+      if i >= 0 then masks.(i)
+      else
+        match Hashtbl.find_opt memo node with
+        | Some t -> t
+        | None ->
+            if not (N.is_and g node) then raise Bail;
+            decr budget;
+            if !budget <= 0 then raise Bail;
+            let t = lit (N.fanin0 g node) land lit (N.fanin1 g node) in
+            Hashtbl.replace memo node t;
+            t
+  and lit l =
+    let t = go (L.node l) in
+    if L.is_compl l then lnot t land tt_full else t
+  in
+  try Some (go root land tt_full) with Bail -> None
+
+(* Canonical class representatives for the NPN pre-filter.  The 8-bit
+   tables are doubled into 16-bit ones (variable 3 irrelevant) to fit
+   [Bv.Npn.canonize]. *)
+let extend16 tt8 = tt8 lor (tt8 lsl 8)
+
+let npn_xor3 = fst (Bv.Npn.canonize (extend16 0x96))
+let npn_maj = fst (Bv.Npn.canonize (extend16 0xE8))
+
+let npn_mux =
+  (* v2 ? v1 : v0 *)
+  fst (Bv.Npn.canonize (extend16 ((0xF0 land 0xCC) lor (lnot 0xF0 land 0xAA land tt_full))))
+
+let npn_xor2 = fst (Bv.Npn.canonize (extend16 0x66))
+let npn_and2 = fst (Bv.Npn.canonize (extend16 0x88))
+
+(* Input-complement masks ordered by popcount, then value: matching
+   prefers the fewest complemented operands, which pins the canonical
+   polarity of the MAJ/AND degeneracy (MAJ(!a,!b,!c) = !MAJ(a,b,c)). *)
+let ic_order3 = [| 0; 1; 2; 4; 3; 5; 6; 7 |]
+let ic_order2 = [| 0; 1; 2; 3 |]
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let var_tt ic i =
+  if ic land (1 lsl i) <> 0 then lnot masks.(i) land tt_full else masks.(i)
+
+let maj_tt ic =
+  let a = var_tt ic 0 and b = var_tt ic 1 and c = var_tt ic 2 in
+  a land b lor (a land c) lor (b land c)
+
+let and_tt ~k ic =
+  let t = ref tt_full in
+  for i = 0 to k - 1 do
+    t := !t land var_tt ic i
+  done;
+  !t
+
+type cls =
+  | Xor of bool  (** node (xor compl) computes XOR of positive leaves *)
+  | Carry of bool * int  (** (output compl, input-compl mask): MAJ or AND of ops *)
+
+let match_carry ~order ~mk tt =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun ic ->
+         let m = mk ic in
+         if tt = m then begin
+           found := Some (Carry (false, ic));
+           raise Exit
+         end
+         else if tt = lnot m land tt_full then begin
+           found := Some (Carry (true, ic));
+           raise Exit
+         end)
+       order
+   with Exit -> ());
+  !found
+
+(* Classify [tt] (8-bit, over the k leaves of a cut) as a sum or carry
+   function.  Deterministic: fixed enumeration order, first match
+   wins. *)
+let classify ~k tt =
+  let npn = fst (Bv.Npn.canonize (extend16 tt)) in
+  if k = 3 then
+    if npn = npn_xor3 then
+      if tt = 0x96 then Some (Xor false)
+      else if tt = 0x69 then Some (Xor true)
+      else None
+    else if npn = npn_maj then match_carry ~order:ic_order3 ~mk:maj_tt tt
+    else None
+  else if k = 2 then
+    if npn = npn_xor2 then
+      if tt = 0x66 then Some (Xor false)
+      else if tt = 0x99 then Some (Xor true)
+      else None
+    else if npn = npn_and2 then
+      match_carry ~order:ic_order2 ~mk:(fun ic -> and_tt ~k:2 ic) tt
+    else None
+  else None
+
+(* ------------------------------------------------------------------ *)
+
+(* 2:1 mux recovery over a 3-cut: 3 select choices x both (t, e)
+   assignments x input and output polarities, first match wins; a
+   complemented select is normalised away by swapping (t, e), so
+   [select] is always positive.  Returns leaf indices and polarities
+   [(s, ti, ei, tp, ep, oc)] — cut-independent, so the result is
+   memoizable per truth table. *)
+let match_mux tt =
+  let found = ref None in
+  (try
+     for s = 0 to 2 do
+       let o1, o2 = match s with 0 -> (1, 2) | 1 -> (0, 2) | _ -> (0, 1) in
+       List.iter
+         (fun (ti, ei) ->
+           List.iter
+             (fun (tp, ep, oc) ->
+               let tv = if tp then lnot masks.(ti) land tt_full else masks.(ti) in
+               let ev = if ep then lnot masks.(ei) land tt_full else masks.(ei) in
+               let m = masks.(s) land tv lor (lnot masks.(s) land tt_full land ev) in
+               let m = if oc then lnot m land tt_full else m in
+               if tt = m then begin
+                 found := Some (s, ti, ei, tp, ep, oc);
+                 raise Exit
+               end)
+             [ (false, false, false); (false, false, true);
+               (false, true, false); (false, true, true);
+               (true, false, false); (true, false, true);
+               (true, true, false); (true, true, true) ])
+         [ (o1, o2); (o2, o1) ]
+     done
+   with Exit -> ());
+  !found
+
+(* There are only 256 local functions over a <=3 cut: classify each of
+   them once here, so per-cut classification during detection is a table
+   lookup.  (NPN canonization per cut was the dominant detection cost.) *)
+let cls3_table = Array.init 256 (fun tt -> classify ~k:3 tt)
+let cls2_table = Array.init 256 (fun tt -> classify ~k:2 tt)
+
+let mux_table =
+  Array.init 256 (fun tt ->
+      if cls3_table.(tt) = None
+         && fst (Bv.Npn.canonize (extend16 tt)) = npn_mux
+      then match_mux tt
+      else None)
+
+let run ?(max_cuts = 8) g =
+  let n = N.num_nodes g in
+  let num_ands = N.num_ands g in
+  (* Priority-cut enumeration, exactly as the engine's local phases do
+     it (no equivalence classes here, so plain structural levels). *)
+  let fanouts = N.fanout_counts g in
+  let levels = N.levels g in
+  let prio = Array.make n [] in
+  for i = 0 to N.num_pis g - 1 do
+    let p = N.pi g i in
+    prio.(p) <- [ Cuts.Cut.trivial p ]
+  done;
+  let ecfg = { Cuts.Enumerate.k_l = 3; c = max_cuts } in
+  let node_order = ref [] in
+  N.iter_ands g (fun i -> node_order := i :: !node_order);
+  let node_order = List.rev !node_order in
+  List.iter
+    (fun i ->
+      prio.(i) <-
+        Cuts.Enumerate.node_cuts g ecfg ~pass:Cuts.Criteria.Fanout_first
+          ~fanouts ~levels ~prio ~sim_target:None i)
+    node_order;
+  (* Classify every (node, cut); index XOR hits by cut for pairing. *)
+  let xor_by_cut : (Cuts.Cut.t, (int * bool) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let carry_cands : (int * Cuts.Cut.t * bool * int) list ref = ref [] in
+  (* (node, cut, out compl, input-compl mask), reverse topo order *)
+  let mux_cands : (int * (L.t * L.t * L.t * bool)) list ref = ref [] in
+  List.iter
+    (fun i ->
+      let cuts =
+        let fanin_cut =
+          let a = L.node (N.fanin0 g i) and b = L.node (N.fanin1 g i) in
+          if a = 0 || b = 0 || a = b then None
+          else Some (if a < b then [| a; b |] else [| b; a |])
+        in
+        let base = List.filter (fun c -> Array.length c >= 2) prio.(i) in
+        match fanin_cut with
+        | Some fc when not (List.exists (Cuts.Cut.equal fc) base) ->
+            fc :: base
+        | _ -> base
+      in
+      List.iter
+        (fun cut ->
+          let k = Array.length cut in
+          if k = 2 || k = 3 then
+            match node_tt g ~cut i with
+            | None -> ()
+            | Some tt -> (
+                match (if k = 3 then cls3_table.(tt) else cls2_table.(tt)) with
+                | Some (Xor oc) ->
+                    let l =
+                      match Hashtbl.find_opt xor_by_cut cut with
+                      | Some l -> l
+                      | None ->
+                          let l = ref [] in
+                          Hashtbl.add xor_by_cut cut l;
+                          l
+                    in
+                    if not (List.mem (i, oc) !l) then l := (i, oc) :: !l
+                | Some (Carry (oc, ic)) ->
+                    carry_cands := (i, cut, oc, ic) :: !carry_cands
+                | None -> (
+                    if k = 3 then
+                      match mux_table.(tt) with
+                      | Some (s, ti, ei, tp, ep, oc) ->
+                          mux_cands :=
+                            ( i,
+                              ( L.make cut.(s) false,
+                                L.make cut.(ti) tp,
+                                L.make cut.(ei) ep,
+                                oc ) )
+                            :: !mux_cands
+                      | None -> ())))
+        cuts)
+    node_order;
+  (* Pair carries with sums sharing the cut: one cell per carry node,
+     processed in topological order; the smallest distinct XOR node
+     wins.  A sum node may serve several cells (both miter halves often
+     share the strashed sum while keeping distinct carries). *)
+  let carry_used = Hashtbl.create 64 in
+  let cells = ref [] in
+  List.iter
+    (fun (cnode, cut, oc, ic) ->
+      if not (Hashtbl.mem carry_used cnode) then begin
+        let sums =
+          match Hashtbl.find_opt xor_by_cut cut with
+          | Some l -> List.filter (fun (s, _) -> s <> cnode) !l
+          | None -> []
+        in
+        match List.sort Stdlib.compare sums with
+        | [] -> ()
+        | (snode, s_oc) :: _ ->
+            let k = Array.length cut in
+            let ops =
+              Array.init k (fun j -> L.make cut.(j) (ic land (1 lsl j) <> 0))
+            in
+            Array.sort Stdlib.compare ops;
+            (* [snode ^ s_oc] computes XOR of the positive leaves; over
+               the complemented operands the parity of [ic] folds into
+               the output. *)
+            let sum = L.make snode (s_oc <> (popcount ic land 1 = 1)) in
+            let carry = L.make cnode oc in
+            Hashtbl.add carry_used cnode ();
+            cells := { sum; carry; ops; cut } :: !cells
+      end)
+    (List.rev !carry_cands);
+  let cells = Array.of_list (List.rev !cells) in
+  (* Link cells through carries (by node — polarity is re-checked by
+     the prover) and walk maximal disjoint chains greedily. *)
+  let ncells = Array.length cells in
+  let by_op_node : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx c ->
+      Array.iter
+        (fun op ->
+          let node = L.node op in
+          match Hashtbl.find_opt by_op_node node with
+          | Some l -> l := idx :: !l
+          | None -> Hashtbl.add by_op_node node (ref [ idx ]))
+        c.ops)
+    cells;
+  let carry_nodes = Hashtbl.create 64 in
+  Array.iter (fun c -> Hashtbl.replace carry_nodes (L.node c.carry) ()) cells;
+  let consumes_carry c =
+    Array.exists (fun op -> Hashtbl.mem carry_nodes (L.node op)) c.ops
+  in
+  let used = Array.make ncells false in
+  let cell_key idx = (L.node cells.(idx).sum, L.node cells.(idx).carry) in
+  (* Prefer full-adder successors: a 3-operand cell consuming the carry
+     is the genuine ripple continuation, while a 2-operand cell eating
+     the same carry is usually an inner product term that dead-ends. *)
+  let succ_key idx = (-Array.length cells.(idx).ops, cell_key idx) in
+  let successors idx =
+    match Hashtbl.find_opt by_op_node (L.node cells.(idx).carry) with
+    | None -> []
+    | Some l ->
+        List.filter (fun j -> (not used.(j)) && j <> idx) !l
+        |> List.sort (fun a b -> Stdlib.compare (succ_key a) (succ_key b))
+  in
+  let walk start =
+    let acc = ref [ start ] in
+    used.(start) <- true;
+    let cur = ref start in
+    let continue_ = ref true in
+    while !continue_ do
+      match successors !cur with
+      | j :: _ ->
+          used.(j) <- true;
+          acc := j :: !acc;
+          cur := j
+      | [] -> continue_ := false
+    done;
+    Array.of_list (List.rev_map (fun i -> cells.(i)) !acc)
+  in
+  let order = Array.init ncells (fun i -> i) in
+  Array.sort (fun a b -> Stdlib.compare (cell_key a) (cell_key b)) order;
+  let chains = ref [] in
+  Array.iter
+    (fun i ->
+      if (not used.(i)) && not (consumes_carry cells.(i)) then begin
+        let c = walk i in
+        if Array.length c >= 2 then chains := { cells = c } :: !chains
+      end)
+    order;
+  Array.iter
+    (fun i ->
+      if not used.(i) then begin
+        let c = walk i in
+        if Array.length c >= 2 then chains := { cells = c } :: !chains
+      end)
+    order;
+  let chains = List.rev !chains in
+  (* Carry-save columns: cells grouped by carry-DAG depth. *)
+  let carry_cell = Hashtbl.create 64 in
+  Array.iteri (fun idx c -> Hashtbl.replace carry_cell (L.node c.carry) idx) cells;
+  let weight = Array.make ncells (-1) in
+  let rec depth idx =
+    if weight.(idx) >= 0 then weight.(idx)
+    else begin
+      weight.(idx) <- 0;
+      (* cycle guard; carry links are acyclic in a well-formed AIG *)
+      let d =
+        Array.fold_left
+          (fun acc op ->
+            match Hashtbl.find_opt carry_cell (L.node op) with
+            | Some p when p <> idx -> max acc (1 + depth p)
+            | _ -> acc)
+          0 cells.(idx).ops
+      in
+      weight.(idx) <- d;
+      d
+    end
+  in
+  let maxw = ref 0 in
+  Array.iteri (fun idx _ -> maxw := max !maxw (depth idx)) cells;
+  let columns = Array.make (!maxw + 1) [] in
+  Array.iteri
+    (fun idx c -> columns.(weight.(idx)) <- c :: columns.(weight.(idx)))
+    cells;
+  Array.iteri (fun w l -> columns.(w) <- List.rev l) columns;
+  (* Shifter rows: muxes grouped by select node, deduplicated per out
+     node, rows of at least two muxes kept. *)
+  let by_select : (int, mux list ref) Hashtbl.t = Hashtbl.create 16 in
+  let mux_seen = Hashtbl.create 64 in
+  List.iter
+    (fun (node, (select, t_in, e_in, oc)) ->
+      if not (Hashtbl.mem mux_seen node) then begin
+        Hashtbl.add mux_seen node ();
+        let m = { out = L.make node oc; select; t_in; e_in } in
+        let key = L.node select in
+        match Hashtbl.find_opt by_select key with
+        | Some l -> l := m :: !l
+        | None -> Hashtbl.add by_select key (ref [ m ])
+      end)
+    (List.rev !mux_cands);
+  let rows =
+    Hashtbl.fold (fun _ l acc -> !l :: acc) by_select []
+    |> List.filter_map (fun ms ->
+           if List.length ms >= 2 then begin
+             let arr = Array.of_list ms in
+             Array.sort (fun a b -> Stdlib.compare (L.node a.out) (L.node b.out)) arr;
+             Some { select = arr.(0).select; muxes = arr }
+           end
+           else None)
+    |> List.sort (fun a b ->
+           Stdlib.compare (L.node a.select) (L.node b.select))
+  in
+  (* Coverage: AND nodes inside the cones of chained cells and shifter
+     rows, counted down to (excluding) their cut leaves. *)
+  let marked = Array.make n false in
+  let mark_cone root stop =
+    let rec go node =
+      if node <> 0 && (not (List.mem node stop)) && N.is_and g node
+         && not marked.(node)
+      then begin
+        marked.(node) <- true;
+        go (L.node (N.fanin0 g node));
+        go (L.node (N.fanin1 g node))
+      end
+    in
+    go root
+  in
+  List.iter
+    (fun (ch : chain) ->
+      Array.iter
+        (fun c ->
+          let stop = Array.to_list c.cut in
+          mark_cone (L.node c.sum) stop;
+          mark_cone (L.node c.carry) stop)
+        ch.cells)
+    chains;
+  List.iter
+    (fun r ->
+      Array.iter
+        (fun (m : mux) ->
+          let stop = [ L.node m.select; L.node m.t_in; L.node m.e_in ] in
+          mark_cone (L.node m.out) stop)
+        r.muxes)
+    rows;
+  let covered = ref 0 in
+  Array.iter (fun v -> if v then incr covered) marked;
+  {
+    cells = Array.to_list cells;
+    chains;
+    columns;
+    rows;
+    covered_ands = !covered;
+    num_ands;
+  }

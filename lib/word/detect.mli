@@ -1,0 +1,58 @@
+(** Word-boundary detection (after the hybrid/word-level sweeping
+    follow-ups — arXiv:2501.14740, arXiv:2507.02008).
+
+    Arithmetic words are recovered structurally from the bit-level AIG:
+    priority-cut enumeration ({!Cuts.Enumerate}) proposes 2- and 3-input
+    cuts per node, each cut's local truth table is matched — after an
+    NPN pre-filter ({!Bv.Npn.canonize}) — against the adder-cell
+    classes (XOR3 / MAJ3 for full adders, XOR2 / AND2 for half adders)
+    and the 2:1 mux class.  A sum node and a carry node sharing a cut
+    form an adder {e cell}; cells are linked through their carry
+    literals into ripple-carry {e chains} (LSB first), grouped by
+    carry-DAG depth into carry-save {e columns} (Wallace trees), and
+    muxes sharing a select literal form shifter {e rows}.
+
+    Detection is purely a candidate generator: every claimed identity
+    ("[sum] is the XOR of [ops]") is re-established by exhaustive
+    simulation before the sweeping engine acts on it, so a structural
+    misclassification costs completeness, never soundness. *)
+
+type cell = {
+  sum : Aig.Lit.t;  (** literal computing XOR of [ops] *)
+  carry : Aig.Lit.t;
+      (** literal computing MAJ of [ops] (full adder) or AND of [ops]
+          (half adder) *)
+  ops : Aig.Lit.t array;  (** 3 (FA) or 2 (HA) operand literals, sorted *)
+  cut : Cuts.Cut.t;  (** the shared leaf cut (operand node ids) *)
+}
+
+(** A ripple-carry chain, least-significant cell first: cell [i+1]'s
+    operands include cell [i]'s carry literal. *)
+type chain = { cells : cell array }
+
+type mux = {
+  out : Aig.Lit.t;
+  select : Aig.Lit.t;  (** always a positive literal *)
+  t_in : Aig.Lit.t;  (** selected when [select] = 1 *)
+  e_in : Aig.Lit.t;
+}
+
+(** Muxes sharing a select — one stage of a barrel shifter / shift row. *)
+type row = { select : Aig.Lit.t; muxes : mux array }
+
+type t = {
+  cells : cell list;  (** every adder cell, chained or not *)
+  chains : chain list;  (** length >= 2 only *)
+  columns : cell list array;
+      (** cells grouped by carry-DAG depth — Wallace-tree compressor
+          columns; index = depth *)
+  rows : row list;  (** length >= 2 only *)
+  covered_ands : int;  (** AND nodes inside chain or row cones *)
+  num_ands : int;
+}
+
+val coverage_percent : t -> float
+
+(** [run g] detects word structure.  [max_cuts] is the priority-cut
+    budget per node (default 8). *)
+val run : ?max_cuts:int -> Aig.Network.t -> t

@@ -1,0 +1,214 @@
+type expr =
+  | Var of int
+  | Const of int
+  | Add of expr list
+  | Mul of expr list
+  | Shl of expr * int
+
+(* Monomial representation during normalization: a coefficient and a
+   sorted list of non-constant atomic factors.  An atomic factor is a
+   [Var] or an opaque (unflattenable) subexpression — a product over a
+   sum we choose not to distribute, to keep normal forms linear in the
+   input size. *)
+
+let rec compare_expr a b =
+  match (a, b) with
+  | Var x, Var y -> Int.compare x y
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Const x, Const y -> Int.compare x y
+  | Const _, _ -> -1
+  | _, Const _ -> 1
+  | Add xs, Add ys -> compare_list xs ys
+  | Add _, _ -> -1
+  | _, Add _ -> 1
+  | Mul xs, Mul ys -> compare_list xs ys
+  | Mul _, _ -> -1
+  | _, Mul _ -> 1
+  | Shl (x, i), Shl (y, j) ->
+      let c = compare_expr x y in
+      if c <> 0 then c else Int.compare i j
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+      let c = compare_expr x y in
+      if c <> 0 then c else compare_list xs' ys'
+
+let compare = compare_expr
+let equal a b = compare_expr a b = 0
+
+(* Coefficients live in OCaml's native int; callers evaluate modulo
+   2^width, and 63 bits comfortably cover every width the engine or the
+   tests use. *)
+
+(* [monomials e] returns the polynomial of [e] as a list of
+   (coefficient, sorted factor list) pairs, unsorted and with possible
+   duplicate terms (collected later). *)
+let rec monomials e =
+  match e with
+  | Const c -> [ (c, []) ]
+  | Var _ -> [ (1, [ e ]) ]
+  | Shl (x, k) -> monomials (Mul [ x; Const (1 lsl k) ])
+  | Add xs -> List.concat_map monomials xs
+  | Mul xs ->
+      (* Flatten nested products and fold constant factors first. *)
+      let rec flatten acc = function
+        | [] -> acc
+        | Mul ys :: rest -> flatten (flatten acc ys) rest
+        | Shl (x, k) :: rest -> flatten (flatten acc [ x; Const (1 lsl k) ]) rest
+        | x :: rest -> flatten (x :: acc) rest
+      in
+      let factors = flatten [] xs in
+      (* Normalize each non-constant factor BEFORE deciding whether the
+         product distributes: a factor that is a sum syntactically can
+         collapse to a constant or a monomial (e.g. [x + 0*y]), and
+         deciding on the raw shape would leave a product opaque on the
+         first pass that a second pass distributes — breaking
+         idempotence.  Normalized factors are then re-flattened, since
+         normalization can surface new constant or product factors. *)
+      let factors =
+        List.map
+          (fun f ->
+            match f with Const _ | Var _ -> f | _ -> rebuild (collect (monomials f)))
+          factors
+      in
+      let factors = flatten [] factors in
+      let const, rest =
+        List.fold_left
+          (fun (c, r) f ->
+            match f with Const k -> (c * k, r) | f -> (c, f :: r))
+          (1, []) factors
+      in
+      if const = 0 then []
+      else begin
+        (* Distribute over at most one sum factor (shift-add and
+           constant-times-sum identities); a product of two or more sums
+           stays an opaque term to avoid exponential expansion. *)
+        let sums, atoms =
+          List.partition (function Add _ -> true | _ -> false) rest
+        in
+        match sums with
+        | [ Add ys ] ->
+            List.concat_map
+              (fun y ->
+                monomials y
+                |> List.map (fun (c, fs) ->
+                       (const * c, List.sort compare_expr (fs @ atoms))))
+              ys
+        | [] -> [ (const, List.sort compare_expr atoms) ]
+        | _ -> [ (const, [ Mul (List.sort compare_expr rest) ]) ]
+      end
+
+and collect ms =
+  let tbl = Hashtbl.create 16 in
+  let keys = ref [] in
+  List.iter
+    (fun (c, fs) ->
+      match Hashtbl.find_opt tbl fs with
+      | Some r -> r := !r + c
+      | None ->
+          Hashtbl.add tbl fs (ref c);
+          keys := fs :: !keys)
+    ms;
+  List.rev !keys
+  |> List.filter_map (fun fs ->
+         let c = !(Hashtbl.find tbl fs) in
+         if c = 0 then None else Some (c, fs))
+  |> List.sort (fun (c1, f1) (c2, f2) ->
+         let c = compare_list f1 f2 in
+         if c <> 0 then c else Int.compare c1 c2)
+
+and rebuild ms =
+  let term (c, fs) =
+    match (c, fs) with
+    | c, [] -> Const c
+    | 1, [ f ] -> f
+    | 1, fs -> Mul fs
+    | c, fs -> Mul (Const c :: fs)
+  in
+  match ms with
+  | [] -> Const 0
+  | [ m ] -> term m
+  | ms -> Add (List.map term ms)
+
+let normalize e = rebuild (collect (monomials e))
+
+let rec eval ~env ~width e =
+  let mask = (1 lsl width) - 1 in
+  match e with
+  | Var i -> env i land mask
+  | Const c -> c land mask
+  | Add xs ->
+      List.fold_left (fun acc x -> (acc + eval ~env ~width x) land mask) 0 xs
+  | Mul xs ->
+      List.fold_left (fun acc x -> acc * eval ~env ~width x land mask) 1 xs
+  | Shl (x, k) -> eval ~env ~width x lsl k land mask
+
+let num_vars e =
+  let seen = Hashtbl.create 8 in
+  let rec go = function
+    | Var i -> if not (Hashtbl.mem seen i) then Hashtbl.add seen i ()
+    | Const _ -> ()
+    | Add xs | Mul xs -> List.iter go xs
+    | Shl (x, _) -> go x
+  in
+  go e;
+  Hashtbl.length seen
+
+module N = Aig.Network
+module L = Aig.Lit
+
+let to_network ~width ~num_vars e =
+  let g = N.create () in
+  let pis = Array.init (num_vars * width) (fun _ -> N.add_pi g) in
+  let var_bits i = Array.init width (fun b -> pis.((i * width) + b)) in
+  let const_bits c =
+    Array.init width (fun b ->
+        if (c lsr b) land 1 = 1 then L.const_true else L.const_false)
+  in
+  (* width-truncated ripple add: carry out dropped *)
+  let add_vec a b =
+    let out = Array.make width L.const_false in
+    let carry = ref L.const_false in
+    for i = 0 to width - 1 do
+      let s = N.add_xor g (N.add_xor g a.(i) b.(i)) !carry in
+      let c =
+        N.add_or g (N.add_and g a.(i) b.(i))
+          (N.add_and g !carry (N.add_xor g a.(i) b.(i)))
+      in
+      out.(i) <- s;
+      carry := c
+    done;
+    out
+  in
+  let shl_vec a k =
+    Array.init width (fun i -> if i < k then L.const_false else a.(i - k))
+  in
+  (* width-truncated shift-and-add array multiplier *)
+  let mul_vec a b =
+    let acc = ref (Array.make width L.const_false) in
+    for j = 0 to width - 1 do
+      let row =
+        Array.init width (fun i ->
+            if i < j then L.const_false else N.add_and g a.(i - j) b.(j))
+      in
+      acc := add_vec !acc row
+    done;
+    !acc
+  in
+  let rec go = function
+    | Var i -> var_bits i
+    | Const c -> const_bits c
+    | Add [] -> const_bits 0
+    | Add (x :: xs) -> List.fold_left (fun v y -> add_vec v (go y)) (go x) xs
+    | Mul [] -> const_bits 1
+    | Mul (x :: xs) -> List.fold_left (fun v y -> mul_vec v (go y)) (go x) xs
+    | Shl (x, k) -> shl_vec (go x) (min k width)
+  in
+  let bits = go e in
+  Array.iter (fun b -> ignore (N.add_po g b)) bits;
+  g

@@ -1,0 +1,48 @@
+(** Bit-vector rewriting for word-level candidate matching.
+
+    Detected words are abstracted into a tiny bit-vector expression
+    language and normalized into a polynomial normal form over
+    [Z / 2^w]: sums and products are flattened and sorted
+    (commutativity / associativity of [+] and [×]), left shifts become
+    multiplications by a power-of-two constant (shift-add identity),
+    constant factors distribute over sums, and like terms are collected
+    with their coefficients folded.  Two detected words whose normal
+    forms are equal compute the same function modulo [2^w], so the
+    sweeping engine treats them as one candidate equivalence and only
+    then spends simulation effort proving the bits.
+
+    All identities used here hold modulo any word width, so
+    normalization is width-agnostic; truncation happens at evaluation
+    ({!eval}) and bit-blasting ({!to_network}) time. *)
+
+type expr =
+  | Var of int  (** an interned word (operand column vector) *)
+  | Const of int
+  | Add of expr list
+  | Mul of expr list
+  | Shl of expr * int  (** [Shl (e, k)] = [e * 2^k] *)
+
+(** Polynomial normal form: a sorted sum of [coeff × sorted-factor-term]
+    monomials with constants folded.  [normalize] is idempotent, and
+    [eval ~width e = eval ~width (normalize e)] for every width and
+    environment. *)
+val normalize : expr -> expr
+
+val compare : expr -> expr -> int
+val equal : expr -> expr -> bool
+
+(** [eval ~env ~width e] evaluates modulo [2^width]; [env] gives each
+    [Var] its word value. *)
+val eval : env:(int -> int) -> width:int -> expr -> int
+
+(** Number of distinct [Var] ids (ids must be [0 .. n-1] for
+    {!to_network}). *)
+val num_vars : expr -> int
+
+(** [to_network ~width ~num_vars e] bit-blasts [e] into an AIG with
+    [num_vars * width] PIs (var [i]'s bit [b] is PI [i * width + b],
+    LSB first) and [width] POs carrying the value of [e] modulo
+    [2^width] — ripple adders, array multipliers and hard-wired shifts.
+    Used by the property tests to check normalization against
+    {!Fuzz.Brute} on the blasted cones. *)
+val to_network : width:int -> num_vars:int -> expr -> Aig.Network.t

@@ -1,0 +1,659 @@
+module N = Aig.Network
+module L = Aig.Lit
+module E = Simsweep.Exhaustive
+
+type stats = {
+  mutable chains : int;
+  mutable cells : int;
+  mutable mux_rows : int;
+  mutable coverage_percent : float;
+  mutable candidates : int;
+  mutable words_proved : int;
+  mutable bits_merged : int;
+  mutable rounds : int;
+  mutable fallback : bool;
+  mutable fallback_ratio : float;
+  mutable cancelled : bool;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable time_detect_s : float;
+  mutable time_word_s : float;
+  mutable time_fallback_s : float;
+  mutable engine_stats : Simsweep.Stats.t option;
+  mutable sat_stats : Sat.Sweep.stats option;
+}
+
+let new_stats () =
+  {
+    chains = 0;
+    cells = 0;
+    mux_rows = 0;
+    coverage_percent = 0.0;
+    candidates = 0;
+    words_proved = 0;
+    bits_merged = 0;
+    rounds = 0;
+    fallback = false;
+    fallback_ratio = 0.0;
+    cancelled = false;
+    cache_hits = 0;
+    cache_misses = 0;
+    time_detect_s = 0.0;
+    time_word_s = 0.0;
+    time_fallback_s = 0.0;
+    engine_stats = None;
+    sat_stats = None;
+  }
+
+let stat_counters st =
+  [
+    ("chains", float_of_int st.chains);
+    ("cells", float_of_int st.cells);
+    ("mux_rows", float_of_int st.mux_rows);
+    ("coverage_percent", st.coverage_percent);
+    ("candidates", float_of_int st.candidates);
+    ("words_proved", float_of_int st.words_proved);
+    ("bits_merged", float_of_int st.bits_merged);
+    ("rounds", float_of_int st.rounds);
+    ("fallback", if st.fallback then 1.0 else 0.0);
+    ("fallback_ratio", st.fallback_ratio);
+    ("cache_hits", float_of_int st.cache_hits);
+    ("cache_misses", float_of_int st.cache_misses);
+    ("time_detect_s", st.time_detect_s);
+    ("time_word_s", st.time_word_s);
+    ("time_fallback_s", st.time_fallback_s);
+  ]
+
+let to_json st =
+  let module T = Simsweep.Telemetry in
+  let base =
+    List.map
+      (fun (k, v) ->
+        match k with
+        | "chains" | "cells" | "mux_rows" | "candidates" | "words_proved"
+        | "bits_merged" | "rounds" | "cache_hits" | "cache_misses" ->
+            (k, T.Int (int_of_float v))
+        | "fallback" -> (k, T.Bool (v > 0.5))
+        | _ -> (k, T.Float v))
+      (stat_counters st)
+  in
+  let extra =
+    [ ("cancelled", T.Bool st.cancelled) ]
+    @ (match st.engine_stats with
+      | Some s -> [ ("fallback_engine", T.of_engine_stats s) ]
+      | None -> [])
+    @
+    match st.sat_stats with
+    | Some s -> [ ("fallback_sat", T.of_sat s) ]
+    | None -> []
+  in
+  T.Obj (base @ extra)
+
+(* ------------------------------------------------------------------ *)
+(* Candidate nomination                                               *)
+
+(* Per-position operand column with the intra-chain carry link
+   stripped: the cell's own ripple input is structure, not data. *)
+let data_columns (ch : Detect.chain) =
+  Array.mapi
+    (fun p (c : Detect.cell) ->
+      let ops = Array.to_list c.ops in
+      let ops =
+        if p = 0 then ops
+        else
+          let link = L.node ch.cells.(p - 1).carry in
+          List.filter (fun op -> L.node op <> link) ops
+      in
+      List.sort Stdlib.compare ops)
+    ch.cells
+
+type pair_kind =
+  | Aligned  (** induction over sum and carry, local windows *)
+  | Global  (** rewrite-matched: sums only, PI-support windows *)
+
+type cand = {
+  ca : int;  (** chain index *)
+  cb : int;
+  oa : int;  (** first aligned position in chain [ca] *)
+  ob : int;
+  overlap : int;
+  kind : pair_kind;
+}
+
+(* Best column alignment of two chains: try every offset pair touching
+   a chain head; all overlapping positions must be compatible (equal
+   columns, or equal once other cells' output literals are dropped —
+   those only coincide after the referenced words merge, which the
+   proof fixpoint takes care of).  Returns the alignment with the most
+   exactly-equal positions. *)
+let align ~drop_outputs cols_a cols_b =
+  let la = Array.length cols_a and lb = Array.length cols_b in
+  let best = ref None in
+  let consider oa ob =
+    let overlap = min (la - oa) (lb - ob) in
+    if overlap >= 2 then begin
+      let strong = ref 0 in
+      let evidence = ref false in
+      let ok = ref true in
+      (try
+         for p = 0 to overlap - 1 do
+           let a = cols_a.(oa + p) and b = cols_b.(ob + p) in
+           if a = b && a <> [] then begin
+             incr strong;
+             evidence := true
+           end
+           else begin
+             let a' = drop_outputs a and b' = drop_outputs b in
+             if a' <> b' then begin
+               ok := false;
+               raise Exit
+             end;
+             if a' <> [] then evidence := true
+           end
+         done
+       with Exit -> ());
+      if !ok && !evidence then
+        let score = (!strong, overlap) in
+        match !best with
+        | Some (s, _, _, _) when s >= score -> ()
+        | _ -> best := Some (score, oa, ob, overlap)
+    end
+  in
+  for ob = 0 to lb - 2 do
+    consider 0 ob
+  done;
+  for oa = 1 to la - 2 do
+    consider oa 0
+  done;
+  !best
+
+(* Rewrite-normal-form keys: each chain becomes a sum of interned
+   operand-slot words (plus a carry-in), with slots that are another
+   chain's sum vector substituted by that chain's expression — so
+   commutative / associative regroupings of the same word sum get equal
+   keys even when no internal node is shared. *)
+let rewrite_keys (chains : Detect.chain array) cols =
+  let intern_tbl : (L.t list, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_var = ref 0 in
+  let intern vec =
+    match Hashtbl.find_opt intern_tbl vec with
+    | Some v -> Rewrite.Var v
+    | None ->
+        let v = !next_var in
+        incr next_var;
+        Hashtbl.add intern_tbl vec v;
+        Rewrite.Var v
+  in
+  let sumvec_tbl : (L.t list, Rewrite.expr) Hashtbl.t = Hashtbl.create 16 in
+  let keys = Array.make (Array.length chains) None in
+  let order = Array.init (Array.length chains) (fun i -> i) in
+  let last_sum i =
+    let cells = chains.(i).Detect.cells in
+    L.node cells.(Array.length cells - 1).sum
+  in
+  Array.sort (fun a b -> Stdlib.compare (last_sum a) (last_sum b)) order;
+  Array.iter
+    (fun i ->
+      let c = cols.(i) in
+      let len = Array.length c in
+      let arity = List.length c.(if len > 1 then 1 else 0) in
+      let head = List.length c.(0) in
+      if arity >= 1 && arity <= 3 && (head = arity || head = arity + 1) then begin
+        let ok = ref true in
+        for p = 1 to len - 1 do
+          if List.length c.(p) <> arity then ok := false
+        done;
+        if !ok then begin
+          let slot s =
+            let vec =
+              Array.to_list c |> List.map (fun col -> List.nth col s)
+            in
+            match Hashtbl.find_opt sumvec_tbl vec with
+            | Some e -> e
+            | None -> intern vec
+          in
+          let slots = List.init arity slot in
+          let cin =
+            if head = arity + 1 then
+              (* the head element not used by any slot *)
+              let used = List.init arity (fun s -> List.nth c.(0) s) in
+              match List.filter (fun op -> not (List.mem op used)) c.(0) with
+              | [ op ] -> [ intern [ op ] ]
+              | _ -> []
+            else []
+          in
+          let e = Rewrite.normalize (Rewrite.Add (slots @ cin)) in
+          keys.(i) <- Some e;
+          let sumvec =
+            Array.to_list chains.(i).Detect.cells
+            |> List.map (fun (cell : Detect.cell) -> cell.sum)
+          in
+          if not (Hashtbl.mem sumvec_tbl sumvec) then
+            Hashtbl.add sumvec_tbl sumvec e
+        end
+      end)
+    order;
+  keys
+
+let nominate (chains : Detect.chain array) =
+  let nchains = Array.length chains in
+  let cols = Array.map data_columns chains in
+  (* literals produced by any detected cell: only equal across halves
+     after a merge, so alignment ignores them *)
+  let outputs = Hashtbl.create 64 in
+  Array.iter
+    (fun (ch : Detect.chain) ->
+      Array.iter
+        (fun (c : Detect.cell) ->
+          Hashtbl.replace outputs (L.node c.sum) ();
+          Hashtbl.replace outputs (L.node c.carry) ())
+        ch.cells)
+    chains;
+  let drop_outputs col =
+    List.filter (fun op -> not (Hashtbl.mem outputs (L.node op))) col
+  in
+  let cands = ref [] in
+  for i = 0 to nchains - 1 do
+    for j = i + 1 to nchains - 1 do
+      match align ~drop_outputs cols.(i) cols.(j) with
+      | Some (score, oa, ob, overlap) ->
+          cands := (score, { ca = i; cb = j; oa; ob; overlap; kind = Aligned }) :: !cands
+      | None -> ()
+    done
+  done;
+  let aligned =
+    List.sort
+      (fun ((s1, o1), c1) ((s2, o2), c2) ->
+        Stdlib.compare (-s1, -o1, c1.ca, c1.cb) (-s2, -o2, c2.ca, c2.cb))
+      (List.map (fun (s, c) -> (s, c)) !cands)
+    |> List.map snd
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace seen (c.ca, c.cb) ()) aligned;
+  (* Rewrite keys nominate pairs with no shared structure at all. *)
+  let keys = rewrite_keys chains cols in
+  let by_key = Hashtbl.create 16 in
+  let extra = ref [] in
+  Array.iteri
+    (fun i k ->
+      match k with
+      | None -> ()
+      | Some key -> (
+          let klen = Array.length chains.(i).Detect.cells in
+          match Hashtbl.find_opt by_key (key, klen) with
+          | Some first ->
+              if not (Hashtbl.mem seen (first, i)) then begin
+                Hashtbl.replace seen (first, i) ();
+                extra :=
+                  { ca = first; cb = i; oa = 0; ob = 0; overlap = klen;
+                    kind = Global }
+                  :: !extra
+              end
+          | None -> Hashtbl.add by_key (key, klen) i))
+    keys;
+  let all = aligned @ List.rev !extra in
+  (* bound the work: strongest nominations first *)
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take 128 all
+
+(* ------------------------------------------------------------------ *)
+(* Proving                                                            *)
+
+type wcell = {
+  mutable w_sum : L.t;
+  mutable w_carry : L.t;
+  mutable w_cut : int array;  (** window leaf node ids, sorted *)
+  mutable w_dead : bool;  (** a needed node was swept away *)
+}
+
+type live = {
+  cand : cand;
+  mutable next : int;  (** next overlap position to prove *)
+  mutable stalled : bool;
+}
+
+exception Support_too_big
+
+(* PI-support window of a literal, bailing out beyond [cap] leaves. *)
+let support g ~cap l =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec go node =
+    if node <> 0 && not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      if N.is_and g node then begin
+        go (L.node (N.fanin0 g node));
+        go (L.node (N.fanin1 g node))
+      end
+      else begin
+        incr count;
+        if !count > cap then raise Support_too_big;
+        acc := node :: !acc
+      end
+    end
+  in
+  try
+    go (L.node l);
+    Some (List.sort_uniq Stdlib.compare !acc |> Array.of_list)
+  with Support_too_big -> None
+
+let now () = Unix.gettimeofday ()
+
+let check ?(config = Simsweep.Config.scaled) ?sat_config ?(fallback = true)
+    ?pcache ?cancel ~pool miter =
+  let st = new_stats () in
+  let g = ref (N.copy miter) in
+  let initial_ands = max 1 (N.num_ands !g) in
+  let cancelled () = Par.Cancel.poll_opt cancel in
+  (* consult-before-prove: cached PO verdicts first *)
+  let pending = ref [] in
+  let cached_cex = ref None in
+  (match pcache with
+  | Some pc ->
+      let r = Sim.Pcheck.consult pc !g in
+      st.cache_hits <- r.Sim.Pcheck.hits;
+      st.cache_misses <- r.Sim.Pcheck.misses;
+      pending := r.Sim.Pcheck.pending;
+      cached_cex := r.Sim.Pcheck.disproved
+  | None -> ());
+  let record outcome =
+    match pcache with
+    | None -> ()
+    | Some pc ->
+        let verdict =
+          match outcome with
+          | Simsweep.Engine.Proved -> `Proved
+          | Simsweep.Engine.Disproved (cex, po) -> `Disproved (cex, po)
+          | Simsweep.Engine.Undecided -> `Undecided
+        in
+        Sim.Pcheck.record pc ~pending:!pending verdict
+  in
+  match !cached_cex with
+  | Some (cex, po) ->
+      let outcome = Simsweep.Engine.Disproved (cex, po) in
+      record outcome;
+      (outcome, st)
+  | None when Aig.Miter.solved !g ->
+      record Simsweep.Engine.Proved;
+      (Simsweep.Engine.Proved, st)
+  | None when cancelled () ->
+      st.cancelled <- true;
+      (Simsweep.Engine.Undecided, st)
+  | None ->
+      (* ---- detection ---- *)
+      let t0 = now () in
+      let d = Detect.run !g in
+      st.time_detect_s <- now () -. t0;
+      st.chains <- List.length d.Detect.chains;
+      st.cells <- List.length d.Detect.cells;
+      st.mux_rows <- List.length d.Detect.rows;
+      st.coverage_percent <- Detect.coverage_percent d;
+      let chains = Array.of_list d.Detect.chains in
+      let cands = if cancelled () then [] else nominate chains in
+      st.candidates <- List.length cands;
+      (* ---- word proving ---- *)
+      let t1 = now () in
+      (* No candidates means no exhaustive jobs: skip the arena. *)
+      let arena =
+        lazy (Simsweep.Arena.create ~words:config.Simsweep.Config.memory_words)
+      in
+      let wchains =
+        Array.map
+          (fun (ch : Detect.chain) ->
+            Array.map
+              (fun (c : Detect.cell) ->
+                {
+                  w_sum = c.sum;
+                  w_carry = c.carry;
+                  w_cut = Array.copy c.cut;
+                  w_dead = false;
+                })
+              ch.cells)
+          chains
+      in
+      let lives =
+        List.map (fun cand -> { cand; next = 0; stalled = false }) cands
+      in
+      let completed = Hashtbl.create 16 in
+      let remap (map : L.t array) =
+        let lit l =
+          let m = map.(L.node l) in
+          if m < 0 then None else Some (L.xor_compl m (L.is_compl l))
+        in
+        Array.iter
+          (Array.iter (fun w ->
+               if not w.w_dead then
+                 match (lit w.w_sum, lit w.w_carry) with
+                 | Some s, Some c ->
+                     w.w_sum <- s;
+                     w.w_carry <- c;
+                     let cut =
+                       Array.to_list w.w_cut
+                       |> List.filter_map (fun n ->
+                              let m = map.(n) in
+                              if m < 0 then None
+                              else
+                                let n' = L.node m in
+                                if n' = 0 then None else Some n')
+                       |> List.sort_uniq Stdlib.compare
+                     in
+                     w.w_cut <- Array.of_list cut
+                 | _ -> w.w_dead <- true))
+          wchains
+      in
+      let progress = ref true in
+      let max_rounds =
+        8 + (4 * Array.fold_left (fun a c -> max a (Array.length c)) 0 wchains)
+      in
+      while
+        !progress && (not (cancelled ()))
+        && List.exists (fun l -> l.next < l.cand.overlap) lives
+        && st.rounds < max_rounds
+      do
+        progress := false;
+        st.rounds <- st.rounds + 1;
+        (* skip positions that already coincide — polarity included: a
+           same-node pair with opposite complement bits is antivalent,
+           not equal, so it stalls the candidate instead of advancing *)
+        let lit_eq la lb =
+          L.node la = L.node lb && L.is_compl la = L.is_compl lb
+        in
+        let lit_anti la lb =
+          L.node la = L.node lb && L.is_compl la <> L.is_compl lb
+        in
+        List.iter
+          (fun l ->
+            let a = wchains.(l.cand.ca) and b = wchains.(l.cand.cb) in
+            let continue_ = ref true in
+            while !continue_ && l.next < l.cand.overlap do
+              let wa = a.(l.cand.oa + l.next) and wb = b.(l.cand.ob + l.next) in
+              if wa.w_dead || wb.w_dead then continue_ := false
+              else begin
+                let carry_matters = l.cand.kind = Aligned in
+                if lit_anti wa.w_sum wb.w_sum
+                   || (carry_matters && lit_anti wa.w_carry wb.w_carry)
+                then begin
+                  l.stalled <- true;
+                  continue_ := false
+                end
+                else if lit_eq wa.w_sum wb.w_sum
+                        && ((not carry_matters) || lit_eq wa.w_carry wb.w_carry)
+                then begin
+                  l.next <- l.next + 1;
+                  progress := true
+                end
+                else continue_ := false
+              end
+            done)
+          lives;
+        (* one exhaustive batch proving every live pair's next bit *)
+        let jobs = ref [] in
+        let items = ref [] in
+        let ntags = ref 0 in
+        let merges : (int * L.t) list ref = ref [] in
+        List.iter
+          (fun l ->
+            if l.next < l.cand.overlap then begin
+              let a = wchains.(l.cand.ca) and b = wchains.(l.cand.cb) in
+              let wa = a.(l.cand.oa + l.next) and wb = b.(l.cand.ob + l.next) in
+              if wa.w_dead || wb.w_dead then l.next <- l.cand.overlap
+              else begin
+                let pairs = ref [] in
+                let tags = ref [] in
+                let antivalent = ref false in
+                let add_pair la lb =
+                  if L.node la = L.node lb then begin
+                    (* same node, same polarity: already coinciding;
+                       opposite polarity: antivalent, never provable *)
+                    if L.is_compl la <> L.is_compl lb then antivalent := true
+                  end
+                  else begin
+                    let tag = !ntags in
+                    incr ntags;
+                    tags := tag :: !tags;
+                    pairs :=
+                      {
+                        E.a = L.node la;
+                        b = L.node lb;
+                        compl_ = L.is_compl la <> L.is_compl lb;
+                        tag;
+                      }
+                      :: !pairs
+                  end
+                in
+                add_pair wa.w_sum wb.w_sum;
+                if l.cand.kind = Aligned then add_pair wa.w_carry wb.w_carry;
+                if !antivalent then l.stalled <- true
+                else if !pairs <> [] then begin
+                  let window =
+                    match l.cand.kind with
+                    | Aligned ->
+                        let u =
+                          Array.to_list wa.w_cut @ Array.to_list wb.w_cut
+                          |> List.sort_uniq Stdlib.compare
+                          |> List.filter (fun n -> n <> 0)
+                        in
+                        Some (Array.of_list u)
+                    | Global -> (
+                        match
+                          (support !g ~cap:14 wa.w_sum, support !g ~cap:14 wb.w_sum)
+                        with
+                        | Some sa, Some sb ->
+                            let u =
+                              Array.to_list sa @ Array.to_list sb
+                              |> List.sort_uniq Stdlib.compare
+                            in
+                            if List.length u <= 16 then Some (Array.of_list u)
+                            else None
+                        | _ -> None)
+                  in
+                  match window with
+                  | Some inputs when Array.length inputs > 0 ->
+                      jobs := { E.inputs; pairs = !pairs } :: !jobs;
+                      items := (l, !tags) :: !items
+                  | _ -> l.stalled <- true
+                end
+              end
+            end)
+          lives;
+        if !jobs <> [] then begin
+          let verdicts =
+            E.run !g ~pool ~memory_words:config.Simsweep.Config.memory_words
+              ~arena:(Lazy.force arena) ?cancel ~jobs:!jobs ~num_tags:!ntags ()
+          in
+          List.iter
+            (fun (l, tags) ->
+              let all_proved =
+                List.for_all (fun t -> verdicts.(t) = E.Proved) tags
+              in
+              if all_proved then begin
+                let a = wchains.(l.cand.ca) and b = wchains.(l.cand.cb) in
+                let wa = a.(l.cand.oa + l.next)
+                and wb = b.(l.cand.ob + l.next) in
+                let merge la lb =
+                  let na = L.node la and nb = L.node lb in
+                  if na <> nb then begin
+                    let compl = L.is_compl la <> L.is_compl lb in
+                    let lo, hi = if na < nb then (na, nb) else (nb, na) in
+                    if N.is_and !g hi then
+                      merges := (hi, L.make lo compl) :: !merges
+                  end
+                in
+                merge wa.w_sum wb.w_sum;
+                if l.cand.kind = Aligned then merge wa.w_carry wb.w_carry;
+                l.next <- l.next + 1;
+                st.bits_merged <- st.bits_merged + 1;
+                progress := true;
+                if l.next >= l.cand.overlap
+                   && not (Hashtbl.mem completed (l.cand.ca, l.cand.cb))
+                then begin
+                  Hashtbl.replace completed (l.cand.ca, l.cand.cb) ();
+                  st.words_proved <- st.words_proved + 1
+                end
+              end)
+            !items
+        end;
+        if !merges <> [] then begin
+          let repl = Array.make (N.num_nodes !g) None in
+          List.iter
+            (fun (hi, lo_lit) ->
+            match repl.(hi) with
+            | None -> repl.(hi) <- Some lo_lit
+            | Some _ -> ())
+            (List.rev !merges);
+          let r = Aig.Reduce.apply !g ~repl in
+          g := r.Aig.Reduce.network;
+          remap r.Aig.Reduce.node_map
+        end
+      done;
+      if cancelled () then begin
+        st.cancelled <- true;
+        st.time_word_s <- now () -. t1;
+        (Simsweep.Engine.Undecided, st)
+      end
+      else begin
+        st.time_word_s <- now () -. t1;
+        if Aig.Miter.solved !g then begin
+          record Simsweep.Engine.Proved;
+          (Simsweep.Engine.Proved, st)
+        end
+        else if not fallback then (Simsweep.Engine.Undecided, st)
+        else begin
+          (* ---- bit-level fallback on the word-reduced miter ---- *)
+          st.fallback <- true;
+          st.fallback_ratio <- float_of_int (N.num_ands !g) /. float_of_int initial_ands;
+          let t2 = now () in
+          let c =
+            Simsweep.Engine.check_with_fallback ~config ?sat_config
+              ~transfer_classes:true ?cancel ~pool !g
+          in
+          st.time_fallback_s <- now () -. t2;
+          st.engine_stats <- Some c.Simsweep.Engine.engine.Simsweep.Engine.stats;
+          st.sat_stats <- c.Simsweep.Engine.sat_stats;
+          let outcome = c.Simsweep.Engine.final in
+          (match outcome with
+          | Simsweep.Engine.Undecided -> ()
+          | o -> record o);
+          (match outcome with
+          | Simsweep.Engine.Undecided when cancelled () -> st.cancelled <- true
+          | _ -> ());
+          (outcome, st)
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+
+let register ?(config = Simsweep.Config.scaled) () =
+  Simsweep.Portfolio.register_extra
+    {
+      Simsweep.Portfolio.extra_name = "wordsweep";
+      extra_run =
+        (fun ~cancel ~pool m ->
+          let outcome, st = check ~config ~cancel ~pool m in
+          (outcome, stat_counters st));
+    }

@@ -1,0 +1,77 @@
+(** Word-level hybrid sweeping (`Engine.Wordsweep`).
+
+    The engine recovers arithmetic words from the miter
+    ({!Detect}), nominates candidate word equivalences by aligning
+    operand columns and comparing {!Rewrite} normal forms, and proves
+    each candidate bit by bit — least-significant first, one exhaustive
+    simulation window per sum/carry pair through the
+    {!Simsweep.Exhaustive} arena path, merging proved bits into the
+    miter so the next bit's windows coincide.  Proof rounds iterate to
+    a fixed point: a word pair whose operands are other words' outputs
+    only aligns after those words have merged, so stalled pairs retry
+    until a round makes no progress.
+
+    Wherever detection or word proving falls short, the remaining miter
+    falls back to the bit-level flow
+    ({!Simsweep.Engine.check_with_fallback}), so the engine is complete
+    exactly where the bit-level engine is; word merges only shrink the
+    fallback's input.  All word merges are established by exhaustive
+    simulation before being applied, so a structural misdetection can
+    cost time, never soundness. *)
+
+type stats = {
+  mutable chains : int;
+  mutable cells : int;
+  mutable mux_rows : int;
+  mutable coverage_percent : float;  (** detection coverage (AND nodes) *)
+  mutable candidates : int;  (** nominated word pairs *)
+  mutable words_proved : int;  (** pairs proved over their whole overlap *)
+  mutable bits_merged : int;  (** per-bit merge steps applied *)
+  mutable rounds : int;
+  mutable fallback : bool;  (** bit-level fallback ran *)
+  mutable fallback_ratio : float;
+      (** AND nodes handed to the fallback / initial AND nodes *)
+  mutable cancelled : bool;
+  mutable cache_hits : int;  (** {!Sim.Pcheck} consult hits *)
+  mutable cache_misses : int;
+  mutable time_detect_s : float;
+  mutable time_word_s : float;
+  mutable time_fallback_s : float;
+  mutable engine_stats : Simsweep.Stats.t option;  (** fallback engine *)
+  mutable sat_stats : Sat.Sweep.stats option;  (** fallback SAT sweeper *)
+}
+
+val new_stats : unit -> stats
+
+(** Flat numeric view of the counters (portfolio extra-racer stats). *)
+val stat_counters : stats -> (string * float) list
+
+val to_json : stats -> Simsweep.Telemetry.json
+
+(** [check ?config ?sat_config ?fallback ?pcache ?cancel ~pool miter]
+    decides whether every PO of [miter] is constant false.  [miter] is
+    not mutated (the engine works on a copy).  [config] supplies the
+    exhaustive-simulation memory budget and the fallback engine
+    configuration (default {!Simsweep.Config.scaled});
+    [fallback:false] skips the bit-level fallback and returns
+    [Undecided] for whatever word proving alone cannot settle.
+    [pcache] is consulted before proving and updated with the
+    conclusion; [cancel] is polled at phase and round boundaries — a
+    cancelled check returns [Undecided] with [stats.cancelled] set,
+    never a false verdict. *)
+val check :
+  ?config:Simsweep.Config.t ->
+  ?sat_config:Sat.Sweep.config ->
+  ?fallback:bool ->
+  ?pcache:Aig.Pcache.t ->
+  ?cancel:Par.Cancel.t ->
+  pool:Par.Pool.t ->
+  Aig.Network.t ->
+  Simsweep.Engine.outcome * stats
+
+(** Register the engine as the racing portfolio's fourth member
+    ([Portfolio.check ~mode:`Race] racer "wordsweep"); sequential-mode
+    portfolios are unchanged.  Idempotent.  Linking this library does
+    not register automatically — entry points opt in, so library users
+    and tests control the racer set. *)
+val register : ?config:Simsweep.Config.t -> unit -> unit

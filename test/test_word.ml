@@ -1,0 +1,242 @@
+(* Word-level sweeping: detection ground truth on the arithmetic
+   generators, rewrite normalization vs. brute force, and the engine's
+   soundness, fallback, cancellation and pool-invariance properties. *)
+
+module D = Word.Detect
+module R = Word.Rewrite
+
+let eval g cex l = Sim.Cex.eval_lit g cex l
+
+(* Every detected cell must satisfy its semantic identity on every input
+   assignment: sum = XOR(ops), carry = MAJ(ops) (full adder, 3 ops) or
+   AND(ops) (half adder, 2 ops).  Detection is allowed to miss structure,
+   never to mislabel it. *)
+let check_cells_sound g =
+  let d = D.run g in
+  let n = Aig.Network.num_pis g in
+  assert (n <= 12);
+  List.iter
+    (fun (c : D.cell) ->
+      for m = 0 to (1 lsl n) - 1 do
+        let cex = Array.init n (fun i -> (m lsr i) land 1 = 1) in
+        let ops = Array.map (eval g cex) c.D.ops in
+        let sum = Array.fold_left ( <> ) false ops in
+        let carry =
+          match Array.length ops with
+          | 2 -> ops.(0) && ops.(1)
+          | 3 ->
+              (ops.(0) && ops.(1)) || (ops.(0) && ops.(2))
+              || (ops.(1) && ops.(2))
+          | _ -> Alcotest.fail "cell with unexpected operand count"
+        in
+        if eval g cex c.D.sum <> sum then Alcotest.fail "cell sum mismatch";
+        if eval g cex c.D.carry <> carry then Alcotest.fail "cell carry mismatch"
+      done)
+    d.D.cells;
+  d
+
+let test_adder_cells_sound () =
+  let d = check_cells_sound (Gen.Arith.adder ~bits:5) in
+  Alcotest.(check bool) "cells found" true (List.length d.D.cells >= 4)
+
+let test_wallace_cells_sound () =
+  let d = check_cells_sound (Gen.Wallace.multiplier ~bits:3) in
+  Alcotest.(check bool) "cells found" true (List.length d.D.cells >= 3);
+  Alcotest.(check bool) "compressor columns found" true
+    (Array.exists (fun col -> col <> []) d.D.columns)
+
+let test_adder_chain_detected () =
+  (* A [bits]-bit ripple adder is one chain; detection must recover nearly
+     all of it (the LSB half-adder cell may fall outside). *)
+  let d = D.run (Gen.Arith.adder ~bits:8) in
+  let longest =
+    List.fold_left (fun acc (c : D.chain) -> max acc (Array.length c.cells)) 0
+      d.D.chains
+  in
+  Alcotest.(check bool) "chain covers the adder" true (longest >= 7);
+  Alcotest.(check bool) "high coverage" true (D.coverage_percent d > 60.)
+
+let test_barrel_rows_detected () =
+  (* A barrel shifter is log2(bits) mux stages, each selected by one PI of
+     the shift amount (data PIs 0..7, amount PIs 8..10 for bits = 8). *)
+  let g = Gen.Barrel.shifter ~bits:8 ~rotate:false in
+  let d = D.run g in
+  Alcotest.(check bool) "rows found" true (List.length d.D.rows >= 2);
+  List.iter
+    (fun (r : D.row) ->
+      let n = Aig.Lit.node r.D.select in
+      Alcotest.(check bool) "row select is a PI" true (Aig.Network.is_pi g n);
+      Alcotest.(check bool) "row select is an amount PI" true
+        (Aig.Network.pi_index g n >= 8))
+    d.D.rows
+
+(* Random bit-vector expressions over at most 3 variables. *)
+let rec random_expr st depth =
+  if depth = 0 then
+    if Random.State.bool st then R.Var (Random.State.int st 3)
+    else R.Const (Random.State.int st 16)
+  else
+    let sub d = random_expr st d in
+    match Random.State.int st 4 with
+    | 0 -> R.Add [ sub (depth - 1); sub (depth - 1) ]
+    | 1 -> R.Add [ sub (depth - 1); sub (depth - 1); sub (depth - 1) ]
+    | 2 -> R.Mul [ sub (depth - 1); sub (depth - 1) ]
+    | _ -> R.Shl (sub (depth - 1), 1 + Random.State.int st 3)
+
+let prop_normalize_preserves_eval =
+  QCheck.Test.make ~name:"normalize preserves eval" ~count:200 Util.arb_seed
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let e = random_expr st 3 in
+      let env_arr = Array.init 3 (fun _ -> Random.State.int st 256) in
+      let env i = env_arr.(i) in
+      let n = R.normalize e in
+      R.equal n (R.normalize n)
+      && List.for_all
+           (fun width -> R.eval ~env ~width e = R.eval ~env ~width n)
+           [ 1; 4; 8; 16 ])
+
+let prop_normal_form_equal_implies_equivalent =
+  (* The engine trusts [normalize] to nominate candidates: if two normal
+     forms compare equal, the bit-blasted cones must be brute-force
+     equivalent.  Commuted/reassociated/distributed variants of the same
+     expression exercise exactly the identities normalization applies. *)
+  QCheck.Test.make ~name:"equal normal forms are equivalent (vs brute)"
+    ~count:40 Util.arb_seed (fun seed ->
+      let st = Random.State.make [| seed + 77 |] in
+      let e = random_expr st 2 in
+      let variant =
+        match e with
+        | R.Add l -> R.Add (List.rev l)
+        | R.Mul l -> R.Mul (List.rev l)
+        | R.Shl (e', k) -> R.Mul [ R.Const (1 lsl k); e' ]
+        | other -> R.Add [ other; R.Const 0 ]
+      in
+      let ne = R.normalize e and nv = R.normalize variant in
+      if not (R.equal ne nv) then
+        QCheck.Test.fail_reportf "variant changed the normal form";
+      let width = 4 in
+      let blast x = R.to_network ~width ~num_vars:3 x in
+      Util.equivalent_brute (blast e) (blast variant)
+      && Util.equivalent_brute (blast e) (blast ne))
+
+let check_word ?config ?cancel ~pool m =
+  Word.Sweep.check
+    ~config:(Option.value config ~default:Simsweep.Config.scaled)
+    ?cancel ~pool m
+
+let test_proves_adder_miter () =
+  let g = Gen.Arith.adder ~bits:16 in
+  let m = Aig.Miter.build g (Opt.Resyn.resyn2 g) in
+  Util.with_pool (fun pool ->
+      let outcome, st = check_word ~pool m in
+      Alcotest.(check bool) "proved" true (outcome = Simsweep.Engine.Proved);
+      Alcotest.(check bool) "word merges happened" true (st.Word.Sweep.bits_merged > 0))
+
+let test_fallback_on_no_word_structure () =
+  (* Symmetric control logic has no adder chains: detection comes up
+     empty and the bit-level fallback must finish the proof. *)
+  let g = Gen.Control.voter ~n:9 in
+  let m = Aig.Miter.build g (Opt.Resyn.light g) in
+  Util.with_pool (fun pool ->
+      let outcome, st = check_word ~pool m in
+      Alcotest.(check bool) "proved" true (outcome = Simsweep.Engine.Proved);
+      Alcotest.(check bool) "fell back" true st.Word.Sweep.fallback)
+
+let test_preset_cancel_unwinds () =
+  let g = Gen.Arith.adder ~bits:12 in
+  let m = Aig.Miter.build g (Opt.Resyn.resyn2 g) in
+  let cancel = Par.Cancel.create () in
+  Par.Cancel.set cancel;
+  Util.with_pool (fun pool ->
+      let outcome, st = check_word ~cancel ~pool m in
+      Alcotest.(check bool) "undecided" true (outcome = Simsweep.Engine.Undecided);
+      Alcotest.(check bool) "cancelled flagged" true st.Word.Sweep.cancelled)
+
+let test_pool_size_invariance () =
+  let g = Gen.Arith.adder ~bits:10 in
+  let m = Aig.Miter.build g (Opt.Resyn.resyn2 g) in
+  let run domains =
+    let pool = Par.Pool.create ~num_domains:domains () in
+    Fun.protect ~finally:(fun () -> Par.Pool.shutdown pool) (fun () ->
+        check_word ~pool m)
+  in
+  let o1, s1 = run 1 and o3, s3 = run 3 in
+  Alcotest.(check bool) "same outcome" true (o1 = o3);
+  Alcotest.(check bool) "proved" true (o1 = Simsweep.Engine.Proved);
+  Alcotest.(check int) "same merges" s1.Word.Sweep.bits_merged
+    s3.Word.Sweep.bits_merged
+
+let test_register_idempotent () =
+  Simsweep.Portfolio.clear_extras ();
+  (* The registry is global: clean up even when an assertion fails, or
+     the extra leaks into every later test in this binary. *)
+  Fun.protect
+    ~finally:(fun () -> Simsweep.Portfolio.clear_extras ())
+    (fun () ->
+      Word.Sweep.register ();
+      Word.Sweep.register ();
+      let extras = Simsweep.Portfolio.registered_extras () in
+      Alcotest.(check (list string)) "registered once" [ "wordsweep" ] extras;
+      (* The portfolio must still answer with the extra racer registered,
+         whether or not the machine has cores to race. *)
+      let g = Gen.Arith.adder ~bits:6 in
+      let m = Aig.Miter.build g (Opt.Resyn.light g) in
+      let r =
+        Util.with_pool (fun pool ->
+            Simsweep.Portfolio.check ~mode:`Race ~pool m)
+      in
+      Alcotest.(check bool) "proved" true
+        (r.Simsweep.Portfolio.outcome = Simsweep.Engine.Proved);
+      Alcotest.(check bool) "racers recorded" true
+        (r.Simsweep.Portfolio.racers <> []))
+
+let prop_agrees_with_brute =
+  (* Random logic rarely has word structure: this drives the
+     detection-failure path end to end and must still match brute force. *)
+  QCheck.Test.make ~name:"wordsweep agrees with brute force" ~count:12
+    Util.arb_seed (fun seed ->
+      let g1 = Util.random_network ~pis:5 ~nodes:35 ~pos:3 seed in
+      let g2 =
+        if seed mod 2 = 0 then Opt.Resyn.light g1
+        else Util.random_network ~pis:5 ~nodes:35 ~pos:3 (seed + 13)
+      in
+      let m = Aig.Miter.build g1 g2 in
+      let expect = Util.equivalent_brute g1 g2 in
+      let outcome, _ = Util.with_pool (fun pool -> check_word ~pool m) in
+      match outcome with
+      | Simsweep.Engine.Proved -> expect
+      | Simsweep.Engine.Disproved (cex, po) ->
+          (not expect) && Sim.Cex.check m cex po
+      | Simsweep.Engine.Undecided -> false)
+
+let () =
+  Alcotest.run "word"
+    [
+      ( "detect",
+        [
+          Alcotest.test_case "adder cells sound" `Quick test_adder_cells_sound;
+          Alcotest.test_case "wallace cells sound" `Quick test_wallace_cells_sound;
+          Alcotest.test_case "adder chain" `Quick test_adder_chain_detected;
+          Alcotest.test_case "barrel rows" `Quick test_barrel_rows_detected;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "proves adder miter" `Quick test_proves_adder_miter;
+          Alcotest.test_case "fallback without words" `Quick
+            test_fallback_on_no_word_structure;
+          Alcotest.test_case "preset cancel unwinds" `Quick
+            test_preset_cancel_unwinds;
+          Alcotest.test_case "pool-size invariance" `Quick
+            test_pool_size_invariance;
+          Alcotest.test_case "register idempotent" `Quick
+            test_register_idempotent;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_normalize_preserves_eval;
+            prop_normal_form_equal_implies_equivalent;
+            prop_agrees_with_brute;
+          ] );
+    ]
