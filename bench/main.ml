@@ -306,6 +306,20 @@ let check_summary () =
   let base_by_name =
     List.map (fun row -> (name_of row, row)) (cases baseline)
   in
+  (* Informational: the sharded-sweeping block merged in by the [shard]
+     experiment rides along in the summary but is not gated — its wall
+     clock depends on worker/core count, not on per-case engine work. *)
+  (match member "shard" fresh with
+  | Some block ->
+      let s key = Option.value ~default:"?" (string_member key block) in
+      let f key = Option.value ~default:0. (float_member key block) in
+      pr
+        "shard block: %s (%d workers) %s in %.3fs, single-process %.3fs \
+         (%.2fx, informational)\n"
+        (s "case")
+        (Option.value ~default:0 (int_member "workers" block))
+        (s "outcome") (f "shard_s") (f "single_process_s") (f "speedup")
+  | None -> ());
   let fc = calib fresh and bc = calib baseline in
   let gate =
     match Option.bind (Sys.getenv_opt "BENCH_GATE") float_of_string_opt with
@@ -370,6 +384,87 @@ let check_summary () =
     exit 1
   end
   else pr "check-summary: OK\n%!"
+
+(* ------------------------------------------------------------------ shard *)
+
+(* Multi-process sharded sweeping on a [Gen.Double]-enlarged case tens of
+   times larger than any table2 miter, against single-process
+   [Partition.check] on the same miter.  SHARD_WORKERS and SHARD_DOUBLE
+   override the defaults (2 workers, x2^9 — ~860k ANDs, ~74x the largest
+   table2 case).  The result is merged into BENCH_summary.json as a
+   ["shard"] block so check-summary reports it alongside the perf gate. *)
+let shard_bench () =
+  heading "Sharded sweeping - multi-process coordinator vs single process";
+  let pool = Lazy.force pool in
+  let getenv_int key default =
+    match Option.bind (Sys.getenv_opt key) int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> default
+  in
+  let workers = getenv_int "SHARD_WORKERS" 2 in
+  let doubles = getenv_int "SHARD_DOUBLE" 9 in
+  let p = Cases.prepare (Cases.find "ac97_ctrl") in
+  let m = Gen.Double.times doubles p.Cases.miter in
+  let ands = Aig.Network.num_ands m in
+  pr "case ac97_ctrl x2^%d: %d PIs, %d POs, %d ANDs, %d workers\n%!" doubles
+    (Aig.Network.num_pis m) (Aig.Network.num_pos m) ands workers;
+  let config = { Shard.Check.default_config with Shard.Check.workers } in
+  let (sh_outcome, sh_stats), sh_time =
+    Harness.time (fun () -> Shard.Check.check ~config m)
+  in
+  let (sp_outcome, _), sp_time =
+    Harness.time (fun () -> Simsweep.Partition.check ~pool m)
+  in
+  let tag o =
+    match o with
+    | Simsweep.Engine.Proved -> "equivalent"
+    | Simsweep.Engine.Disproved _ -> "inequivalent"
+    | Simsweep.Engine.Undecided -> "undecided"
+  in
+  pr "%-24s %10s %10s\n" "" "outcome" "time";
+  pr "%-24s %10s %9.3fs (%d shards, %d steals)\n" "shard coordinator"
+    (tag sh_outcome) sh_time sh_stats.Shard.Stats.shards
+    (Array.fold_left ( + ) 0 (Shard.Stats.steals sh_stats));
+  pr "%-24s %10s %9.3fs\n" "single-process partition" (tag sp_outcome) sp_time;
+  pr "speedup: %.2fx on %d domains\n%!" (sp_time /. sh_time)
+    (Par.Pool.num_workers pool);
+  if tag sh_outcome <> tag sp_outcome then begin
+    Printf.eprintf "shard: verdict mismatch (%s vs %s)\n" (tag sh_outcome)
+      (tag sp_outcome);
+    exit 1
+  end;
+  (* Merge the shard block into the summary digest in place: the rest of
+     the file (table2's cases and geomeans) is left untouched so the perf
+     gate's baseline comparison is unaffected. *)
+  let open Simsweep.Telemetry in
+  let block =
+    Obj
+      [
+        ("case", String (Printf.sprintf "ac97_ctrl(x%d)" (1 lsl doubles)));
+        ("ands", Int ands);
+        ("workers", Int workers);
+        ("outcome", String (tag sh_outcome));
+        ("shard_s", Float sh_time);
+        ("single_process_s", Float sp_time);
+        ("speedup", Float (sp_time /. sh_time));
+        ("stats", Shard.Stats.to_json sh_stats);
+      ]
+  in
+  let existing =
+    if Sys.file_exists summary_file then begin
+      let ic = open_in summary_file in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match parse text with Ok (Obj kvs) -> kvs | _ -> []
+    end
+    else []
+  in
+  let kvs = List.filter (fun (k, _) -> k <> "shard") existing in
+  write_file summary_file (Obj (kvs @ [ ("shard", block) ]));
+  pr "merged shard block into %s\n%!" summary_file
 
 (* ----------------------------------------------------------------- Fig. 6 *)
 
@@ -797,6 +892,7 @@ let experiments =
   [
     ("table2", table2);
     ("check-summary", check_summary);
+    ("shard", shard_bench);
     ("fig6", fig6);
     ("fig7", fig7);
     ("ablation-passes", ablation_passes);
@@ -811,6 +907,8 @@ let experiments =
   ]
 
 let () =
+  (* The shard experiment re-execs this binary as its worker processes. *)
+  Shard.Worker.maybe_become_worker ();
   Word.Sweep.register ();
   let args = List.tl (Array.to_list Sys.argv) in
   let chosen = if args = [] then List.map fst experiments else args in

@@ -5,17 +5,23 @@
    sweeper baseline, the BDD engine, the portfolio, or the combined
    engine+SAT flow of Table II. *)
 
-let read_inputs file1 file2 suite scale =
+let read_inputs file1 file2 suite scale post_double =
+  let enlarge (name, miter) =
+    if post_double <= 0 then (name, miter)
+    else
+      ( Printf.sprintf "%s(x%d)" name (1 lsl post_double),
+        Gen.Double.times post_double miter )
+  in
   match (file1, file2, suite) with
   | Some f1, Some f2, None ->
       let g1 = Aig.Aiger_io.read_file f1 and g2 = Aig.Aiger_io.read_file f2 in
-      Ok (Printf.sprintf "%s vs %s" f1 f2, Aig.Miter.build g1 g2)
+      Ok (enlarge (Printf.sprintf "%s vs %s" f1 f2, Aig.Miter.build g1 g2))
   | Some f1, None, None ->
       (* A single file is interpreted as an already-built miter. *)
-      Ok (f1, Aig.Aiger_io.read_file f1)
+      Ok (enlarge (f1, Aig.Aiger_io.read_file f1))
   | None, None, Some name ->
       let case = Gen.Suite.build ~scale name in
-      Ok ("suite:" ^ name, case.Gen.Suite.miter)
+      Ok (enlarge ("suite:" ^ name, case.Gen.Suite.miter))
   | _ -> Error "give either FILE [FILE2] or --suite NAME"
 
 let describe_outcome = function
@@ -85,14 +91,72 @@ let run_remote addr engine name miter stats_json =
             else if starts "EQUIVALENT" then 0
             else 3)
 
-let run_check engine file1 file2 suite scale num_domains race verbose certify
-    stats_json server no_simplify =
-  match read_inputs file1 file2 suite scale with
+(* Sharded mode: partition the miter, fork [shard_n] worker processes and
+   coordinate them (work-stealing, cube-and-conquer on stalls).  The
+   coordinator itself needs no domain pool. *)
+let run_shard shard_n name miter num_domains verbose stats_json =
+  let worker_domains =
+    match num_domains with Some j -> max 1 (j / max 1 shard_n) | None -> 1
+  in
+  let config =
+    { Shard.Check.default_config with workers = shard_n; worker_domains }
+  in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "miter %s: %s\n%!" name
+    (Format.asprintf "%a" Aig.Stats.pp (Aig.Stats.of_network miter));
+  let outcome, st = Shard.Check.check ~config miter in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if verbose then
+    Printf.printf
+      "shard: %d shards (%d groups, %d split) over %d workers, %d steals, %d \
+       cubes solved, %d clauses shared, %d crashed\n"
+      st.Shard.Stats.shards st.Shard.Stats.groups st.Shard.Stats.split_groups
+      st.Shard.Stats.workers
+      (Array.fold_left ( + ) 0 (Shard.Stats.steals st))
+      st.Shard.Stats.cubes_solved st.Shard.Stats.clauses_shared
+      st.Shard.Stats.workers_crashed;
+  Printf.printf "%s  (%.3fs)\n" (describe_outcome outcome) elapsed;
+  (match stats_json with
+  | Some file ->
+      let open Simsweep.Telemetry in
+      let j =
+        Obj
+          [
+            ("name", String name);
+            ("engine", String "shard");
+            ("outcome", String (outcome_string outcome));
+            ("time_s", Float elapsed);
+            ( "miter",
+              Obj
+                [
+                  ("pis", Int (Aig.Network.num_pis miter));
+                  ("pos", Int (Aig.Network.num_pos miter));
+                  ("ands", Int (Aig.Network.num_ands miter));
+                ] );
+            ("shard", Shard.Stats.to_json st);
+          ]
+      in
+      (try
+         write_file file j;
+         if verbose then Printf.printf "stats written to %s\n" file
+       with Sys_error msg ->
+         Printf.eprintf "cec: cannot write stats file: %s\n" msg)
+  | None -> ());
+  match outcome with
+  | Simsweep.Engine.Proved -> 0
+  | Simsweep.Engine.Disproved _ -> 1
+  | Simsweep.Engine.Undecided -> 3
+
+let run_check engine file1 file2 suite scale post_double num_domains race
+    verbose certify stats_json server no_simplify shard_n =
+  match read_inputs file1 file2 suite scale post_double with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
       2
   | Ok (name, miter) when server <> None ->
       run_remote (Option.get server) engine name miter stats_json
+  | Ok (name, miter) when shard_n > 0 ->
+      run_shard shard_n name miter num_domains verbose stats_json
   | Ok (name, miter) ->
       if verbose then begin
         Logs.set_reporter (Logs.format_reporter ());
@@ -291,6 +355,13 @@ let scale =
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
          ~doc:"Doubling scale for --suite cases (0 disables doubling).")
 
+let post_double =
+  Arg.(value & opt int 0 & info [ "post-double" ] ~docv:"K"
+         ~doc:"Enlarge the built miter by K doublings ($(b,2^K) disjoint \
+               copies) before checking — the paper's enlargement method, \
+               applied to the miter itself; useful for exercising --shard \
+               on giant instances.")
+
 let num_domains =
   Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N"
          ~doc:"Worker domains (default: machine-dependent).")
@@ -330,15 +401,28 @@ let server =
                socket path or HOST:PORT) instead of in-process; repeated \
                checks hit the daemon's cross-request equivalence cache.")
 
+let shard_n =
+  Arg.(value & opt int 0 & info [ "shard" ] ~docv:"N"
+         ~doc:"Check with N coordinated worker processes instead of a \
+               single in-process engine: the miter is partitioned into \
+               shards (output-cone groups, large groups split at PO \
+               boundaries), workers pull shards work-stealing style, and a \
+               shard whose SAT tail stalls is cut into cubes fanned across \
+               idle workers with learnt-clause sharing (cube-and-conquer).  \
+               Overrides --engine; 0 disables.")
+
 let cmd =
   let doc = "simulation-based parallel sweeping equivalence checker" in
   Cmd.v
     (Cmd.info "simsweep-cec" ~doc)
     Term.(
-      const run_check $ engine $ file1 $ file2 $ suite $ scale $ num_domains
-      $ race $ verbose $ certify $ stats_json $ server $ no_simplify)
+      const run_check $ engine $ file1 $ file2 $ suite $ scale $ post_double
+      $ num_domains $ race $ verbose $ certify $ stats_json $ server
+      $ no_simplify $ shard_n)
 
 let () =
+  (* Re-exec'ed children of `--shard` coordinators become workers here. *)
+  Shard.Worker.maybe_become_worker ();
   (* Fourth portfolio racer (race mode only). *)
   Word.Sweep.register ();
   exit (Cmd.eval' cmd)

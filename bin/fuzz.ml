@@ -121,4 +121,7 @@ let cmd =
       const run $ seed $ cases $ minutes $ aig_dir $ out_dir $ self_test
       $ num_domains $ bdd_node_limit $ shrink_budget $ certify_every $ quiet)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* The oracle's shard engine re-execs this binary to make its workers. *)
+  Shard.Worker.maybe_become_worker ();
+  exit (Cmd.eval' cmd)

@@ -20,6 +20,9 @@ let interactive state =
   0
 
 let () =
+  (* Children spawned by `cec shard` re-exec this binary as workers. *)
+  Shard.Worker.maybe_become_worker ();
+  Shard.Register.shell ();
   let state = Shell.Command.create () in
   let code =
     match Array.to_list Sys.argv with

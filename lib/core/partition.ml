@@ -76,6 +76,96 @@ let extract g pos =
     pos;
   (ng, Array.of_list (List.rev !pi_origin))
 
+let lift_cex ~pi_origin ~num_pis sub_cex =
+  let cex = Array.make num_pis false in
+  Array.iteri (fun j orig -> cex.(orig) <- sub_cex.(j)) pi_origin;
+  cex
+
+let const_verdict g pos =
+  if List.for_all (fun i -> Aig.Lit.node (Aig.Network.po g i) = 0) pos then
+    if List.for_all (fun i -> Aig.Network.po g i = Aig.Lit.const_false) pos then
+      Some Engine.Proved
+    else
+      (* A constant-true PO: disproved by any assignment. *)
+      let bad =
+        List.find (fun i -> Aig.Network.po g i <> Aig.Lit.const_false) pos
+      in
+      Some (Engine.Disproved (Array.make (Aig.Network.num_pis g) false, bad))
+  else None
+
+let cone_ands g pos =
+  let roots =
+    List.filter_map
+      (fun i ->
+        let l = Aig.Network.po g i in
+        if Aig.Lit.node l = 0 then None else Some (Aig.Lit.node l))
+      pos
+    |> Array.of_list
+  in
+  if Array.length roots = 0 then 0
+  else begin
+    let cone = Aig.Cone.tfi g ~roots in
+    let n = ref 0 in
+    Aig.Network.iter_ands g (fun id -> if cone.(id) then incr n);
+    !n
+  end
+
+let split_group g ~max_ands pos =
+  match pos with
+  | [] | [ _ ] -> [ pos ]
+  | _ when max_ands <= 0 -> [ pos ]
+  | _ ->
+      (* Greedy PO chunking: walk the POs in order, growing the current
+         chunk's cone with an explicit-stack DFS, and close the chunk once
+         it holds [max_ands] AND nodes.  Stamps are per chunk, so logic
+         shared between chunks is counted (and later extracted) once per
+         chunk — each chunk gets its own copy of the shared cone.  A
+         single PO whose cone alone exceeds the budget becomes its own
+         oversized chunk. *)
+      let stamp = Array.make (Aig.Network.num_nodes g) (-1) in
+      let chunk_id = ref 0 in
+      let count = ref 0 in
+      let stack = ref [] in
+      let push id =
+        if id <> 0 && stamp.(id) <> !chunk_id then begin
+          stamp.(id) <- !chunk_id;
+          stack := id :: !stack
+        end
+      in
+      let visit root =
+        push root;
+        let continue = ref true in
+        while !continue do
+          match !stack with
+          | [] -> continue := false
+          | id :: rest ->
+              stack := rest;
+              if Aig.Network.is_and g id then begin
+                incr count;
+                push (Aig.Lit.node (Aig.Network.fanin0 g id));
+                push (Aig.Lit.node (Aig.Network.fanin1 g id))
+              end
+        done
+      in
+      let chunks = ref [] in
+      let cur = ref [] in
+      let flush () =
+        if !cur <> [] then begin
+          chunks := List.rev !cur :: !chunks;
+          cur := [];
+          incr chunk_id;
+          count := 0
+        end
+      in
+      List.iter
+        (fun i ->
+          visit (Aig.Lit.node (Aig.Network.po g i));
+          cur := i :: !cur;
+          if !count >= max_ands then flush ())
+        pos;
+      flush ();
+      List.rev !chunks
+
 let check ?config ?sat_config ?cancel ~pool g =
   let gs = groups g in
   let num_groups = List.length gs in
@@ -84,27 +174,21 @@ let check ?config ?sat_config ?cancel ~pool g =
     | group :: rest -> (
         if Par.Cancel.poll_opt cancel then (Engine.Undecided, num_groups)
         else
-        let sub, pi_origin = extract g group in
-        if Aig.Miter.solved sub then
-          (* Constant-false outputs only. *)
-          if List.for_all (fun i -> Aig.Network.po g i = Aig.Lit.const_false) group
-          then solve rest
-          else
-            (* A constant-true PO: disproved by any assignment. *)
-            let bad =
-              List.find (fun i -> Aig.Network.po g i <> Aig.Lit.const_false) group
-            in
-            (Engine.Disproved (Array.make (Aig.Network.num_pis g) false, bad), num_groups)
-        else
-          let combined =
-            Engine.check_with_fallback ?config ?sat_config ?cancel ~pool sub
-          in
-          match combined.Engine.final with
-          | Engine.Proved -> solve rest
-          | Engine.Disproved (sub_cex, sub_po) ->
-              let cex = Array.make (Aig.Network.num_pis g) false in
-              Array.iteri (fun j orig -> cex.(orig) <- sub_cex.(j)) pi_origin;
-              (Engine.Disproved (cex, List.nth group sub_po), num_groups)
-          | Engine.Undecided -> (Engine.Undecided, num_groups))
+          match const_verdict g group with
+          | Some Engine.Proved -> solve rest
+          | Some v -> (v, num_groups)
+          | _ -> (
+              let sub, pi_origin = extract g group in
+              let combined =
+                Engine.check_with_fallback ?config ?sat_config ?cancel ~pool sub
+              in
+              match combined.Engine.final with
+              | Engine.Proved -> solve rest
+              | Engine.Disproved (sub_cex, sub_po) ->
+                  let cex =
+                    lift_cex ~pi_origin ~num_pis:(Aig.Network.num_pis g) sub_cex
+                  in
+                  (Engine.Disproved (cex, List.nth group sub_po), num_groups)
+              | Engine.Undecided -> (Engine.Undecided, num_groups)))
   in
   solve gs

@@ -17,6 +17,28 @@ val groups : Aig.Network.t -> int list list
     of its PIs, the original PI index. *)
 val extract : Aig.Network.t -> int list -> Aig.Network.t * int array
 
+(** [lift_cex ~pi_origin ~num_pis cex] maps a counter-example over an
+    extracted sub-network's PIs back to the full input space ([pi_origin]
+    as returned by {!extract}); unconstrained inputs are false. *)
+val lift_cex : pi_origin:int array -> num_pis:int -> Sim.Cex.t -> Sim.Cex.t
+
+(** [const_verdict g pos] decides a group whose POs are all constant:
+    [Some Proved] when every PO is constant false, [Some (Disproved _)]
+    (with the all-false assignment) when one is constant true, [None] when
+    any PO is non-constant. *)
+val const_verdict : Aig.Network.t -> int list -> Engine.outcome option
+
+(** [cone_ands g pos] is the number of AND nodes in the combined cone of
+    the listed POs — the size [extract] would produce. *)
+val cone_ands : Aig.Network.t -> int list -> int
+
+(** [split_group g ~max_ands pos] chunks one (large) support group into
+    consecutive PO runs of roughly [max_ands] AND nodes each, for
+    window-level sharding.  Logic shared between chunks is replicated into
+    each; a single PO whose cone alone exceeds the budget gets its own
+    oversized chunk.  The chunking is deterministic. *)
+val split_group : Aig.Network.t -> max_ands:int -> int list -> int list list
+
 (** [check ?config ?cancel ~pool miter] runs the engine (with SAT
     fallback) on every support group independently and combines the
     verdicts; a group's counter-example is lifted back to the full input

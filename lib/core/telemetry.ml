@@ -281,6 +281,32 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+(* Typed field accessors, shared by every hand-rolled wire codec (the
+   serve protocol, the shard coordinator frames, the bench readers).
+   Numeric accessors accept both numeric shapes: a float that happens to
+   be integral serialises as an [Int] and must still read back. *)
+
+let int_member key j =
+  match member key j with
+  | Some (Int n) -> Some n
+  | Some (Float f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let float_member key j =
+  match member key j with
+  | Some (Float f) -> Some f
+  | Some (Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let string_member key j =
+  match member key j with Some (String s) -> Some s | _ -> None
+
+let bool_member key j =
+  match member key j with Some (Bool b) -> Some b | _ -> None
+
+let list_member key j =
+  match member key j with Some (List l) -> Some l | _ -> None
+
 (* --- stat snapshots ------------------------------------------------------ *)
 
 let of_exhaustive (s : Exhaustive.stats) =

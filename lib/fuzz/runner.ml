@@ -37,10 +37,38 @@ let shrink_failure ~engines ~pool ~budget ~miter failures =
   in
   Shrink.shrink ~budget ~fails miter
 
+(* The multi-process shard coordinator as an oracle engine, racing the
+   in-process engines on every generated miter.  A tiny shard budget makes
+   even fuzz-sized miters split into several shards, so the plan/extract/
+   lift path is exercised, and the deadline bounds a wedged coordinator.
+   NOTE: any binary embedding this engine must call
+   [Shard.Worker.maybe_become_worker] first thing in [main] — the
+   coordinator re-execs the host executable to make workers. *)
+let shard_engine =
+  {
+    Oracle.name = "shard";
+    run =
+      (fun ~pool:_ m ->
+        let config =
+          {
+            Shard.Check.default_config with
+            Shard.Check.workers = 2;
+            max_shard_ands = 64;
+            stall_conflicts = 4_000;
+            deadline_s = Some 120.;
+          }
+        in
+        match Shard.Check.check ~config m with
+        | Simsweep.Engine.Proved, _ -> Oracle.V_equivalent
+        | Simsweep.Engine.Disproved (cex, po), _ ->
+            Oracle.V_inequivalent (cex, po)
+        | Simsweep.Engine.Undecided, _ -> Oracle.V_unknown "undecided");
+  }
+
 let engines_of config extra_engines =
   Oracle.default_engines ~bdd_node_limit:config.bdd_node_limit
     ~sat_conflict_limit:config.sat_conflict_limit ()
-  @ extra_engines
+  @ [ shard_engine ] @ extra_engines
 
 (* Shrink a failed miter and persist the repro — shared by the seeded
    stream, the wall-clock soak and the AIGER-directory modes. *)
@@ -435,6 +463,48 @@ let race_cancel_stage log miter =
            "self-test: race won by racer %d, expected the fast engine" i)
   | None, _ -> Error "self-test: race with a hanging engine returned no winner"
 
+(* Shard worker-crash stage of the self-test: a worker is SIGKILLed right
+   after pulling its first shard; the coordinator must reap it, requeue
+   the shard, spawn a replacement and still conclude correctly. *)
+let shardkill_stage log ~seed =
+  let rng =
+    Sim.Rng.create
+      ~seed:(Int64.add (Int64.mul seed 0x9E3779B97F4A7C15L) 0x2545F4914F6CDD1DL)
+  in
+  let left =
+    Gen.Control.random_logic ~pis:12 ~nodes:300 ~pos:10 ~seed:(Sim.Rng.next64 rng)
+  in
+  let right = Opt.Resyn.light left in
+  (* Equivalent by construction: resynthesis preserves semantics. *)
+  let miter = Aig.Miter.build left right in
+  let config =
+    {
+      Shard.Check.default_config with
+      Shard.Check.workers = 2;
+      max_shard_ands = 64;
+      test_kill_worker = Some 0;
+      max_respawns = 2;
+      deadline_s = Some 120.;
+    }
+  in
+  let outcome, st = Shard.Check.check ~config miter in
+  if st.Shard.Stats.workers_crashed < 1 then
+    Error "self-test: shard fault injection did not register a worker crash"
+  else
+    match outcome with
+    | Simsweep.Engine.Proved ->
+        log
+          (Printf.sprintf
+             "self-test: shard survived a worker kill (%d crashed, %d \
+              respawned, %d shards)"
+             st.Shard.Stats.workers_crashed st.Shard.Stats.respawns
+             st.Shard.Stats.shards);
+        Ok ()
+    | Simsweep.Engine.Disproved _ ->
+        Error "self-test: shard disproved an equivalent miter after worker kill"
+    | Simsweep.Engine.Undecided ->
+        Error "self-test: shard lost the killed worker's shard (undecided)"
+
 let self_test ?(log = null_log) ~pool ~out_dir ~seed () =
   let rng =
     Sim.Rng.create ~seed:(Int64.add (Int64.mul seed 0x2545F4914F6CDD1DL) 0x9E3779B97F4A7C15L)
@@ -509,9 +579,13 @@ let self_test ?(log = null_log) ~pool ~out_dir ~seed () =
             | Ok () -> (
                 match wordliar_stage log ~pool with
                 | Error e -> Error e
-                | Ok () ->
-                    log
-                      (Printf.sprintf "self-test: OK (repro %s)" repro.Report.path);
-                    Ok repro))
+                | Ok () -> (
+                    match shardkill_stage log ~seed with
+                    | Error e -> Error e
+                    | Ok () ->
+                        log
+                          (Printf.sprintf "self-test: OK (repro %s)"
+                             repro.Report.path);
+                        Ok repro)))
     end
   end

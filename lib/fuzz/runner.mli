@@ -24,7 +24,10 @@ type summary = {
 }
 
 (** [run ?log ?extra_engines ~pool config].  [extra_engines] join the
-    differential comparison (the self-test's lying engine enters here). *)
+    differential comparison (the self-test's lying engine enters here).
+    Every mode also includes a multi-process [shard] engine that races
+    the coordinator against the in-process portfolio, so the host binary
+    must call [Shard.Worker.maybe_become_worker] at startup. *)
 val run :
   ?log:(string -> unit) ->
   ?extra_engines:Oracle.engine list ->
@@ -67,9 +70,11 @@ val run_dir :
     AND nodes, the written AIGER repro still reproduces the disagreement
     when read back, a portfolio race cancels a deliberately hanging
     engine once the fast racer concludes, a SAT stub with broken
-    counter-example reconstruction is flagged by CEX replay, and a
+    counter-example reconstruction is flagged by CEX replay, a
     word-level engine that trusts a mis-detected word boundary (merging
-    detected chains without proof) is flagged for its wrong Proved.
+    detected chains without proof) is flagged for its wrong Proved, and
+    the shard coordinator survives a worker SIGKILLed mid-shard (crash
+    registered, shard rescheduled, correct verdict).
     [Error] describes the first broken link. *)
 val self_test :
   ?log:(string -> unit) ->

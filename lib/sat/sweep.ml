@@ -245,9 +245,13 @@ let sweep_core ?(config = default_config) ?classes ?pcache ?cancel ~pool ~stats
              there is no point proving its remaining pairs. *)
           let fresh = ref 0 in
           let i = ref lo in
+          (* [poll_opt], not [is_set_opt]: a pair decided by the cache or
+             by reverse simulation makes no SAT call, so a batch of such
+             pairs would otherwise never consult the clock and an expired
+             deadline would only latch at the next round boundary. *)
           while
             !i < hi && !fresh < config.cex_batch
-            && not (Par.Cancel.is_set_opt cancel)
+            && not (Par.Cancel.poll_opt cancel)
           do
             let { Sim.Eclass.repr; other; compl_ } = pairs.(!i) in
             st.candidates <- st.candidates + 1;
@@ -344,10 +348,13 @@ let sweep_core ?(config = default_config) ?classes ?pcache ?cancel ~pool ~stats
       in
       let wave = max 1 (Par.Pool.num_workers pool) in
       let next = ref 0 in
+      (* [poll_opt] so a deadline expiring mid-round stops the wave
+         schedule at the next batch boundary instead of running every
+         remaining batch of the round. *)
       while
         !next < nbatches
         && !fresh_cexs < config.cex_batch
-        && not (Par.Cancel.is_set_opt cancel)
+        && not (Par.Cancel.poll_opt cancel)
       do
         let hi = min nbatches (!next + wave) in
         Par.Pool.parallel_for pool ~chunk:1 ~start:!next ~stop:hi eval_batch;

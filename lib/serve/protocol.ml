@@ -85,26 +85,310 @@ let response_to_json r =
     ]
 
 let response_of_json j =
-  match (member "ok" j, member "output" j) with
-  | Some (Bool ok), Some (String output) ->
-      let int_field name =
-        match member name j with Some (Int n) -> n | _ -> 0
-      in
-      let float_field name =
-        match member name j with
-        | Some (Float f) -> f
-        | Some (Int n) -> float_of_int n
-        | _ -> 0.
-      in
+  match (bool_member "ok" j, string_member "output" j) with
+  | Some ok, Some output ->
+      let int_field name = Option.value ~default:0 (int_member name j) in
       Ok
         {
           ok;
           output;
           cache_hits = int_field "cache_hits";
           cache_misses = int_field "cache_misses";
-          elapsed_s = float_field "elapsed_s";
+          elapsed_s = Option.value ~default:0. (float_member "elapsed_s" j);
         }
   | _ -> Error "malformed response (missing ok/output)"
+
+(* {2 Shard frames}
+
+   Coordinator <-> worker messages for multi-process sharded sweeping
+   (lib/shard).  Same framing and JSON flavour as the daemon protocol;
+   AIGER payloads travel as binary strings exactly like [Cec.aiger].
+   Counter-examples are '0'/'1' strings, literals and variables are the
+   SAT solver's integer encoding — stable across processes because
+   [Sat.Cnf.load] maps network node [n] to variable [n] and both sides
+   decode the same AIGER bytes. *)
+
+type shard_task =
+  | Shard_check of {
+      shard : int;
+      aiger : string;
+      stall_conflicts : int;
+      split_vars : int;
+      direct_sat : bool;
+      deadline_in : float option;
+    }
+  | Shard_cube of {
+      shard : int;
+      cube : int;
+      aiger : string option;  (* cube formula; omitted when already loaded *)
+      assume : int list;  (* solver literals fixing this cube *)
+      freeze : int list;  (* vars the worker must keep assumable *)
+      conflict_limit : int;
+      clauses : int list list;  (* shared learnt clauses to import *)
+      deadline_in : float option;
+    }
+  | Shard_quit
+
+type shard_verdict =
+  | Sv_proved
+  | Sv_disproved of { cex : string; po : int }
+  | Sv_undecided
+
+type cube_result =
+  | Cube_unsat
+  | Cube_sat of { cex : string; po : int }
+  | Cube_unknown
+
+type shard_reply =
+  | Shard_ready
+  | Shard_verdict of {
+      shard : int;
+      verdict : shard_verdict;
+      wall_s : float;
+      conflicts : int;
+    }
+  | Shard_stalled of {
+      shard : int;
+      reduced : string;  (* engine-reduced miter: the cube formula *)
+      vars : int list;  (* high-activity split candidates, hottest first *)
+      wall_s : float;
+    }
+  | Shard_cube_reply of {
+      shard : int;
+      cube : int;
+      result : cube_result;
+      learnt : int list list;  (* short learnt clauses for the pool *)
+      conflicts : int;
+      wall_s : float;
+    }
+
+let cex_to_bits cex =
+  String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0')
+
+let bits_to_cex s = Array.init (String.length s) (fun i -> s.[i] = '1')
+
+let ints_to_json l = List (List.map (fun i -> Int i) l)
+
+let ints_of_json = function
+  | List l ->
+      List.fold_right
+        (fun x acc ->
+          match (x, acc) with Int i, Some r -> Some (i :: r) | _ -> None)
+        l (Some [])
+  | _ -> None
+
+let clauses_to_json cs = List (List.map ints_to_json cs)
+
+let clauses_of_json = function
+  | List l ->
+      List.fold_right
+        (fun x acc ->
+          match (ints_of_json x, acc) with
+          | Some c, Some r -> Some (c :: r)
+          | _ -> None)
+        l (Some [])
+  | _ -> None
+
+let deadline_field = function
+  | Some s -> [ ("deadline_in", Float s) ]
+  | None -> []
+
+let deadline_of j = float_member "deadline_in" j
+
+let shard_task_to_json = function
+  | Shard_check { shard; aiger; stall_conflicts; split_vars; direct_sat; deadline_in }
+    ->
+      Obj
+        ([
+           ("type", String "shard-check");
+           ("shard", Int shard);
+           ("aiger", String aiger);
+           ("stall_conflicts", Int stall_conflicts);
+           ("split_vars", Int split_vars);
+           ("direct_sat", Bool direct_sat);
+         ]
+        @ deadline_field deadline_in)
+  | Shard_cube
+      { shard; cube; aiger; assume; freeze; conflict_limit; clauses; deadline_in }
+    ->
+      Obj
+        ([
+           ("type", String "shard-cube");
+           ("shard", Int shard);
+           ("cube", Int cube);
+           ("assume", ints_to_json assume);
+           ("freeze", ints_to_json freeze);
+           ("conflict_limit", Int conflict_limit);
+           ("clauses", clauses_to_json clauses);
+         ]
+        @ (match aiger with Some a -> [ ("aiger", String a) ] | None -> [])
+        @ deadline_field deadline_in)
+  | Shard_quit -> Obj [ ("type", String "shard-quit") ]
+
+let shard_task_of_json j =
+  match str_field "type" j with
+  | Error e -> Error e
+  | Ok "shard-check" -> (
+      match (int_member "shard" j, str_field "aiger" j) with
+      | Some shard, Ok aiger ->
+          Ok
+            (Shard_check
+               {
+                 shard;
+                 aiger;
+                 stall_conflicts =
+                   Option.value ~default:max_int (int_member "stall_conflicts" j);
+                 split_vars = Option.value ~default:0 (int_member "split_vars" j);
+                 direct_sat =
+                   Option.value ~default:false (bool_member "direct_sat" j);
+                 deadline_in = deadline_of j;
+               })
+      | None, _ -> Error "shard-check: missing shard id"
+      | _, Error e -> Error e)
+  | Ok "shard-cube" -> (
+      match
+        ( int_member "shard" j,
+          int_member "cube" j,
+          Option.bind (member "assume" j) ints_of_json,
+          Option.bind (member "clauses" j) clauses_of_json )
+      with
+      | Some shard, Some cube, Some assume, Some clauses ->
+          Ok
+            (Shard_cube
+               {
+                 shard;
+                 cube;
+                 aiger = string_member "aiger" j;
+                 assume;
+                 freeze =
+                   Option.value ~default:[]
+                     (Option.bind (member "freeze" j) ints_of_json);
+                 conflict_limit =
+                   Option.value ~default:max_int (int_member "conflict_limit" j);
+                 clauses;
+                 deadline_in = deadline_of j;
+               })
+      | _ -> Error "shard-cube: malformed fields")
+  | Ok "shard-quit" -> Ok Shard_quit
+  | Ok other -> Error ("unknown shard task " ^ other)
+
+let shard_verdict_to_json = function
+  | Sv_proved -> [ ("verdict", String "proved") ]
+  | Sv_disproved { cex; po } ->
+      [ ("verdict", String "disproved"); ("cex", String cex); ("po", Int po) ]
+  | Sv_undecided -> [ ("verdict", String "undecided") ]
+
+let shard_verdict_of_json j =
+  match string_member "verdict" j with
+  | Some "proved" -> Ok Sv_proved
+  | Some "disproved" -> (
+      match (string_member "cex" j, int_member "po" j) with
+      | Some cex, Some po -> Ok (Sv_disproved { cex; po })
+      | _ -> Error "disproved verdict: missing cex/po")
+  | Some "undecided" -> Ok Sv_undecided
+  | _ -> Error "missing verdict"
+
+let cube_result_to_json = function
+  | Cube_unsat -> [ ("result", String "unsat") ]
+  | Cube_sat { cex; po } ->
+      [ ("result", String "sat"); ("cex", String cex); ("po", Int po) ]
+  | Cube_unknown -> [ ("result", String "unknown") ]
+
+let cube_result_of_json j =
+  match string_member "result" j with
+  | Some "unsat" -> Ok Cube_unsat
+  | Some "sat" -> (
+      match (string_member "cex" j, int_member "po" j) with
+      | Some cex, Some po -> Ok (Cube_sat { cex; po })
+      | _ -> Error "sat cube: missing cex/po")
+  | Some "unknown" -> Ok Cube_unknown
+  | _ -> Error "missing cube result"
+
+let shard_reply_to_json = function
+  | Shard_ready -> Obj [ ("type", String "shard-ready") ]
+  | Shard_verdict { shard; verdict; wall_s; conflicts } ->
+      Obj
+        ([
+           ("type", String "shard-verdict");
+           ("shard", Int shard);
+           ("wall_s", Float wall_s);
+           ("conflicts", Int conflicts);
+         ]
+        @ shard_verdict_to_json verdict)
+  | Shard_stalled { shard; reduced; vars; wall_s } ->
+      Obj
+        [
+          ("type", String "shard-stalled");
+          ("shard", Int shard);
+          ("reduced", String reduced);
+          ("vars", ints_to_json vars);
+          ("wall_s", Float wall_s);
+        ]
+  | Shard_cube_reply { shard; cube; result; learnt; conflicts; wall_s } ->
+      Obj
+        ([
+           ("type", String "shard-cube-reply");
+           ("shard", Int shard);
+           ("cube", Int cube);
+           ("learnt", clauses_to_json learnt);
+           ("conflicts", Int conflicts);
+           ("wall_s", Float wall_s);
+         ]
+        @ cube_result_to_json result)
+
+let shard_reply_of_json j =
+  match str_field "type" j with
+  | Error e -> Error e
+  | Ok "shard-ready" -> Ok Shard_ready
+  | Ok "shard-verdict" -> (
+      match (int_member "shard" j, shard_verdict_of_json j) with
+      | Some shard, Ok verdict ->
+          Ok
+            (Shard_verdict
+               {
+                 shard;
+                 verdict;
+                 wall_s = Option.value ~default:0. (float_member "wall_s" j);
+                 conflicts = Option.value ~default:0 (int_member "conflicts" j);
+               })
+      | None, _ -> Error "shard-verdict: missing shard id"
+      | _, Error e -> Error e)
+  | Ok "shard-stalled" -> (
+      match
+        ( int_member "shard" j,
+          str_field "reduced" j,
+          Option.bind (member "vars" j) ints_of_json )
+      with
+      | Some shard, Ok reduced, Some vars ->
+          Ok
+            (Shard_stalled
+               {
+                 shard;
+                 reduced;
+                 vars;
+                 wall_s = Option.value ~default:0. (float_member "wall_s" j);
+               })
+      | _ -> Error "shard-stalled: malformed fields")
+  | Ok "shard-cube-reply" -> (
+      match
+        ( int_member "shard" j,
+          int_member "cube" j,
+          cube_result_of_json j,
+          Option.bind (member "learnt" j) clauses_of_json )
+      with
+      | Some shard, Some cube, Ok result, Some learnt ->
+          Ok
+            (Shard_cube_reply
+               {
+                 shard;
+                 cube;
+                 result;
+                 learnt;
+                 conflicts = Option.value ~default:0 (int_member "conflicts" j);
+                 wall_s = Option.value ~default:0. (float_member "wall_s" j);
+               })
+      | _ -> Error "shard-cube-reply: malformed fields")
+  | Ok other -> Error ("unknown shard reply " ^ other)
 
 (* {2 Framing} *)
 
@@ -126,7 +410,10 @@ let really_read ic buf len =
        if r = 0 then raise End_of_file;
        off := !off + r
      done
-   with End_of_file -> ());
+     (* A peer that died (SIGKILLed shard worker, reset client socket)
+        surfaces as [Sys_error] rather than a clean EOF — same outcome
+        for the reader: the frame is not coming. *)
+   with End_of_file | Sys_error _ -> ());
   !off = len
 
 let read_frame ic : (json, string) result =

@@ -31,6 +31,78 @@ val request_of_json : json -> (request, string) result
 val response_to_json : response -> json
 val response_of_json : json -> (response, string) result
 
+(** {1 Shard frames}
+
+    Coordinator ↔ worker messages for multi-process sharded sweeping
+    ({!Shard.Check}), over the same framing.  AIGER payloads are binary
+    strings; counter-examples are ['0']/['1'] strings; literals and
+    variables use the SAT solver's integer encoding, which is stable
+    across processes because {!Sat.Cnf.load} maps network node [n] to
+    variable [n] and both sides decode the same AIGER bytes. *)
+
+type shard_task =
+  | Shard_check of {
+      shard : int;
+      aiger : string;
+      stall_conflicts : int;  (** SAT budget before declaring a stall *)
+      split_vars : int;  (** how many split candidates to report *)
+      direct_sat : bool;  (** skip the sweeping engine (tests) *)
+      deadline_in : float option;
+    }  (** check one shard end to end *)
+  | Shard_cube of {
+      shard : int;
+      cube : int;
+      aiger : string option;
+          (** cube formula (the stalled shard's reduced miter); omitted
+              when this worker already holds it *)
+      assume : int list;  (** solver literals fixing this cube *)
+      freeze : int list;  (** vars that must survive preprocessing *)
+      conflict_limit : int;
+      clauses : int list list;  (** learnt clauses shared by other workers *)
+      deadline_in : float option;
+    }  (** solve one cube of a stalled shard *)
+  | Shard_quit
+
+type shard_verdict =
+  | Sv_proved
+  | Sv_disproved of { cex : string; po : int }
+  | Sv_undecided
+
+type cube_result =
+  | Cube_unsat
+  | Cube_sat of { cex : string; po : int }
+  | Cube_unknown
+
+type shard_reply =
+  | Shard_ready  (** sent once at worker startup *)
+  | Shard_verdict of {
+      shard : int;
+      verdict : shard_verdict;
+      wall_s : float;
+      conflicts : int;
+    }
+  | Shard_stalled of {
+      shard : int;
+      reduced : string;  (** engine-reduced miter: the cube formula *)
+      vars : int list;  (** high-activity split candidates, hottest first *)
+      wall_s : float;
+    }
+  | Shard_cube_reply of {
+      shard : int;
+      cube : int;
+      result : cube_result;
+      learnt : int list list;  (** short learnt clauses for the pool *)
+      conflicts : int;
+      wall_s : float;
+    }
+
+val cex_to_bits : bool array -> string
+val bits_to_cex : string -> bool array
+val shard_task_to_json : shard_task -> json
+val shard_task_of_json : json -> (shard_task, string) result
+val shard_reply_to_json : shard_reply -> json
+val shard_reply_of_json : json -> (shard_reply, string) result
+
 (** Blocking frame I/O on buffered channels.  [read_frame] returns
     [Error "eof"] on clean end-of-stream and a descriptive error on a
     truncated, oversized or unparsable frame. *)

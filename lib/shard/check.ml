@@ -1,0 +1,509 @@
+module Pr = Serve.Protocol
+module E = Simsweep.Engine
+
+type config = {
+  workers : int;
+  worker_domains : int;
+  max_shard_ands : int;
+  stall_conflicts : int;
+  split_vars : int;
+  cube_conflict_limit : int;
+  max_pool_clauses : int;
+  max_respawns : int;
+  direct_sat : bool;
+  deadline_s : float option;
+  worker_exe : string option;
+  test_kill_worker : int option;
+}
+
+let default_config =
+  {
+    workers = 2;
+    worker_domains = 1;
+    max_shard_ands = 20_000;
+    stall_conflicts = 20_000;
+    split_vars = 12;
+    cube_conflict_limit = max_int;
+    max_pool_clauses = 4096;
+    max_respawns = 4;
+    direct_sat = false;
+    deadline_s = None;
+    worker_exe = None;
+    test_kill_worker = None;
+  }
+
+(* Shard size target: cap at [max_shard_ands] but aim for at least one
+   shard per worker, with a floor so tiny miters aren't shredded. *)
+let plan_max_ands config g =
+  let total = Aig.Network.num_ands g in
+  let floor = min 256 config.max_shard_ands in
+  max floor (min config.max_shard_ands (total / max 1 config.workers))
+
+(* --- coordinator state ------------------------------------------------ *)
+
+type srun = {
+  sr : Plan.shard;
+  mutable sr_aiger : string option;  (* cached wire form of [sr.sub] *)
+  mutable sr_done : string option;  (* verdict tag once settled *)
+  mutable sr_t0 : float;  (* first assignment time *)
+  (* cube-and-conquer state, populated on stall *)
+  mutable cube_aiger : string;
+  mutable freeze : int list;  (* split variables, hottest first *)
+  mutable pending : int;  (* outstanding cubes *)
+  mutable any_unknown : bool;  (* an exhausted cube path stayed unknown *)
+  mutable next_cube : int;
+  pool_tbl : (Sat.Solver.lit list, unit) Hashtbl.t;
+  mutable pool_rev : Sat.Solver.lit list list;  (* newest first *)
+  mutable pool_count : int;
+}
+
+type task =
+  | Check of srun
+  | Cube of { c_sr : srun; c_id : int; c_assume : Sat.Solver.lit list; c_depth : int }
+
+type worker = {
+  w_id : int;  (* stable slot, reused by respawns *)
+  w_pid : int;
+  w_fd : Unix.file_descr;
+  w_ic : in_channel;
+  w_oc : out_channel;
+  mutable w_alive : bool;
+  mutable w_ready : bool;
+  mutable w_task : task option;
+  mutable w_cube_shard : int;  (* shard whose cube formula it holds, -1 *)
+  mutable w_clauses_sent : int;  (* pool clauses already shipped for it *)
+}
+
+exception Done of E.outcome
+
+let worker_env config =
+  let keep s =
+    not
+      (String.length s > 0
+      && (String.starts_with ~prefix:(Worker.mode_env ^ "=") s
+         || String.starts_with ~prefix:(Worker.domains_env ^ "=") s))
+  in
+  let base = Array.to_list (Unix.environment ()) |> List.filter keep in
+  Array.of_list
+    (base
+    @ [
+        Worker.mode_env ^ "=1";
+        Printf.sprintf "%s=%d" Worker.domains_env (max 1 config.worker_domains);
+      ])
+
+let worker_exe config =
+  match config.worker_exe with
+  | Some exe -> exe
+  | None -> (
+      match Sys.getenv_opt "SIMSWEEP_SHARD_WORKER" with
+      | Some exe when exe <> "" -> exe
+      | _ -> Sys.executable_name)
+
+let spawn config (stats : Stats.t) w_id =
+  let parent, child = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec parent;
+  let exe = worker_exe config in
+  let pid =
+    Unix.create_process_env exe [| exe |] (worker_env config) child child
+      Unix.stderr
+  in
+  Unix.close child;
+  stats.workers_spawned <- stats.workers_spawned + 1;
+  stats.worker_pids <- pid :: stats.worker_pids;
+  {
+    w_id;
+    w_pid = pid;
+    w_fd = parent;
+    w_ic = Unix.in_channel_of_descr parent;
+    w_oc = Unix.out_channel_of_descr parent;
+    w_alive = true;
+    w_ready = false;
+    w_task = None;
+    w_cube_shard = -1;
+    w_clauses_sent = 0;
+  }
+
+let reap w =
+  w.w_alive <- false;
+  w.w_ready <- false;
+  (try close_in_noerr w.w_ic with _ -> ());
+  (try ignore (Unix.waitpid [] w.w_pid) with _ -> ())
+
+let kill_and_reap w =
+  if w.w_alive then begin
+    (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    reap w
+  end
+
+(* --- the check -------------------------------------------------------- *)
+
+let check ?(config = default_config) ?cancel g =
+  let t_start = Unix.gettimeofday () in
+  let stats = Stats.create ~workers:(max 1 config.workers) in
+  let finish outcome =
+    stats.wall_s <- Unix.gettimeofday () -. t_start;
+    (outcome, stats)
+  in
+  let plan = Plan.build ~max_ands:(plan_max_ands config g) g in
+  stats.groups <- plan.Plan.groups;
+  stats.split_groups <- plan.Plan.split_groups;
+  stats.shards <- List.length plan.Plan.shards;
+  match plan.Plan.early with
+  | Some verdict -> finish verdict
+  | None when plan.Plan.shards = [] -> finish E.Proved
+  | None ->
+      (* The coordinator writes into worker sockets that can die under it. *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let num_pis = Aig.Network.num_pis g in
+      let deadline =
+        Option.map (fun d -> t_start +. d) config.deadline_s
+      in
+      let remaining () =
+        Option.map (fun d -> d -. Unix.gettimeofday ()) deadline
+      in
+      let expired () =
+        match remaining () with Some r -> r <= 0. | None -> false
+      in
+      let sruns =
+        List.map
+          (fun sh ->
+            {
+              sr = sh;
+              sr_aiger = None;
+              sr_done = None;
+              sr_t0 = 0.;
+              cube_aiger = "";
+              freeze = [];
+              pending = 0;
+              any_unknown = false;
+              next_cube = 0;
+              pool_tbl = Hashtbl.create 64;
+              pool_rev = [];
+              pool_count = 0;
+            })
+          plan.Plan.shards
+        |> Array.of_list
+      in
+      let checkq = Queue.create () in
+      Array.iter (fun sr -> Queue.add (Check sr) checkq) sruns;
+      let cubeq = ref [] in
+      let pop_task () =
+        match !cubeq with
+        | t :: rest ->
+            cubeq := rest;
+            Some t
+        | [] -> Queue.take_opt checkq
+      in
+      let requeue_front t = cubeq := t :: !cubeq in
+      let workers =
+        Array.init (max 1 config.workers) (fun i -> spawn config stats i)
+      in
+      let respawns_left = ref config.max_respawns in
+      let test_kill_fired = ref false in
+      let settle sr ~worker ~via ~wall_s verdict_tag =
+        sr.sr_done <- Some verdict_tag;
+        stats.entries <-
+          {
+            Stats.e_shard = sr.sr.Plan.id;
+            e_pos = List.length sr.sr.Plan.pos;
+            e_ands = sr.sr.Plan.ands;
+            e_worker = worker;
+            e_wall_s = wall_s;
+            e_via = via;
+            e_verdict = verdict_tag;
+          }
+          :: stats.entries
+      in
+      let disprove sr sub_cex po =
+        (* Validate before trusting a child process with the verdict. *)
+        if
+          po < List.length sr.sr.Plan.pos
+          && Array.length sub_cex = Aig.Network.num_pis sr.sr.Plan.sub
+          && Sim.Cex.check sr.sr.Plan.sub sub_cex po
+        then
+          let cex =
+            Simsweep.Partition.lift_cex ~pi_origin:sr.sr.Plan.pi_origin
+              ~num_pis sub_cex
+          in
+          raise (Done (E.Disproved (cex, List.nth sr.sr.Plan.pos po)))
+        else begin
+          Printf.eprintf
+            "shard: worker returned an invalid counter-example for shard %d\n%!"
+            sr.sr.Plan.id;
+          sr.sr_done <- Some "undecided"
+        end
+      in
+      let on_crash w =
+        if w.w_alive then begin
+          reap w;
+          stats.workers_crashed <- stats.workers_crashed + 1;
+          (match w.w_task with
+          | Some t ->
+              w.w_task <- None;
+              requeue_front t
+          | None -> ());
+          if !respawns_left > 0 then begin
+            decr respawns_left;
+            stats.respawns <- stats.respawns + 1;
+            workers.(w.w_id) <- spawn config stats w.w_id
+          end
+        end
+      in
+      let send_task w t =
+        let deadline_in = remaining () in
+        let frame =
+          match t with
+          | Check sr ->
+              if sr.sr_t0 = 0. then sr.sr_t0 <- Unix.gettimeofday ();
+              let aiger =
+                match sr.sr_aiger with
+                | Some a -> a
+                | None ->
+                    let a = Aig.Aiger_io.to_binary_string sr.sr.Plan.sub in
+                    sr.sr_aiger <- Some a;
+                    a
+              in
+              Pr.Shard_check
+                {
+                  shard = sr.sr.Plan.id;
+                  aiger;
+                  stall_conflicts = config.stall_conflicts;
+                  split_vars = config.split_vars;
+                  direct_sat = config.direct_sat;
+                  deadline_in;
+                }
+          | Cube { c_sr = sr; c_id; c_assume; _ } ->
+              let aiger =
+                if w.w_cube_shard = sr.sr.Plan.id then None
+                else begin
+                  w.w_cube_shard <- sr.sr.Plan.id;
+                  w.w_clauses_sent <- 0;
+                  Some sr.cube_aiger
+                end
+              in
+              let fresh = sr.pool_count - w.w_clauses_sent in
+              let clauses =
+                if fresh <= 0 then []
+                else
+                  List.filteri (fun i _ -> i < fresh) sr.pool_rev |> List.rev
+              in
+              w.w_clauses_sent <- sr.pool_count;
+              stats.clause_imports <- stats.clause_imports + List.length clauses;
+              Pr.Shard_cube
+                {
+                  shard = sr.sr.Plan.id;
+                  cube = c_id;
+                  aiger;
+                  assume = c_assume;
+                  freeze = sr.freeze;
+                  conflict_limit = config.cube_conflict_limit;
+                  clauses;
+                  deadline_in;
+                }
+        in
+        match Pr.write_frame w.w_oc (Pr.shard_task_to_json frame) with
+        | () -> (
+            w.w_task <- Some t;
+            (* Fault injection: kill this slot right after its first
+               assignment, mid-shard from the coordinator's viewpoint. *)
+            match config.test_kill_worker with
+            | Some id when id = w.w_id && not !test_kill_fired ->
+                test_kill_fired := true;
+                (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+            | _ -> ())
+        | exception _ ->
+            requeue_front t;
+            on_crash w
+      in
+      let add_pool_clauses sr learnt =
+        List.iter
+          (fun c ->
+            let c = List.sort_uniq compare c in
+            if
+              c <> []
+              && sr.pool_count < config.max_pool_clauses
+              && not (Hashtbl.mem sr.pool_tbl c)
+            then begin
+              Hashtbl.replace sr.pool_tbl c ();
+              sr.pool_rev <- c :: sr.pool_rev;
+              sr.pool_count <- sr.pool_count + 1;
+              stats.clauses_shared <- stats.clauses_shared + 1
+            end)
+          learnt
+      in
+      let cube_done sr w ~via =
+        sr.pending <- sr.pending - 1;
+        if sr.pending <= 0 && sr.sr_done = None then
+          settle sr ~worker:w.w_id ~via
+            ~wall_s:(Unix.gettimeofday () -. sr.sr_t0)
+            (if sr.any_unknown then "undecided" else "proved")
+      in
+      let alive_count () =
+        Array.fold_left (fun n w -> if w.w_alive then n + 1 else n) 0 workers
+      in
+      let on_stalled sr vars reduced =
+        sr.cube_aiger <- reduced;
+        sr.freeze <- vars;
+        let rec bits n = if n <= 1 then 0 else 1 + bits ((n + 1) / 2) in
+        let k =
+          min (List.length vars) (min 6 (max 1 (bits (2 * alive_count ()))))
+        in
+        let head = List.filteri (fun i _ -> i < k) vars in
+        sr.pending <- 1 lsl k;
+        for m = (1 lsl k) - 1 downto 0 do
+          let assume =
+            List.mapi
+              (fun j v -> Sat.Solver.mklit v ((m lsr j) land 1 = 1))
+              head
+          in
+          let c_id = sr.next_cube in
+          sr.next_cube <- sr.next_cube + 1;
+          requeue_front (Cube { c_sr = sr; c_id; c_assume = assume; c_depth = k })
+        done
+      in
+      let resplit sr (t : task) =
+        match t with
+        | Cube { c_assume; c_depth; _ } when c_depth < List.length sr.freeze ->
+            let v = List.nth sr.freeze c_depth in
+            stats.resplits <- stats.resplits + 1;
+            sr.pending <- sr.pending + 1;
+            List.iter
+              (fun sign ->
+                let c_id = sr.next_cube in
+                sr.next_cube <- sr.next_cube + 1;
+                requeue_front
+                  (Cube
+                     {
+                       c_sr = sr;
+                       c_id;
+                       c_assume = c_assume @ [ Sat.Solver.mklit v sign ];
+                       c_depth = c_depth + 1;
+                     }))
+              [ false; true ];
+            true
+        | _ -> false
+      in
+      let handle_reply w t reply =
+        match (t, reply) with
+        | _, Pr.Shard_ready ->
+            (* unsolicited hello from a respawn; not a task completion *)
+            w.w_ready <- true;
+            w.w_task <- t
+        | Some (Check sr), Pr.Shard_verdict { shard; verdict; wall_s; conflicts }
+          when shard = sr.sr.Plan.id -> (
+            stats.conflicts <- stats.conflicts + conflicts;
+            stats.tasks.(w.w_id) <- stats.tasks.(w.w_id) + 1;
+            match verdict with
+            | Pr.Sv_proved -> settle sr ~worker:w.w_id ~via:"sweep" ~wall_s "proved"
+            | Pr.Sv_undecided ->
+                settle sr ~worker:w.w_id ~via:"sweep" ~wall_s "undecided"
+            | Pr.Sv_disproved { cex; po } ->
+                settle sr ~worker:w.w_id ~via:"sweep" ~wall_s "disproved";
+                disprove sr (Pr.bits_to_cex cex) po)
+        | Some (Check sr), Pr.Shard_stalled { shard; reduced; vars; wall_s = _ }
+          when shard = sr.sr.Plan.id ->
+            stats.tasks.(w.w_id) <- stats.tasks.(w.w_id) + 1;
+            on_stalled sr vars reduced
+        | ( Some (Cube { c_sr = sr; c_id; _ } as t),
+            Pr.Shard_cube_reply { shard; cube; result; learnt; conflicts; wall_s = _ }
+          )
+          when shard = sr.sr.Plan.id && cube = c_id -> (
+            stats.conflicts <- stats.conflicts + conflicts;
+            stats.tasks.(w.w_id) <- stats.tasks.(w.w_id) + 1;
+            add_pool_clauses sr learnt;
+            match result with
+            | Pr.Cube_unsat ->
+                stats.cubes_solved <- stats.cubes_solved + 1;
+                cube_done sr w ~via:"cubes"
+            | Pr.Cube_sat { cex; po } ->
+                stats.cubes_solved <- stats.cubes_solved + 1;
+                stats.cubes_sat <- stats.cubes_sat + 1;
+                settle sr ~worker:w.w_id ~via:"cubes"
+                  ~wall_s:(Unix.gettimeofday () -. sr.sr_t0)
+                  "disproved";
+                disprove sr (Pr.bits_to_cex cex) po
+            | Pr.Cube_unknown ->
+                stats.cubes_unknown <- stats.cubes_unknown + 1;
+                if not (resplit sr t) then begin
+                  sr.any_unknown <- true;
+                  cube_done sr w ~via:"cubes"
+                end)
+        | _ ->
+            Printf.eprintf "shard: protocol confusion from worker %d, killing it\n%!"
+              w.w_id;
+            (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (match t with Some t -> requeue_front t | None -> ());
+            w.w_task <- None;
+            reap w;
+            stats.workers_crashed <- stats.workers_crashed + 1;
+            if !respawns_left > 0 then begin
+              decr respawns_left;
+              stats.respawns <- stats.respawns + 1;
+              workers.(w.w_id) <- spawn config stats w.w_id
+            end
+      in
+      let handle_readable w =
+        match Pr.read_frame w.w_ic with
+        | Error _ -> on_crash w
+        | Ok json -> (
+            match Pr.shard_reply_of_json json with
+            | Error e ->
+                Printf.eprintf "shard: bad reply from worker %d: %s\n%!" w.w_id e;
+                on_crash w
+            | Ok reply ->
+                let t = w.w_task in
+                w.w_task <- None;
+                handle_reply w t reply)
+      in
+      let outcome_of_sruns () =
+        if Array.for_all (fun sr -> sr.sr_done = Some "proved") sruns then
+          E.Proved
+        else E.Undecided
+      in
+      let result =
+        Fun.protect
+          ~finally:(fun () -> Array.iter kill_and_reap workers)
+          (fun () ->
+            try
+              while true do
+                if Par.Cancel.poll_opt cancel || expired () then
+                  raise (Done E.Undecided);
+                (* settled? *)
+                if
+                  !cubeq = []
+                  && Queue.is_empty checkq
+                  && Array.for_all (fun w -> w.w_task = None) workers
+                  && Array.for_all (fun sr -> sr.sr_done <> None) sruns
+                then raise (Done (outcome_of_sruns ()));
+                (* hand work to idle, ready workers *)
+                Array.iter
+                  (fun w ->
+                    if w.w_alive && w.w_ready && w.w_task = None then
+                      match pop_task () with
+                      | Some t -> send_task w t
+                      | None -> ())
+                  workers;
+                let fds =
+                  Array.to_list workers
+                  |> List.filter_map (fun w ->
+                         if w.w_alive then Some w.w_fd else None)
+                in
+                if fds = [] then
+                  (* every worker dead and no respawn budget left *)
+                  raise (Done (outcome_of_sruns ()));
+                let readable =
+                  match Unix.select fds [] [] 0.05 with
+                  | r, _, _ -> r
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+                in
+                List.iter
+                  (fun fd ->
+                    Array.iter
+                      (fun w -> if w.w_alive && w.w_fd = fd then handle_readable w)
+                      workers)
+                  readable
+              done;
+              assert false
+            with Done outcome -> outcome)
+      in
+      finish result

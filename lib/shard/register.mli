@@ -1,0 +1,7 @@
+(** Opt-in integrations with the rest of the toolkit. *)
+
+(** Register the shard coordinator as a shell [cec] engine: [cec shard]
+    (two workers) or [cec shard.N] (N workers).  Call from an entry point
+    that also calls {!Worker.maybe_become_worker}, or the spawned workers
+    will come up as ordinary shells. *)
+val shell : unit -> unit

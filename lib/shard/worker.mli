@@ -1,0 +1,33 @@
+(** Shard worker process.
+
+    Workers are not a separate binary: the coordinator re-executes the
+    host executable with {!mode_env} set ([Unix.fork] is unusable in a
+    multi-domain OCaml 5 process), so every binary that can coordinate
+    must call {!maybe_become_worker} first thing in [main].  The protocol
+    rides on the worker's stdin/stdout; stdout is immediately dup'ed away
+    and redirected to stderr so stray prints cannot corrupt frames.
+
+    A worker handles one task at a time: [Shard_check] runs the sweeping
+    engine with a bounded SAT tail and either answers with a verdict or,
+    when the tail stalls, ships back the engine-reduced miter plus its
+    hottest SAT variables as cube-split candidates; [Shard_cube] solves
+    one cube of a stalled shard under assumptions, importing clauses
+    learnt elsewhere and exporting its own short learnt clauses.  The
+    cube formula is cached across consecutive cubes of the same shard. *)
+
+(** Environment variable that turns a host binary into a worker ("1"). *)
+val mode_env : string
+
+(** Environment variable carrying the worker's domain-pool size. *)
+val domains_env : string
+
+(** When {!mode_env} is set, run the worker protocol loop on
+    stdin/stdout and [exit] — never returns in that case.  A no-op
+    otherwise. *)
+val maybe_become_worker : unit -> unit
+
+(** The protocol loop itself: read {!Serve.Protocol.shard_task} frames,
+    answer each with one {!Serve.Protocol.shard_reply} frame, return on
+    [Shard_quit] or end-of-stream.  [num_domains] sizes the worker's
+    simulation pool (default 1). *)
+val serve : ?num_domains:int -> in_channel -> out_channel -> unit

@@ -27,7 +27,8 @@ let help_text =
       "load NAME            recall a stored network";
       "miter NAME           current := miter(current, NAME)";
       "cec [ENGINE]         sim sat satdirect bdd portfolio combined \
-       partitioned wordsweep";
+       partitioned wordsweep; plus registered engines (e.g. shard.N: \
+       N-process sharded sweeping)";
       "map [K]              map to K-input LUTs and resynthesise (default 6)";
       "fraig                merge functionally equivalent internal nodes";
       "certify              combined check with certificate validation";
@@ -78,6 +79,22 @@ let cache_suffix st ~hits ~misses =
   match st.pcache with
   | None -> ""
   | Some _ -> Printf.sprintf " [cache %d hits, %d misses]" hits misses
+
+(* Extra checking engines registered by libraries the shell cannot link
+   directly (dependency direction) — e.g. the multi-process shard
+   coordinator, whose library depends on the serve protocol which in turn
+   depends on this shell.  Same opt-in pattern as the portfolio's
+   [Word.Sweep.register]. *)
+let external_engines :
+    ( string,
+      ?cancel:Par.Cancel.t ->
+      arg:string option ->
+      Aig.Network.t ->
+      (string, string) result )
+    Hashtbl.t =
+  Hashtbl.create 4
+
+let register_engine name run = Hashtbl.replace external_engines name run
 
 let run_cec ?cancel st g engine =
   let pool = Lazy.force st.pool in
@@ -163,7 +180,19 @@ let run_cec ?cancel st g engine =
            ws.Word.Sweep.words_proved ws.Word.Sweep.bits_merged
            (cache_suffix st ~hits:ws.Word.Sweep.cache_hits
               ~misses:ws.Word.Sweep.cache_misses))
-  | other -> Error ("unknown engine " ^ other)
+  | other -> (
+      (* "name" or "name.ARG" selects a registered engine, ARG passed
+         through (e.g. "shard.4" = shard coordinator with 4 workers). *)
+      let name, arg =
+        match String.index_opt other '.' with
+        | Some i ->
+            ( String.sub other 0 i,
+              Some (String.sub other (i + 1) (String.length other - i - 1)) )
+        | None -> (other, None)
+      in
+      match Hashtbl.find_opt external_engines name with
+      | Some run -> run ?cancel ~arg g
+      | None -> Error ("unknown engine " ^ other))
 
 (* Tokenize one command line ABC-style: words split on blanks; double or
    single quotes group a word, so filenames may contain blanks, [;] or

@@ -51,9 +51,24 @@ val create : ?pool:Par.Pool.t -> ?pcache:Aig.Pcache.t -> unit -> state
     long-running commands ([cec], [fraig]). *)
 val exec : ?cancel:Par.Cancel.t -> state -> string -> (string, string) result
 
+(** [register_engine name run] plugs an extra [cec] engine into the
+    interpreter, for libraries the shell cannot link directly (the shard
+    coordinator depends on the serve protocol, which depends on this
+    shell).  The engine is selected as [cec name] or [cec name.ARG]; the
+    part after the first dot reaches [run] as [arg].  Registering an
+    existing name replaces it.  Entry points opt in explicitly (same
+    pattern as [Word.Sweep.register]). *)
+val register_engine :
+  string ->
+  (?cancel:Par.Cancel.t ->
+  arg:string option ->
+  Aig.Network.t ->
+  (string, string) result) ->
+  unit
+
 (** [run_cec ?cancel state miter engine] checks [miter] with the named
     [cec] engine (sim, sat, bdd, portfolio, combined, partitioned,
-    wordsweep) using
+    wordsweep, or anything from {!register_engine}) using
     the state's pool and equivalence cache, without touching the state's
     current network or store.  The daemon's direct-CEC entry point. *)
 val run_cec :

@@ -225,6 +225,8 @@ let test_self_test () =
       Alcotest.(check bool) "repro written" true (Sys.file_exists repro.Fuzz.Report.path)
 
 let () =
+  (* The oracle's shard engine re-execs this test binary as its workers. *)
+  Shard.Worker.maybe_become_worker ();
   Alcotest.run "fuzz"
     [
       ( "surgery",

@@ -58,6 +58,21 @@ let test_partition_check_inequivalent () =
           Alcotest.(check bool) "lifted CEX valid" true (Sim.Cex.check m cex po)
       | _ -> Alcotest.fail "expected disproof")
 
+let test_partition_check_cancelled_single_group () =
+  Util.with_pool (fun pool ->
+      (* One PO, one support group: an already-expired deadline must be
+         honoured inside the group's engine/SAT fallback, not only at the
+         (non-existent) next group boundary.  The miter is equivalent, so
+         anything but Undecided means the token was ignored. *)
+      let g = Gen.Control.random_logic ~pis:10 ~nodes:200 ~pos:1 ~seed:7L in
+      let m = Aig.Miter.build g (Opt.Resyn.light g) in
+      Alcotest.(check int) "single group" 1
+        (List.length (Simsweep.Partition.groups m));
+      let cancel = Par.Cancel.create ~deadline_in:0.0 () in
+      let outcome, _ = Simsweep.Partition.check ~cancel ~pool m in
+      Alcotest.(check bool) "undecided under expired deadline" true
+        (outcome = Simsweep.Engine.Undecided))
+
 let prop_partition_agrees =
   QCheck.Test.make ~name:"partitioned check = monolithic check" ~count:15
     Util.arb_seed (fun seed ->
@@ -150,6 +165,8 @@ let () =
           Alcotest.test_case "extract" `Quick test_extract;
           Alcotest.test_case "check equivalent" `Quick test_partition_check_equivalent;
           Alcotest.test_case "check inequivalent" `Quick test_partition_check_inequivalent;
+          Alcotest.test_case "check cancelled (single group)" `Quick
+            test_partition_check_cancelled_single_group;
         ] );
       ( "rsim",
         [

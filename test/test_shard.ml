@@ -1,0 +1,215 @@
+(* Multi-process sharded sweeping: plan shape, counter-example lifting
+   across shard PI renumbering, verdict determinism for any worker count,
+   crash rescheduling, deadline kill+reap (no zombies), and the
+   cube-and-conquer tail. *)
+
+let mult ~bits = Gen.Arith.multiplier ~bits
+
+(* Equivalent-by-construction miter: a circuit against its resynthesis. *)
+let equiv_miter g = Aig.Miter.build g (Opt.Resyn.light g)
+
+(* Subtly faulty copy: PO 0 is masked with PI 0, so the miter is
+   inequivalent on some inputs but no PO is constant (the fault must not
+   be decidable at plan time). *)
+let faulty g =
+  let h = Aig.Network.copy g in
+  let p0 = Aig.Network.po h 0 in
+  let x0 = Aig.Lit.make (Aig.Network.pi h 0) false in
+  Aig.Network.set_po h 0 (Aig.Network.add_and h p0 x0);
+  h
+
+(* Disjoint union of two miters: fresh PIs for [m2], POs appended after
+   [m1]'s — [m2]'s cones live at high PI indices, so extracting them into
+   a shard renumbers every PI. *)
+let disjoint_union m1 m2 =
+  let g = Aig.Network.copy m1 in
+  let pi_map =
+    Array.init (Aig.Network.num_pis m2) (fun _ -> Aig.Network.add_pi g)
+  in
+  let pos2 = Aig.Miter.append g m2 ~pi_map in
+  Array.iter (fun l -> Aig.Network.add_po g l) pos2;
+  g
+
+let config ~workers =
+  {
+    Shard.Check.default_config with
+    Shard.Check.workers;
+    max_shard_ands = 64;
+    deadline_s = Some 120.;
+  }
+
+(* --- plan ------------------------------------------------------------- *)
+
+let test_plan_pack_and_split () =
+  (* A doubled miter has many tiny groups: they must pack into far fewer
+     shards, covering every PO exactly once. *)
+  let m = Gen.Double.times 3 (equiv_miter (Gen.Arith.adder ~bits:4)) in
+  let plan = Shard.Plan.build ~max_ands:200 m in
+  Alcotest.(check bool) "many groups" true (plan.Shard.Plan.groups >= 8);
+  Alcotest.(check bool)
+    "packed into fewer shards" true
+    (List.length plan.Shard.Plan.shards < plan.Shard.Plan.groups);
+  let seen = Array.make (Aig.Network.num_pos m) 0 in
+  List.iter
+    (fun sh ->
+      List.iter (fun po -> seen.(po) <- seen.(po) + 1) sh.Shard.Plan.pos)
+    plan.Shard.Plan.shards;
+  (* Constant-false POs are settled at plan time; every other PO appears
+     in exactly one shard. *)
+  Array.iteri
+    (fun po n ->
+      let const_false = Aig.Network.po m po = Aig.Lit.const_false in
+      Alcotest.(check int)
+        (Printf.sprintf "po %d covered once" po)
+        (if const_false then 0 else 1)
+        n)
+    seen;
+  (* A single big support group must be split at PO boundaries. *)
+  let big = equiv_miter (mult ~bits:6) in
+  let plan2 = Shard.Plan.build ~max_ands:200 big in
+  Alcotest.(check bool) "group split" true (plan2.Shard.Plan.split_groups >= 1);
+  Alcotest.(check bool)
+    "window shards" true
+    (List.length plan2.Shard.Plan.shards > 1)
+
+let test_lift_cex_unit () =
+  let sub_cex = [| true; false; true |] in
+  let lifted =
+    Simsweep.Partition.lift_cex ~pi_origin:[| 5; 2; 9 |] ~num_pis:11 sub_cex
+  in
+  Alcotest.(check int) "width" 11 (Array.length lifted);
+  Array.iteri
+    (fun i v -> Alcotest.(check bool) (Printf.sprintf "pi %d" i) (i = 5 || i = 9) v)
+    lifted
+
+(* --- end to end ------------------------------------------------------- *)
+
+let test_disproof_lifted_across_renumbering () =
+  (* The faulty block sits behind an equivalent block, so its shard PIs
+     are renumbered; the reported CEX must still replay on the full
+     miter at the full-miter PO index. *)
+  let clean = equiv_miter (mult ~bits:4) in
+  let adder = Gen.Arith.adder ~bits:4 in
+  let bad = Aig.Miter.build adder (faulty adder) in
+  let full = disjoint_union clean bad in
+  let outcome, _ = Shard.Check.check ~config:(config ~workers:2) full in
+  match outcome with
+  | Simsweep.Engine.Disproved (cex, po) ->
+      Alcotest.(check bool)
+        "po lies in the appended block" true
+        (po >= Aig.Network.num_pos clean);
+      Alcotest.(check int) "cex covers all pis" (Aig.Network.num_pis full)
+        (Array.length cex);
+      Alcotest.(check bool) "cex replays on the full miter" true
+        (Sim.Cex.check full cex po)
+  | Simsweep.Engine.Proved -> Alcotest.fail "faulty miter proved"
+  | Simsweep.Engine.Undecided -> Alcotest.fail "faulty miter undecided"
+
+let test_verdict_deterministic_across_worker_counts () =
+  let eq = equiv_miter (mult ~bits:5) in
+  let adder = Gen.Arith.adder ~bits:6 in
+  let ineq = Aig.Miter.build adder (faulty adder) in
+  List.iter
+    (fun workers ->
+      let outcome, _ = Shard.Check.check ~config:(config ~workers) eq in
+      (match outcome with
+      | Simsweep.Engine.Proved -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "equivalent: %d workers" workers));
+      let outcome, _ = Shard.Check.check ~config:(config ~workers) ineq in
+      match outcome with
+      | Simsweep.Engine.Disproved (cex, po) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "cex replays (%d workers)" workers)
+            true (Sim.Cex.check ineq cex po)
+      | _ -> Alcotest.fail (Printf.sprintf "inequivalent: %d workers" workers))
+    [ 1; 2; 3 ]
+
+let test_crash_rescheduling () =
+  let m = equiv_miter (mult ~bits:5) in
+  let config =
+    {
+      (config ~workers:2) with
+      Shard.Check.test_kill_worker = Some 0;
+      max_respawns = 2;
+    }
+  in
+  let outcome, st = Shard.Check.check ~config m in
+  Alcotest.(check bool) "a worker crashed" true (st.Shard.Stats.workers_crashed >= 1);
+  Alcotest.(check bool) "a replacement spawned" true (st.Shard.Stats.respawns >= 1);
+  match outcome with
+  | Simsweep.Engine.Proved -> ()
+  | _ -> Alcotest.fail "verdict lost with the killed worker"
+
+let test_deadline_kills_and_reaps () =
+  (* A SAT-hard miter (multiplier, engine skipped) with a short deadline:
+     the check must come back Undecided with every worker process gone —
+     no zombies, no survivors. *)
+  let m = equiv_miter (mult ~bits:8) in
+  let config =
+    {
+      (config ~workers:2) with
+      Shard.Check.direct_sat = true;
+      stall_conflicts = max_int;
+      deadline_s = Some 0.3;
+    }
+  in
+  let outcome, st = Shard.Check.check ~config m in
+  (match outcome with
+  | Simsweep.Engine.Disproved _ -> Alcotest.fail "equivalent miter disproved"
+  | _ -> ());
+  Alcotest.(check bool) "workers were spawned" true
+    (st.Shard.Stats.workers_spawned >= 2);
+  (* Every worker pid must be dead (ESRCH on signal 0)... *)
+  List.iter
+    (fun pid ->
+      let alive = match Unix.kill pid 0 with () -> true | exception _ -> false in
+      Alcotest.(check bool) (Printf.sprintf "pid %d reaped" pid) false alive)
+    st.Shard.Stats.worker_pids;
+  (* ...and none may linger as a zombie: with all children reaped,
+     waitpid(-1) raises ECHILD. *)
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | pid, _ -> Alcotest.fail (Printf.sprintf "unreaped child %d" pid)
+
+let test_cube_and_conquer_tail () =
+  (* Engine skipped and a stall budget of 2 conflicts: every shard stalls
+     immediately and must be finished by the cube tail. *)
+  let m = equiv_miter (mult ~bits:5) in
+  let config =
+    {
+      (config ~workers:2) with
+      Shard.Check.direct_sat = true;
+      stall_conflicts = 2;
+      max_shard_ands = 128;
+    }
+  in
+  let outcome, st = Shard.Check.check ~config m in
+  (match outcome with
+  | Simsweep.Engine.Proved -> ()
+  | Simsweep.Engine.Disproved _ -> Alcotest.fail "equivalent miter disproved"
+  | Simsweep.Engine.Undecided -> Alcotest.fail "cube tail left the miter undecided");
+  Alcotest.(check bool) "cubes were solved" true (st.Shard.Stats.cubes_solved > 0)
+
+let () =
+  (* Coordinators in these tests re-exec this binary as their workers. *)
+  Shard.Worker.maybe_become_worker ();
+  Alcotest.run "shard"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "pack and split" `Quick test_plan_pack_and_split;
+          Alcotest.test_case "lift_cex unit" `Quick test_lift_cex_unit;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "disproof lifted" `Quick
+            test_disproof_lifted_across_renumbering;
+          Alcotest.test_case "worker-count determinism" `Slow
+            test_verdict_deterministic_across_worker_counts;
+          Alcotest.test_case "crash rescheduling" `Quick test_crash_rescheduling;
+          Alcotest.test_case "deadline kill+reap" `Quick
+            test_deadline_kills_and_reaps;
+          Alcotest.test_case "cube-and-conquer tail" `Quick
+            test_cube_and_conquer_tail;
+        ] );
+    ]

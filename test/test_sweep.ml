@@ -184,6 +184,18 @@ let test_batch_stats () =
       Alcotest.(check bool) "one cnf load per batch" true
         (stats.Sat.Sweep.cnf_loads >= stats.Sat.Sweep.batches))
 
+let test_cancelled_before_start () =
+  (* A token expired before the check starts must stop the batch loop
+     before any SAT work: no batches committed, no SAT calls made. *)
+  Util.with_pool (fun pool ->
+      let g = Util.random_network ~pis:6 ~nodes:60 ~pos:4 3 in
+      let miter = Aig.Miter.build g (Opt.Balance.run (Opt.Xorflip.run g)) in
+      let cancel = Par.Cancel.create ~deadline_in:0.0 () in
+      let outcome, stats = Sat.Sweep.check ~cancel ~pool miter in
+      Alcotest.(check bool) "undecided" true (outcome = Sat.Sweep.Undecided);
+      Alcotest.(check int) "no batches" 0 stats.Sat.Sweep.batches;
+      Alcotest.(check int) "no sat calls" 0 stats.Sat.Sweep.sat_calls)
+
 let prop_pair_batch_size_sound =
   QCheck.Test.make ~name:"any pair_batch agrees with brute force" ~count:10
     (QCheck.pair Util.arb_seed (QCheck.int_range 1 8)) (fun (seed, bsz) ->
@@ -236,6 +248,8 @@ let () =
           Alcotest.test_case "reverse-sim splits" `Quick test_reverse_sim_splits;
           Alcotest.test_case "fraig reduces" `Quick test_fraig_reduces_redundancy;
           Alcotest.test_case "batch stats" `Quick test_batch_stats;
+          Alcotest.test_case "cancelled before start" `Quick
+            test_cancelled_before_start;
         ] );
       ( "props",
         List.map QCheck_alcotest.to_alcotest
