@@ -41,7 +41,7 @@ let engine_tag = function
 (* Client mode: ship the miter to a running daemon (simsweep-serve) and
    let it check — repeated checks of the same cones hit the daemon's
    cross-request equivalence cache. *)
-let run_remote addr engine name miter stats_json =
+let run_remote addr engine_str name miter stats_json =
   match Serve.Client.connect (Serve.Client.parse_addr addr) with
   | Error e ->
       Printf.eprintf "error: cannot connect to %s: %s\n" addr e;
@@ -52,7 +52,7 @@ let run_remote addr engine name miter stats_json =
         Serve.Protocol.Cec
           {
             aiger = Aig.Aiger_io.to_binary_string miter;
-            engine = engine_tag engine;
+            engine = engine_str;
             timeout_s = None;
           }
       in
@@ -71,7 +71,7 @@ let run_remote addr engine name miter stats_json =
                 (Obj
                    [
                      ("name", String name);
-                     ("engine", String (engine_tag engine));
+                     ("engine", String engine_str);
                      ("server", String addr);
                      ("output", String r.Serve.Protocol.output);
                      ("ok", Bool r.Serve.Protocol.ok);
@@ -94,12 +94,17 @@ let run_remote addr engine name miter stats_json =
 (* Sharded mode: partition the miter, fork [shard_n] worker processes and
    coordinate them (work-stealing, cube-and-conquer on stalls).  The
    coordinator itself needs no domain pool. *)
-let run_shard shard_n name miter num_domains verbose stats_json =
+let run_shard shard_n transport name miter num_domains verbose stats_json =
   let worker_domains =
     match num_domains with Some j -> max 1 (j / max 1 shard_n) | None -> 1
   in
   let config =
-    { Shard.Check.default_config with workers = shard_n; worker_domains }
+    {
+      Shard.Check.default_config with
+      workers = shard_n;
+      worker_domains;
+      transport;
+    }
   in
   let t0 = Unix.gettimeofday () in
   Printf.printf "miter %s: %s\n%!" name
@@ -115,6 +120,17 @@ let run_shard shard_n name miter num_domains verbose stats_json =
       (Array.fold_left ( + ) 0 (Shard.Stats.steals st))
       st.Shard.Stats.cubes_solved st.Shard.Stats.clauses_shared
       st.Shard.Stats.workers_crashed;
+  if verbose then
+    Printf.printf
+      "data plane: %s transport, %d B tx / %d B rx in %d+%d frames (%d \
+       batched flushes), %d shm hits / %d fallbacks, %d segments created / \
+       %d unlinked, %d warm + %d cold starts\n"
+      st.Shard.Stats.transport st.Shard.Stats.bytes_tx st.Shard.Stats.bytes_rx
+      st.Shard.Stats.frames_tx st.Shard.Stats.frames_rx
+      st.Shard.Stats.batched_flushes st.Shard.Stats.shm_hits
+      st.Shard.Stats.shm_fallbacks st.Shard.Stats.segments_created
+      st.Shard.Stats.segments_unlinked st.Shard.Stats.warm_starts
+      st.Shard.Stats.cold_starts;
   Printf.printf "%s  (%.3fs)\n" (describe_outcome outcome) elapsed;
   (match stats_json with
   | Some file ->
@@ -148,15 +164,25 @@ let run_shard shard_n name miter num_domains verbose stats_json =
   | Simsweep.Engine.Undecided -> 3
 
 let run_check engine file1 file2 suite scale post_double num_domains race
-    verbose certify stats_json server no_simplify shard_n =
+    verbose certify stats_json server no_simplify shard_n shard_transport
+    max_frame_mb =
+  Serve.Protocol.set_max_frame (max_frame_mb * 1024 * 1024);
   match read_inputs file1 file2 suite scale post_double with
   | Error msg ->
       prerr_endline ("error: " ^ msg);
       2
   | Ok (name, miter) when server <> None ->
-      run_remote (Option.get server) engine name miter stats_json
+      (* --shard N rides along to the daemon as the engine string, so a
+         warm daemon answers shard requests from its persistent worker
+         pool instead of this process forking cold workers. *)
+      let engine_str =
+        if shard_n > 0 then Printf.sprintf "shard.%d" shard_n
+        else engine_tag engine
+      in
+      run_remote (Option.get server) engine_str name miter stats_json
   | Ok (name, miter) when shard_n > 0 ->
-      run_shard shard_n name miter num_domains verbose stats_json
+      run_shard shard_n shard_transport name miter num_domains verbose
+        stats_json
   | Ok (name, miter) ->
       if verbose then begin
         Logs.set_reporter (Logs.format_reporter ());
@@ -409,7 +435,23 @@ let shard_n =
                boundaries), workers pull shards work-stealing style, and a \
                shard whose SAT tail stalls is cut into cubes fanned across \
                idle workers with learnt-clause sharing (cube-and-conquer).  \
-               Overrides --engine; 0 disables.")
+               Overrides --engine; 0 disables.  With --server, the shard \
+               request is served by the daemon's warm worker pool.")
+
+let shard_transport =
+  let enum_conv = Arg.enum [ ("shm", `Shm); ("inline", `Inline) ] in
+  Arg.(value & opt enum_conv `Shm & info [ "shard-transport" ] ~docv:"MODE"
+         ~doc:"How --shard ships AIGER payloads to workers: shm \
+               (shared-memory segments, descriptors on the wire) or inline \
+               (payload bytes in the frame).  Verdicts are identical either \
+               way; inline exists for A/B measurement and as the fallback \
+               when no shm directory is usable.")
+
+let max_frame_mb =
+  Arg.(value & opt int 256 & info [ "max-frame-mb" ] ~docv:"MB"
+         ~doc:"Protocol frame cap (header + binary payload) in megabytes \
+               for shard and --server traffic; bounds the largest AIGER a \
+               single frame may carry.")
 
 let cmd =
   let doc = "simulation-based parallel sweeping equivalence checker" in
@@ -418,7 +460,7 @@ let cmd =
     Term.(
       const run_check $ engine $ file1 $ file2 $ suite $ scale $ post_double
       $ num_domains $ race $ verbose $ certify $ stats_json $ server
-      $ no_simplify $ shard_n)
+      $ no_simplify $ shard_n $ shard_transport $ max_frame_mb)
 
 let () =
   (* Re-exec'ed children of `--shard` coordinators become workers here. *)

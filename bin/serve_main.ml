@@ -8,7 +8,7 @@
    print the response — the scripting companion to [simsweep-cec
    --server]. *)
 
-let serve socket tcp cache_entries cache_mb timeout num_domains =
+let serve socket tcp cache_entries cache_mb timeout num_domains max_frame_mb =
   let addr =
     match tcp with
     | Some spec -> (
@@ -30,6 +30,7 @@ let serve socket tcp cache_entries cache_mb timeout num_domains =
       cache_entries;
       cache_bytes = cache_mb * 1_000_000;
       default_timeout_s = timeout;
+      max_frame_bytes = max_frame_mb * 1024 * 1024;
       pool;
     }
   in
@@ -73,7 +74,7 @@ let run_client addr script timeout =
           end)
 
 let main connect script script_file socket tcp cache_entries cache_mb timeout
-    num_domains =
+    num_domains max_frame_mb =
   match connect with
   | Some addr -> (
       match (script, script_file) with
@@ -88,7 +89,8 @@ let main connect script script_file socket tcp cache_entries cache_mb timeout
       | Some _, Some _ ->
           prerr_endline "error: give --script or a FILE, not both";
           2)
-  | None -> serve socket tcp cache_entries cache_mb timeout num_domains
+  | None ->
+      serve socket tcp cache_entries cache_mb timeout num_domains max_frame_mb
 
 open Cmdliner
 
@@ -134,12 +136,23 @@ let num_domains =
          ~doc:"Worker domains of the shared pool (default: \
                machine-dependent).")
 
+let max_frame_mb =
+  Arg.(value & opt int 256 & info [ "max-frame-mb" ] ~docv:"MB"
+         ~doc:"Protocol frame cap (header + binary payload) in megabytes; \
+               bounds the largest AIGER a request may carry.")
+
 let cmd =
   let doc = "persistent sweep daemon (CEC as a service)" in
   Cmd.v
     (Cmd.info "simsweep-serve" ~doc)
     Term.(
       const main $ connect $ script $ script_file $ socket $ tcp
-      $ cache_entries $ cache_mb $ timeout $ num_domains)
+      $ cache_entries $ cache_mb $ timeout $ num_domains $ max_frame_mb)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* A daemon hosting shard requests re-execs itself as the worker, so
+     the worker hook must run first; registering the shard engine makes
+     "shard.N" resolvable from Cec requests and served scripts. *)
+  Shard.Worker.maybe_become_worker ();
+  Shard.Register.shell ();
+  exit (Cmd.eval' cmd)

@@ -307,6 +307,35 @@ let bool_member key j =
 let list_member key j =
   match member key j with Some (List l) -> Some l | _ -> None
 
+(* --- wire I/O counters ---------------------------------------------------- *)
+
+type io = {
+  mutable io_bytes_tx : int;
+  mutable io_bytes_rx : int;
+  mutable io_frames_tx : int;
+  mutable io_frames_rx : int;
+  mutable io_flushes : int;
+}
+
+let io_create () =
+  {
+    io_bytes_tx = 0;
+    io_bytes_rx = 0;
+    io_frames_tx = 0;
+    io_frames_rx = 0;
+    io_flushes = 0;
+  }
+
+let of_io io =
+  Obj
+    [
+      ("bytes_tx", Int io.io_bytes_tx);
+      ("bytes_rx", Int io.io_bytes_rx);
+      ("frames_tx", Int io.io_frames_tx);
+      ("frames_rx", Int io.io_frames_rx);
+      ("flushes", Int io.io_flushes);
+    ]
+
 (* --- stat snapshots ------------------------------------------------------ *)
 
 let of_exhaustive (s : Exhaustive.stats) =

@@ -44,6 +44,24 @@ val string_member : string -> json -> string option
 val bool_member : string -> json -> bool option
 val list_member : string -> json -> json list option
 
+(** {1 Wire I/O counters}
+
+    Mutable per-connection counters threaded through the frame layer
+    ({!Serve.Protocol}): payload-inclusive bytes and frames in each
+    direction, plus actual [flush] syscalls — fewer flushes than frames
+    means writes were coalesced into batches. *)
+
+type io = {
+  mutable io_bytes_tx : int;
+  mutable io_bytes_rx : int;
+  mutable io_frames_tx : int;
+  mutable io_frames_rx : int;
+  mutable io_flushes : int;
+}
+
+val io_create : unit -> io
+val of_io : io -> json
+
 (** Pretty-printed snapshot written to [file], with a trailing newline. *)
 val write_file : string -> json -> unit
 

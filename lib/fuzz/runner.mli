@@ -13,6 +13,10 @@ type config = {
   sat_conflict_limit : int;
   certify_every : int;  (** certificate-replay every Nth case; 0 disables *)
   shrink_budget : int;  (** oracle evaluations per shrink *)
+  shard_transport : Shard.Check.transport;
+      (** payload transport of the shard oracle engine: [`Shm] (the
+          default data plane) or [`Inline] (bytes in the frame) — fuzzing
+          under both proves verdict parity of the transports *)
 }
 
 val default_config : config
@@ -74,8 +78,10 @@ val run_dir :
     word-level engine that trusts a mis-detected word boundary (merging
     detected chains without proof) is flagged for its wrong Proved, and
     the shard coordinator survives a worker SIGKILLed mid-shard (crash
-    registered, shard rescheduled, correct verdict).
-    [Error] describes the first broken link. *)
+    registered, shard rescheduled, correct verdict), and a shard worker
+    fed corrupted/truncated shared-memory descriptors answers each with
+    a framed [Shard_failed] and still serves a valid dispatch on the
+    same connection.  [Error] describes the first broken link. *)
 val self_test :
   ?log:(string -> unit) ->
   pool:Par.Pool.t ->

@@ -40,9 +40,10 @@ let connect addr =
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let request t req : (Protocol.response, string) result =
-  match Protocol.write_frame t.oc (Protocol.request_to_json req) with
+  let hdr, payload = Protocol.request_to_frame req in
+  match Protocol.write_frame ~payload t.oc hdr with
   | exception Sys_error e -> Error ("send: " ^ e)
   | () -> (
       match Protocol.read_frame t.ic with
       | Error e -> Error ("receive: " ^ e)
-      | Ok j -> Protocol.response_of_json j)
+      | Ok inc -> Protocol.response_of_json inc.Protocol.hdr)

@@ -13,6 +13,7 @@ type config = {
   cache_entries : int;
   cache_bytes : int;
   default_timeout_s : float option;
+  max_frame_bytes : int;  (* protocol frame cap (header + payload) *)
   pool : Par.Pool.t option;  (* [None]: the process-wide default pool *)
 }
 
@@ -22,6 +23,7 @@ let default_config =
     cache_entries = 1_000_000;
     cache_bytes = 256_000_000;
     default_timeout_s = None;
+    max_frame_bytes = Protocol.default_max_frame;
     pool = None;
   }
 
@@ -134,9 +136,9 @@ let handle_conn t fd =
   let rec loop () =
     match Protocol.read_frame ic with
     | Error _ -> ()  (* client went away or spoke garbage: drop it *)
-    | Ok j ->
+    | Ok inc ->
         let resp =
-          match Protocol.request_of_json j with
+          match Protocol.request_of_frame inc with
           | Error e -> Protocol.error_response ("bad request: " ^ e)
           | Ok req -> (
               try handle_request t session req
@@ -195,6 +197,7 @@ let start ?(config = default_config) () =
      connection handler drops that client alone. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> () (* platform without SIGPIPE *));
+  Protocol.set_max_frame config.max_frame_bytes;
   let sockaddr, domain = resolve_addr config.addr in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
   (match config.addr with

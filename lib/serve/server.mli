@@ -20,10 +20,14 @@ type config = {
           the entry cap alone bounds no memory) *)
   default_timeout_s : float option;
       (** applied to requests that carry no timeout of their own *)
+  max_frame_bytes : int;
+      (** protocol frame cap, header + payload
+          ({!Protocol.set_max_frame}, applied at {!start}) *)
   pool : Par.Pool.t option;  (** [None]: the process-wide default pool *)
 }
 
-(** Unix socket [simsweep.sock], 1M cache entries / 256 MB, no timeout. *)
+(** Unix socket [simsweep.sock], 1M cache entries / 256 MB, no timeout,
+    256 MB frame cap. *)
 val default_config : config
 
 type t

@@ -1,6 +1,8 @@
 module Pr = Serve.Protocol
 module E = Simsweep.Engine
 
+type transport = [ `Shm | `Inline ]
+
 type config = {
   workers : int;
   worker_domains : int;
@@ -13,6 +15,7 @@ type config = {
   direct_sat : bool;
   deadline_s : float option;
   worker_exe : string option;
+  transport : transport;
   test_kill_worker : int option;
 }
 
@@ -29,6 +32,7 @@ let default_config =
     direct_sat = false;
     deadline_s = None;
     worker_exe = None;
+    transport = `Shm;
     test_kill_worker = None;
   }
 
@@ -39,11 +43,21 @@ let plan_max_ands config g =
   let floor = min 256 config.max_shard_ands in
   max floor (min config.max_shard_ands (total / max 1 config.workers))
 
+(* Run ids distinguish this check from everything a warm worker served
+   before it: shard numbering restarts at 0 per run, so frames carry the
+   pair.  Atomic because daemon connections can start checks from
+   several threads. *)
+let run_counter = Atomic.make 0
+let next_run_id () = Atomic.fetch_and_add run_counter 1
+
 (* --- coordinator state ------------------------------------------------ *)
 
 type srun = {
   sr : Plan.shard;
   mutable sr_aiger : string option;  (* cached wire form of [sr.sub] *)
+  mutable sr_seg : Shm.seg option;  (* shm-resident form of [sr_aiger] *)
+  mutable cube_seg : Shm.seg option;  (* shm-resident form of [cube_aiger] *)
+  mutable sr_force_inline : bool;  (* a worker failed on this shard's shm *)
   mutable sr_done : string option;  (* verdict tag once settled *)
   mutable sr_t0 : float;  (* first assignment time *)
   (* cube-and-conquer state, populated on stall *)
@@ -63,33 +77,16 @@ type task =
 
 type worker = {
   w_id : int;  (* stable slot, reused by respawns *)
-  w_pid : int;
-  w_fd : Unix.file_descr;
-  w_ic : in_channel;
-  w_oc : out_channel;
+  mutable w_conn : Pool.worker;
   mutable w_alive : bool;
   mutable w_ready : bool;
   mutable w_task : task option;
+  mutable w_seg : Shm.seg option;  (* segment the outstanding task references *)
   mutable w_cube_shard : int;  (* shard whose cube formula it holds, -1 *)
   mutable w_clauses_sent : int;  (* pool clauses already shipped for it *)
 }
 
 exception Done of E.outcome
-
-let worker_env config =
-  let keep s =
-    not
-      (String.length s > 0
-      && (String.starts_with ~prefix:(Worker.mode_env ^ "=") s
-         || String.starts_with ~prefix:(Worker.domains_env ^ "=") s))
-  in
-  let base = Array.to_list (Unix.environment ()) |> List.filter keep in
-  Array.of_list
-    (base
-    @ [
-        Worker.mode_env ^ "=1";
-        Printf.sprintf "%s=%d" Worker.domains_env (max 1 config.worker_domains);
-      ])
 
 let worker_exe config =
   match config.worker_exe with
@@ -99,49 +96,26 @@ let worker_exe config =
       | Some exe when exe <> "" -> exe
       | _ -> Sys.executable_name)
 
-let spawn config (stats : Stats.t) w_id =
-  let parent, child = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.set_close_on_exec parent;
-  let exe = worker_exe config in
-  let pid =
-    Unix.create_process_env exe [| exe |] (worker_env config) child child
-      Unix.stderr
-  in
-  Unix.close child;
-  stats.workers_spawned <- stats.workers_spawned + 1;
-  stats.worker_pids <- pid :: stats.worker_pids;
-  {
-    w_id;
-    w_pid = pid;
-    w_fd = parent;
-    w_ic = Unix.in_channel_of_descr parent;
-    w_oc = Unix.out_channel_of_descr parent;
-    w_alive = true;
-    w_ready = false;
-    w_task = None;
-    w_cube_shard = -1;
-    w_clauses_sent = 0;
-  }
-
-let reap w =
-  w.w_alive <- false;
-  w.w_ready <- false;
-  (try close_in_noerr w.w_ic with _ -> ());
-  (try ignore (Unix.waitpid [] w.w_pid) with _ -> ())
-
 let kill_and_reap w =
   if w.w_alive then begin
-    (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
-    reap w
+    w.w_alive <- false;
+    w.w_ready <- false;
+    Pool.kill w.w_conn
   end
 
 (* --- the check -------------------------------------------------------- *)
 
-let check ?(config = default_config) ?cancel g =
+let check ?(config = default_config) ?cancel ?pool g =
   let t_start = Unix.gettimeofday () in
   let stats = Stats.create ~workers:(max 1 config.workers) in
+  stats.transport <- (match config.transport with `Shm -> "shm" | `Inline -> "inline");
+  let io = Simsweep.Telemetry.io_create () in
   let finish outcome =
     stats.wall_s <- Unix.gettimeofday () -. t_start;
+    stats.bytes_tx <- io.Simsweep.Telemetry.io_bytes_tx;
+    stats.bytes_rx <- io.Simsweep.Telemetry.io_bytes_rx;
+    stats.frames_tx <- io.Simsweep.Telemetry.io_frames_tx;
+    stats.frames_rx <- io.Simsweep.Telemetry.io_frames_rx;
     (outcome, stats)
   in
   let plan = Plan.build ~max_ands:(plan_max_ands config g) g in
@@ -154,6 +128,7 @@ let check ?(config = default_config) ?cancel g =
   | None ->
       (* The coordinator writes into worker sockets that can die under it. *)
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let run = next_run_id () in
       let num_pis = Aig.Network.num_pis g in
       let deadline =
         Option.map (fun d -> t_start +. d) config.deadline_s
@@ -170,6 +145,9 @@ let check ?(config = default_config) ?cancel g =
             {
               sr = sh;
               sr_aiger = None;
+              sr_seg = None;
+              cube_seg = None;
+              sr_force_inline = false;
               sr_done = None;
               sr_t0 = 0.;
               cube_aiger = "";
@@ -195,13 +173,84 @@ let check ?(config = default_config) ?cancel g =
         | [] -> Queue.take_opt checkq
       in
       let requeue_front t = cubeq := t :: !cubeq in
+      (* Every segment this run creates, for the kill-path sweep. *)
+      let created_segs = ref [] in
+      let create_seg data =
+        let seg = Shm.create data in
+        created_segs := seg :: !created_segs;
+        stats.segments_created <- stats.segments_created + 1;
+        seg
+      in
+      let drop_ref seg =
+        if Shm.decr_ref seg then
+          stats.segments_unlinked <- stats.segments_unlinked + 1
+      in
+      let release_seg w =
+        match w.w_seg with
+        | Some seg ->
+            w.w_seg <- None;
+            drop_ref seg
+        | None -> ()
+      in
+      let exe = worker_exe config in
+      let domains = max 1 config.worker_domains in
+      let cold_spawn () =
+        let pw = Pool.spawn ~exe ~domains in
+        stats.workers_spawned <- stats.workers_spawned + 1;
+        stats.cold_starts <- stats.cold_starts + 1;
+        stats.worker_pids <- pw.Pool.pw_pid :: stats.worker_pids;
+        pw
+      in
       let workers =
-        Array.init (max 1 config.workers) (fun i -> spawn config stats i)
+        let leased, discards =
+          match pool with
+          | Some p -> Pool.acquire p ~exe ~domains ~n:(max 1 config.workers)
+          | None ->
+              (List.init (max 1 config.workers) (fun _ -> (Pool.spawn ~exe ~domains, false)), 0)
+        in
+        stats.pool_discards <- discards;
+        Array.of_list
+          (List.mapi
+             (fun w_id (pw, warm) ->
+               if warm then stats.warm_starts <- stats.warm_starts + 1
+               else begin
+                 stats.workers_spawned <- stats.workers_spawned + 1;
+                 stats.cold_starts <- stats.cold_starts + 1
+               end;
+               stats.worker_pids <- pw.Pool.pw_pid :: stats.worker_pids;
+               {
+                 w_id;
+                 w_conn = pw;
+                 w_alive = true;
+                 w_ready = warm;  (* cold workers announce Shard_ready *)
+                 w_task = None;
+                 w_seg = None;
+                 w_cube_shard = -1;
+                 w_clauses_sent = 0;
+               })
+             leased)
       in
       let respawns_left = ref config.max_respawns in
       let test_kill_fired = ref false in
+      let respawn w =
+        if !respawns_left > 0 then begin
+          decr respawns_left;
+          stats.respawns <- stats.respawns + 1;
+          w.w_conn <- cold_spawn ();
+          w.w_alive <- true;
+          w.w_ready <- false;
+          w.w_task <- None;
+          w.w_seg <- None;
+          w.w_cube_shard <- -1;
+          w.w_clauses_sent <- 0
+        end
+      in
       let settle sr ~worker ~via ~wall_s verdict_tag =
         sr.sr_done <- Some verdict_tag;
+        (* This shard's payloads are dead weight now: drop the owner
+           references (outstanding dispatches still hold theirs). *)
+        (match sr.sr_seg with Some seg -> sr.sr_seg <- None; drop_ref seg | None -> ());
+        (match sr.cube_seg with Some seg -> sr.cube_seg <- None; drop_ref seg | None -> ());
         stats.entries <-
           {
             Stats.e_shard = sr.sr.Plan.id;
@@ -235,27 +284,60 @@ let check ?(config = default_config) ?cancel g =
       in
       let on_crash w =
         if w.w_alive then begin
-          reap w;
+          w.w_alive <- false;
+          w.w_ready <- false;
+          Pool.kill w.w_conn;
+          release_seg w;
           stats.workers_crashed <- stats.workers_crashed + 1;
           (match w.w_task with
           | Some t ->
               w.w_task <- None;
               requeue_front t
           | None -> ());
-          if !respawns_left > 0 then begin
-            decr respawns_left;
-            stats.respawns <- stats.respawns + 1;
-            workers.(w.w_id) <- spawn config stats w.w_id
-          end
+          respawn w
         end
+      in
+      (* Wrap a shard-sized payload for dispatch: a shm descriptor when
+         the transport allows it (creating or reusing the resident
+         segment), inline bytes otherwise. *)
+      let blob_of ~sr ~data ~get_seg ~set_seg =
+        match config.transport with
+        | `Inline -> Pr.Inline data
+        | `Shm when sr.sr_force_inline -> Pr.Inline data
+        | `Shm ->
+            let seg =
+              match get_seg () with
+              | Some seg ->
+                  stats.shm_hits <- stats.shm_hits + 1;
+                  seg
+              | None ->
+                  let seg = create_seg data in
+                  set_seg (Some seg);
+                  seg
+            in
+            Pr.Shm_ref { seg = Shm.name seg; off = 0; len = Shm.length seg }
+      in
+      let ref_seg w = function
+        | Pr.Shm_ref { seg = name; _ } ->
+            (* Find the live segment behind the descriptor we just built. *)
+            let seg =
+              List.find_opt (fun s -> Shm.name s = name) !created_segs
+            in
+            (match seg with
+            | Some seg ->
+                Shm.incr_ref seg;
+                w.w_seg <- Some seg
+            | None -> ())
+        | Pr.Inline _ -> ()
       in
       let send_task w t =
         let deadline_in = remaining () in
+        let clause_batch = ref None in
         let frame =
           match t with
           | Check sr ->
               if sr.sr_t0 = 0. then sr.sr_t0 <- Unix.gettimeofday ();
-              let aiger =
+              let data =
                 match sr.sr_aiger with
                 | Some a -> a
                 | None ->
@@ -263,8 +345,15 @@ let check ?(config = default_config) ?cancel g =
                     sr.sr_aiger <- Some a;
                     a
               in
+              let aiger =
+                blob_of ~sr ~data
+                  ~get_seg:(fun () -> sr.sr_seg)
+                  ~set_seg:(fun s -> sr.sr_seg <- s)
+              in
+              ref_seg w aiger;
               Pr.Shard_check
                 {
+                  run;
                   shard = sr.sr.Plan.id;
                   aiger;
                   stall_conflicts = config.stall_conflicts;
@@ -278,7 +367,13 @@ let check ?(config = default_config) ?cancel g =
                 else begin
                   w.w_cube_shard <- sr.sr.Plan.id;
                   w.w_clauses_sent <- 0;
-                  Some sr.cube_aiger
+                  let b =
+                    blob_of ~sr ~data:sr.cube_aiger
+                      ~get_seg:(fun () -> sr.cube_seg)
+                      ~set_seg:(fun s -> sr.cube_seg <- s)
+                  in
+                  ref_seg w b;
+                  Some b
                 end
               in
               let fresh = sr.pool_count - w.w_clauses_sent in
@@ -288,29 +383,50 @@ let check ?(config = default_config) ?cancel g =
                   List.filteri (fun i _ -> i < fresh) sr.pool_rev |> List.rev
               in
               w.w_clauses_sent <- sr.pool_count;
-              stats.clause_imports <- stats.clause_imports + List.length clauses;
+              if clauses <> [] then begin
+                stats.clause_imports <- stats.clause_imports + List.length clauses;
+                clause_batch :=
+                  Some (Pr.Shard_clauses { run; shard = sr.sr.Plan.id; clauses })
+              end;
               Pr.Shard_cube
                 {
+                  run;
                   shard = sr.sr.Plan.id;
                   cube = c_id;
                   aiger;
                   assume = c_assume;
                   freeze = sr.freeze;
                   conflict_limit = config.cube_conflict_limit;
-                  clauses;
                   deadline_in;
                 }
         in
-        match Pr.write_frame w.w_oc (Pr.shard_task_to_json frame) with
-        | () -> (
-            w.w_task <- Some t;
-            (* Fault injection: kill this slot right after its first
-               assignment, mid-shard from the coordinator's viewpoint. *)
-            match config.test_kill_worker with
-            | Some id when id = w.w_id && not !test_kill_fired ->
-                test_kill_fired := true;
-                (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
-            | _ -> ())
+        let oc = w.w_conn.Pool.pw_oc in
+        let write () =
+          (* The clause batch rides unflushed ahead of its cube: two
+             frames, one syscall batch, one doorbell. *)
+          (match !clause_batch with
+          | Some cf ->
+              let hdr, payload = Pr.shard_task_to_frame cf in
+              Pr.write_frame ~flush:false ~io ~payload oc hdr;
+              stats.batched_flushes <- stats.batched_flushes + 1
+          | None -> ());
+          let hdr, payload = Pr.shard_task_to_frame frame in
+          Pr.write_frame ~io ~payload oc hdr
+        in
+        (* Fault injection: kill this slot at its first assignment,
+           before the task hits the wire.  Once [Unix.kill] returns the
+           SIGKILLed worker can never run user code again, so it cannot
+           consume the task or slip a reply into the pipe — the
+           coordinator is guaranteed to see the crash (EOF, or EPIPE on
+           this very write), not a completed shard. *)
+        (match config.test_kill_worker with
+        | Some id when id = w.w_id && not !test_kill_fired ->
+            test_kill_fired := true;
+            (try Unix.kill w.w_conn.Pool.pw_pid Sys.sigkill
+             with Unix.Unix_error _ -> ())
+        | _ -> ());
+        match write () with
+        | () -> w.w_task <- Some t
         | exception _ ->
             requeue_front t;
             on_crash w
@@ -344,6 +460,9 @@ let check ?(config = default_config) ?cancel g =
       let on_stalled sr vars reduced =
         sr.cube_aiger <- reduced;
         sr.freeze <- vars;
+        (* The shard-level AIGER is spent — cubes reference the reduced
+           miter, which gets its own segment on first cube dispatch. *)
+        (match sr.sr_seg with Some seg -> sr.sr_seg <- None; drop_ref seg | None -> ());
         let rec bits n = if n <= 1 then 0 else 1 + bits ((n + 1) / 2) in
         let k =
           min (List.length vars) (min 6 (max 1 (bits (2 * alive_count ()))))
@@ -385,10 +504,23 @@ let check ?(config = default_config) ?cancel g =
       in
       let handle_reply w t reply =
         match (t, reply) with
-        | _, Pr.Shard_ready ->
-            (* unsolicited hello from a respawn; not a task completion *)
+        | _, (Pr.Shard_ready | Pr.Shard_pong) ->
+            (* unsolicited hello from a (re)spawn, or a pong straggling
+               from pool validation; not a task completion *)
             w.w_ready <- true;
             w.w_task <- t
+        | Some t, Pr.Shard_failed { msg; _ } ->
+            (* The worker could not use the payload (stale or corrupt
+               shm descriptor).  Fall back to inline bytes for this
+               shard and re-dispatch; the worker itself is fine. *)
+            Printf.eprintf "shard: worker %d rejected a payload (%s)\n%!"
+              w.w_id msg;
+            stats.shm_fallbacks <- stats.shm_fallbacks + 1;
+            (match t with
+            | Check sr -> sr.sr_force_inline <- true
+            | Cube { c_sr; _ } -> c_sr.sr_force_inline <- true);
+            w.w_cube_shard <- -1;
+            requeue_front t
         | Some (Check sr), Pr.Shard_verdict { shard; verdict; wall_s; conflicts }
           when shard = sr.sr.Plan.id -> (
             stats.conflicts <- stats.conflicts + conflicts;
@@ -431,28 +563,28 @@ let check ?(config = default_config) ?cancel g =
         | _ ->
             Printf.eprintf "shard: protocol confusion from worker %d, killing it\n%!"
               w.w_id;
-            (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ());
             (match t with Some t -> requeue_front t | None -> ());
             w.w_task <- None;
-            reap w;
+            w.w_alive <- false;
+            w.w_ready <- false;
+            Pool.kill w.w_conn;
             stats.workers_crashed <- stats.workers_crashed + 1;
-            if !respawns_left > 0 then begin
-              decr respawns_left;
-              stats.respawns <- stats.respawns + 1;
-              workers.(w.w_id) <- spawn config stats w.w_id
-            end
+            respawn w
       in
       let handle_readable w =
-        match Pr.read_frame w.w_ic with
+        match Pr.read_frame ~io w.w_conn.Pool.pw_ic with
         | Error _ -> on_crash w
-        | Ok json -> (
-            match Pr.shard_reply_of_json json with
+        | Ok inc -> (
+            match Pr.shard_reply_of_frame inc with
             | Error e ->
                 Printf.eprintf "shard: bad reply from worker %d: %s\n%!" w.w_id e;
                 on_crash w
             | Ok reply ->
                 let t = w.w_task in
                 w.w_task <- None;
+                (match reply with
+                | Pr.Shard_ready | Pr.Shard_pong -> ()
+                | _ -> release_seg w);
                 handle_reply w t reply)
       in
       let outcome_of_sruns () =
@@ -460,10 +592,25 @@ let check ?(config = default_config) ?cancel g =
           E.Proved
         else E.Undecided
       in
+      let finally () =
+        (* Idle, healthy workers go back to the pool warm; anything
+           mid-task or dead is killed.  Then sweep every segment this
+           run created — the kill path must leak nothing. *)
+        Array.iter
+          (fun w ->
+            match pool with
+            | Some p when w.w_alive && w.w_ready && w.w_task = None ->
+                Pool.release p w.w_conn
+            | _ -> kill_and_reap w)
+          workers;
+        List.iter
+          (fun seg ->
+            if Shm.force_unlink seg then
+              stats.segments_unlinked <- stats.segments_unlinked + 1)
+          !created_segs
+      in
       let result =
-        Fun.protect
-          ~finally:(fun () -> Array.iter kill_and_reap workers)
-          (fun () ->
+        Fun.protect ~finally (fun () ->
             try
               while true do
                 if Par.Cancel.poll_opt cancel || expired () then
@@ -475,10 +622,27 @@ let check ?(config = default_config) ?cancel g =
                   && Array.for_all (fun w -> w.w_task = None) workers
                   && Array.for_all (fun sr -> sr.sr_done <> None) sruns
                 then raise (Done (outcome_of_sruns ()));
+                (* While an injected kill is pending, only its target slot
+                   may take work: otherwise a fast sibling can finish every
+                   shard before the (cold, still exec-ing) target ever
+                   announces ready, and the fault never fires.  Inert in
+                   production — [test_kill_worker] is [None]. *)
+                let kill_hold w =
+                  match config.test_kill_worker with
+                  | Some id when not !test_kill_fired ->
+                      id <> w.w_id
+                      && Array.exists
+                           (fun v -> v.w_id = id && v.w_alive)
+                           workers
+                  | _ -> false
+                in
                 (* hand work to idle, ready workers *)
                 Array.iter
                   (fun w ->
-                    if w.w_alive && w.w_ready && w.w_task = None then
+                    if
+                      w.w_alive && w.w_ready && w.w_task = None
+                      && not (kill_hold w)
+                    then
                       match pop_task () with
                       | Some t -> send_task w t
                       | None -> ())
@@ -486,7 +650,7 @@ let check ?(config = default_config) ?cancel g =
                 let fds =
                   Array.to_list workers
                   |> List.filter_map (fun w ->
-                         if w.w_alive then Some w.w_fd else None)
+                         if w.w_alive then Some w.w_conn.Pool.pw_fd else None)
                 in
                 if fds = [] then
                   (* every worker dead and no respawn budget left *)
@@ -499,7 +663,9 @@ let check ?(config = default_config) ?cancel g =
                 List.iter
                   (fun fd ->
                     Array.iter
-                      (fun w -> if w.w_alive && w.w_fd = fd then handle_readable w)
+                      (fun w ->
+                        if w.w_alive && w.w_conn.Pool.pw_fd = fd then
+                          handle_readable w)
                       workers)
                   readable
               done;

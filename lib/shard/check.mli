@@ -18,7 +18,20 @@
     spawned (up to [max_respawns]) — shards are never lost.  [deadline_s]
     bounds the whole check: it is forwarded to workers with every task
     and enforced coordinator-side; on expiry (or an external [cancel])
-    every worker is killed and reaped and the check returns [Undecided]. *)
+    every worker is killed and reaped and the check returns [Undecided].
+
+    {b Data plane.}  With the default [`Shm] transport, each shard's
+    AIGER is written once into a {!Shm} segment and dispatch frames
+    carry descriptors; cube re-dispatches reference the already-resident
+    reduced miter.  Segments are refcounted (owner + one per outstanding
+    dispatch) and force-unlinked when the check ends, on every exit
+    path.  A worker that cannot resolve a descriptor answers
+    [Shard_failed] and the shard falls back to inline bytes — verdicts
+    are identical across transports.  With [?pool], workers are leased
+    from a {!Pool} (warm when available) and healthy idle workers are
+    returned at the end instead of being killed. *)
+
+type transport = [ `Shm | `Inline ]
 
 type config = {
   workers : int;  (** worker processes to spawn *)
@@ -34,6 +47,8 @@ type config = {
   worker_exe : string option;
       (** worker executable; defaults to [SIMSWEEP_SHARD_WORKER] or
           [Sys.executable_name] *)
+  transport : transport;
+      (** how AIGER payloads reach local workers (default [`Shm]) *)
   test_kill_worker : int option;
       (** fault injection: SIGKILL this worker slot right after its first
           task assignment *)
@@ -41,12 +56,14 @@ type config = {
 
 val default_config : config
 
-(** [check ?config ?cancel g] checks the miter [g] end to end.  Verdict
-    classes (proved / disproved / undecided) are deterministic for any
-    worker count; [Undecided] is only returned on cancellation, deadline
-    expiry, exhausted respawns, or a genuinely stalled cube tree. *)
+(** [check ?config ?cancel ?pool g] checks the miter [g] end to end.
+    Verdict classes (proved / disproved / undecided) are deterministic
+    for any worker count, transport, and pool temperature; [Undecided]
+    is only returned on cancellation, deadline expiry, exhausted
+    respawns, or a genuinely stalled cube tree. *)
 val check :
   ?config:config ->
   ?cancel:Par.Cancel.t ->
+  ?pool:Pool.t ->
   Aig.Network.t ->
   Simsweep.Engine.outcome * Stats.t

@@ -20,9 +20,14 @@ let shell () =
       | Error e -> Error e
       | Ok workers ->
           let config = { Check.default_config with Check.workers } in
-          let outcome, st = Check.check ~config ?cancel g in
+          let outcome, st =
+            Check.check ~config ?cancel ~pool:(Pool.default ()) g
+          in
           Ok
-            (Printf.sprintf "%s (%d shards, %d workers, %d steals, %d cubes)"
+            (Printf.sprintf
+               "%s (%d shards, %d workers [%d warm, %d cold], %d steals, %d \
+                cubes)"
                (outcome_string outcome) st.Stats.shards st.Stats.workers
+               st.Stats.warm_starts st.Stats.cold_starts
                (Array.fold_left ( + ) 0 (Stats.steals st))
                st.Stats.cubes_solved))

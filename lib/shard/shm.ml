@@ -1,0 +1,160 @@
+(* Shared-memory payload arenas.
+
+   The coordinator writes each shard's AIGER image once into a
+   file-backed segment (preferably under /dev/shm so "file-backed" means
+   page cache, never disk); dispatch frames then carry
+   {segment, offset, length} descriptors instead of megabytes of bytes.
+   Cube re-dispatches reference the already-resident shard for free.
+
+   Lifecycle: the creator holds one reference; every dispatch that names
+   the segment takes another; replies (or crash-requeues) drop theirs.
+   The file is unlinked when the count reaches zero — workers that still
+   hold a mapping keep reading safely, the kernel frees the pages when
+   the last mapping dies.  A process-exit hook force-unlinks anything
+   left, so a coordinator killed mid-run leaks nothing. *)
+
+let prefix = "simsweep-shm-"
+
+let dir =
+  lazy
+    (let writable d =
+       try Sys.is_directory d && Unix.access d [ Unix.W_OK ] = () with _ -> false
+     in
+     match Sys.getenv_opt "SIMSWEEP_SHM_DIR" with
+     | Some d when writable d -> d
+     | Some d -> invalid_arg ("SIMSWEEP_SHM_DIR is not a writable dir: " ^ d)
+     | None -> (
+         if writable "/dev/shm" then "/dev/shm"
+         else
+           match Sys.getenv_opt "TMPDIR" with
+           | Some d when writable d -> d
+           | _ -> "/tmp"))
+
+let segment_dir () = Lazy.force dir
+
+type seg = { seg_name : string; seg_len : int }
+
+let name t = t.seg_name
+let length t = t.seg_len
+
+(* Registry of segments this process created, with refcounts.  Guarded:
+   Check runs in the caller's thread but the serve daemon handles
+   connections concurrently. *)
+let lock = Mutex.create ()
+let live : (string, int) Hashtbl.t = Hashtbl.create 16
+let counter = ref 0
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let path_of name = Filename.concat (segment_dir ()) name
+
+(* Validate a wire descriptor name before touching the filesystem: it
+   must be one of our segment basenames, never a path. *)
+let valid_name n =
+  let plen = String.length prefix in
+  String.length n > plen
+  && String.sub n 0 plen = prefix
+  && not (String.exists (fun c -> c = '/' || c = '\\') n)
+  && not
+       (let rec dotdot i =
+          i + 1 < String.length n && ((n.[i] = '.' && n.[i + 1] = '.') || dotdot (i + 1))
+        in
+        dotdot 0)
+
+let blit_to_map map (s : string) =
+  for i = 0 to String.length s - 1 do
+    Bigarray.Array1.unsafe_set map i (String.unsafe_get s i)
+  done
+
+let blit_of_map map off len =
+  String.init len (fun i -> Bigarray.Array1.unsafe_get map (off + i))
+
+let map_fd fd ~shared ~len =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd Bigarray.char Bigarray.c_layout shared [| len |])
+
+let create (data : string) =
+  let len = String.length data in
+  if len = 0 then invalid_arg "Shm.create: empty segment";
+  let id = with_lock (fun () -> incr counter; !counter) in
+  let seg_name = Printf.sprintf "%s%d-%d" prefix (Unix.getpid ()) id in
+  let path = path_of seg_name in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_EXCL ] 0o600 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd len;
+      blit_to_map (map_fd fd ~shared:true ~len) data);
+  with_lock (fun () -> Hashtbl.replace live seg_name 1);
+  { seg_name; seg_len = len }
+
+let read ~name ~off ~len =
+  if not (valid_name name) then Error ("shm: invalid segment name " ^ name)
+  else if off < 0 || len <= 0 then Error "shm: negative or empty range"
+  else
+    match Unix.openfile (path_of name) [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error ("shm: cannot open segment: " ^ Unix.error_message e)
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            let size = (Unix.fstat fd).Unix.st_size in
+            if off + len > size then
+              Error
+                (Printf.sprintf "shm: range %d+%d exceeds segment size %d" off
+                   len size)
+            else
+              match map_fd fd ~shared:false ~len:size with
+              | exception Unix.Unix_error (e, _, _) ->
+                  Error ("shm: cannot map segment: " ^ Unix.error_message e)
+              | map -> Ok (blit_of_map map off len))
+
+let unlink_quietly name = try Sys.remove (path_of name) with Sys_error _ -> ()
+
+let incr_ref t =
+  with_lock (fun () ->
+      match Hashtbl.find_opt live t.seg_name with
+      | Some n -> Hashtbl.replace live t.seg_name (n + 1)
+      | None -> ())
+
+let decr_ref t =
+  let unlink =
+    with_lock (fun () ->
+        match Hashtbl.find_opt live t.seg_name with
+        | Some n when n <= 1 ->
+            Hashtbl.remove live t.seg_name;
+            true
+        | Some n ->
+            Hashtbl.replace live t.seg_name (n - 1);
+            false
+        | None -> false)
+  in
+  if unlink then unlink_quietly t.seg_name;
+  unlink
+
+let force_unlink t =
+  let was_live =
+    with_lock (fun () ->
+        let found = Hashtbl.mem live t.seg_name in
+        Hashtbl.remove live t.seg_name;
+        found)
+  in
+  if was_live then unlink_quietly t.seg_name;
+  was_live
+
+let refs t =
+  with_lock (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt live t.seg_name))
+
+let live_segments () =
+  with_lock (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) live [])
+
+(* Safety net: a coordinator dying with segments still registered must
+   not leak /dev/shm files across runs. *)
+let () =
+  at_exit (fun () ->
+      List.iter unlink_quietly (live_segments ());
+      with_lock (fun () -> Hashtbl.reset live))

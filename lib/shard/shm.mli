@@ -1,0 +1,56 @@
+(** Shared-memory payload arenas for the shard data plane.
+
+    The coordinator writes each shard's AIGER image once into a
+    file-backed segment (under [/dev/shm] when available, else
+    [$TMPDIR]/[/tmp]; override with [SIMSWEEP_SHM_DIR]); dispatch frames
+    then carry [{seg; off; len}] descriptors ({!Serve.Protocol.blob})
+    instead of the bytes, and cube re-dispatches reference the
+    already-resident shard for free.
+
+    {b Lifecycle.}  {!create} registers the segment with one reference
+    (the creator's).  Every dispatch frame naming the segment takes
+    {!incr_ref}; the matching reply (or crash-requeue) drops
+    {!decr_ref}.  At zero the file is unlinked — readers holding a
+    mapping are unaffected; the kernel frees pages when the last mapping
+    goes.  {!force_unlink} is the kill-path cleanup; an [at_exit] hook
+    unlinks anything still registered.  Workers only {!read}; they never
+    create or unlink. *)
+
+type seg
+
+val name : seg -> string
+val length : seg -> int
+
+(** Directory segments live in (resolved once per process). *)
+val segment_dir : unit -> string
+
+(** Basename prefix of every segment file ("simsweep-shm-"), exposed so
+    tests and CI can scan for leaks. *)
+val prefix : string
+
+(** Write [data] into a fresh exclusive 0600 segment via [Unix.map_file]
+    and register it with refcount 1.  Raises [Invalid_argument] on empty
+    data and [Unix.Unix_error] on filesystem failure. *)
+val create : string -> seg
+
+(** Map a segment named by a wire descriptor and copy out [len] bytes at
+    [off].  Returns [Error] — never raises — on a name that is not one
+    of our segment basenames (path traversal), a missing or unmappable
+    file, or a range beyond the segment's size. *)
+val read : name:string -> off:int -> len:int -> (string, string) result
+
+val incr_ref : seg -> unit
+
+(** Drop one reference; unlinks at zero.  Returns [true] iff this call
+    unlinked the file. *)
+val decr_ref : seg -> bool
+
+(** Unregister and unlink regardless of count (kill/deadline paths).
+    Idempotent; [true] iff this call unlinked. *)
+val force_unlink : seg -> bool
+
+(** Current reference count ([0] once unlinked) — for tests. *)
+val refs : seg -> int
+
+(** Names of segments this process created and has not yet unlinked. *)
+val live_segments : unit -> string list

@@ -9,8 +9,11 @@ let max_learnt_len = 8
 
 (* Cube formula cached between consecutive cubes of one shard: the solver
    keeps its own learnt clauses warm across cubes, on top of the
-   coordinator's cross-worker pool. *)
+   coordinator's cross-worker pool.  Keyed by (run, shard) — a warm
+   worker serves many coordinator runs, and shard ids restart at 0 for
+   each, so the shard id alone would alias stale state. *)
 type cube_state = {
+  cs_run : int;
   cs_shard : int;
   cs_net : Aig.Network.t;
   cs_solver : Sat.Solver.t;
@@ -19,7 +22,20 @@ type cube_state = {
   cs_sent : (int list, unit) Hashtbl.t;  (* clauses already exported *)
 }
 
-type state = { pool : Par.Pool.t Lazy.t; mutable cube : cube_state option }
+type state = {
+  pool : Par.Pool.t Lazy.t;
+  mutable cube : cube_state option;
+  (* Clauses from a one-way [Shard_clauses] frame that arrived before the
+     cube state they target existed: (run, shard, clauses). *)
+  mutable pending_clauses : (int * int * int list list) option;
+}
+
+(* Resolve a dispatch payload to AIGER bytes.  Inline is the bytes;
+   a shm descriptor is mapped and copied out by [Shm.read], which
+   validates the name and range and reports failures as [Error]. *)
+let resolve_blob = function
+  | Pr.Inline s -> Ok s
+  | Pr.Shm_ref { seg; off; len } -> Shm.read ~name:seg ~off ~len
 
 let cancel_of deadline_in =
   Option.map (fun d -> Par.Cancel.create ~deadline_in:d ()) deadline_in
@@ -126,7 +142,7 @@ let run_check st ~shard ~aiger ~stall_conflicts ~split_vars ~direct_sat
 
 (* --- Shard_cube ------------------------------------------------------- *)
 
-let load_cube_formula ~shard ~aiger ~freeze =
+let load_cube_formula ~run ~shard ~aiger ~freeze =
   let net = Aig.Aiger_io.of_string aiger in
   let solver = Sat.Solver.create () in
   let pos = Aig.Miter.unsolved_outputs net in
@@ -145,6 +161,7 @@ let load_cube_formula ~shard ~aiger ~freeze =
     Sat.Solver.simplify ~frozen:(freeze @ po_vars) solver
   end;
   {
+    cs_run = run;
     cs_shard = shard;
     cs_net = net;
     cs_solver = solver;
@@ -153,7 +170,7 @@ let load_cube_formula ~shard ~aiger ~freeze =
     cs_sent = Hashtbl.create 64;
   }
 
-let run_cube st ~shard ~cube ~aiger ~assume ~freeze ~conflict_limit ~clauses
+let run_cube st ~run ~shard ~cube ~aiger ~assume ~freeze ~conflict_limit
     ~deadline_in =
   let t0 = Unix.gettimeofday () in
   let reply result learnt conflicts =
@@ -169,15 +186,23 @@ let run_cube st ~shard ~cube ~aiger ~assume ~freeze ~conflict_limit ~clauses
   in
   let cs =
     match st.cube with
-    | Some cs when cs.cs_shard = shard -> Some cs
+    | Some cs when cs.cs_run = run && cs.cs_shard = shard -> Some cs
     | _ -> (
         match aiger with
         | Some aiger ->
-            let cs = load_cube_formula ~shard ~aiger ~freeze in
+            let cs = load_cube_formula ~run ~shard ~aiger ~freeze in
             st.cube <- Some cs;
             Some cs
         | None -> None)
   in
+  (* Apply any clause batch that arrived (one-way) ahead of this cube. *)
+  (match (cs, st.pending_clauses) with
+  | Some cs, Some (r, s, clauses) when r = run && s = shard ->
+      st.pending_clauses <- None;
+      List.iter
+        (fun c -> ignore (Sat.Solver.import_clause cs.cs_solver c))
+        clauses
+  | _ -> ());
   match cs with
   | None ->
       (* The coordinator thought we held the formula but we don't (e.g. a
@@ -188,9 +213,6 @@ let run_cube st ~shard ~cube ~aiger ~assume ~freeze ~conflict_limit ~clauses
       (* Formula unsatisfiable before any assumption: every cube is unsat. *)
       reply Pr.Cube_unsat [] 0
   | Some cs -> (
-      List.iter
-        (fun c -> ignore (Sat.Solver.import_clause cs.cs_solver c))
-        clauses;
       let cancel = cancel_of deadline_in in
       let c0 = Sat.Solver.num_conflicts cs.cs_solver in
       let spent () = Sat.Solver.num_conflicts cs.cs_solver - c0 in
@@ -211,34 +233,87 @@ let run_cube st ~shard ~cube ~aiger ~assume ~freeze ~conflict_limit ~clauses
 
 (* --- protocol loop ---------------------------------------------------- *)
 
+type action = Quit | No_reply | Reply of Pr.shard_reply
+
+(* A payload that cannot be used — unmappable or truncated shm
+   descriptor, corrupt AIGER bytes — is a framed [Shard_failed], never a
+   crash: the worker stays up and the coordinator falls back to inline
+   dispatch. *)
+let failed ~shard ~cube msg = Reply (Pr.Shard_failed { shard; cube; msg })
+
 let handle st = function
-  | Pr.Shard_quit -> None
-  | Pr.Shard_check { shard; aiger; stall_conflicts; split_vars; direct_sat; deadline_in }
-    ->
-      Some
-        (run_check st ~shard ~aiger ~stall_conflicts ~split_vars ~direct_sat
-           ~deadline_in)
+  | Pr.Shard_quit -> Quit
+  | Pr.Shard_ping -> Reply Pr.Shard_pong
+  | Pr.Shard_clauses { run; shard; clauses } ->
+      (match st.cube with
+      | Some cs when cs.cs_run = run && cs.cs_shard = shard ->
+          List.iter
+            (fun c -> ignore (Sat.Solver.import_clause cs.cs_solver c))
+            clauses
+      | _ -> st.pending_clauses <- Some (run, shard, clauses));
+      No_reply
+  | Pr.Shard_check
+      { run = _; shard; aiger; stall_conflicts; split_vars; direct_sat; deadline_in }
+    -> (
+      match resolve_blob aiger with
+      | Error msg -> failed ~shard ~cube:None msg
+      | Ok aiger -> (
+          try
+            Reply
+              (run_check st ~shard ~aiger ~stall_conflicts ~split_vars
+                 ~direct_sat ~deadline_in)
+          with Aig.Aiger_io.Parse_error msg ->
+            failed ~shard ~cube:None ("bad aiger: " ^ msg)))
   | Pr.Shard_cube
-      { shard; cube; aiger; assume; freeze; conflict_limit; clauses; deadline_in }
-    ->
-      Some
-        (run_cube st ~shard ~cube ~aiger ~assume ~freeze ~conflict_limit
-           ~clauses ~deadline_in)
+      { run; shard; cube; aiger; assume; freeze; conflict_limit; deadline_in }
+    -> (
+      let resolved =
+        match aiger with
+        | None -> Ok None
+        | Some b -> Result.map Option.some (resolve_blob b)
+      in
+      match resolved with
+      | Error msg -> failed ~shard ~cube:(Some cube) msg
+      | Ok aiger -> (
+          try
+            Reply
+              (run_cube st ~run ~shard ~cube ~aiger ~assume ~freeze
+                 ~conflict_limit ~deadline_in)
+          with Aig.Aiger_io.Parse_error msg ->
+            failed ~shard ~cube:(Some cube) ("bad aiger: " ^ msg)))
 
 let serve ?(num_domains = 1) ic oc =
-  let st = { pool = lazy (Par.Pool.create ~num_domains ()); cube = None } in
-  Pr.write_frame oc (Pr.shard_reply_to_json Pr.Shard_ready);
+  let st =
+    {
+      pool = lazy (Par.Pool.create ~num_domains ());
+      cube = None;
+      pending_clauses = None;
+    }
+  in
+  Pr.write_frame oc (fst (Pr.shard_reply_to_frame Pr.Shard_ready));
+  let write_reply reply =
+    let hdr, payload = Pr.shard_reply_to_frame reply in
+    Pr.write_frame ~payload oc hdr
+  in
   let rec loop () =
     match Pr.read_frame ic with
-    | Error _ -> () (* coordinator gone *)
-    | Ok json -> (
-        match Pr.shard_task_of_json json with
-        | Error e -> Printf.eprintf "shard worker: bad frame: %s\n%!" e
+    | Error e when String.starts_with ~prefix:"eof" e ->
+        () (* coordinator gone *)
+    | Error e ->
+        (* Framing is length-prefixed, so a bad header is survivable. *)
+        Printf.eprintf "shard worker: bad frame: %s\n%!" e;
+        loop ()
+    | Ok inc -> (
+        match Pr.shard_task_of_frame inc with
+        | Error e ->
+            Printf.eprintf "shard worker: bad task: %s\n%!" e;
+            loop ()
         | Ok task -> (
             match handle st task with
-            | None -> ()
-            | Some reply ->
-                Pr.write_frame oc (Pr.shard_reply_to_json reply);
+            | Quit -> ()
+            | No_reply -> loop ()
+            | Reply reply ->
+                write_reply reply;
                 loop ()))
   in
   loop ();

@@ -12,8 +12,15 @@
     when the tail stalls, ships back the engine-reduced miter plus its
     hottest SAT variables as cube-split candidates; [Shard_cube] solves
     one cube of a stalled shard under assumptions, importing clauses
-    learnt elsewhere and exporting its own short learnt clauses.  The
-    cube formula is cached across consecutive cubes of the same shard. *)
+    learnt elsewhere ([Shard_clauses] batches) and exporting its own
+    short learnt clauses.  The cube formula is cached across consecutive
+    cubes of the same (run, shard).
+
+    AIGER payloads arrive either inline or as {!Shm} descriptors; a
+    descriptor that cannot be resolved (or bytes that do not parse)
+    produces a framed [Shard_failed] reply, never a crash — warm-pool
+    workers must survive bad input.  [Shard_ping] is answered with
+    [Shard_pong] so {!Pool} can health-check idle workers. *)
 
 (** Environment variable that turns a host binary into a worker ("1"). *)
 val mode_env : string
@@ -27,7 +34,7 @@ val domains_env : string
 val maybe_become_worker : unit -> unit
 
 (** The protocol loop itself: read {!Serve.Protocol.shard_task} frames,
-    answer each with one {!Serve.Protocol.shard_reply} frame, return on
-    [Shard_quit] or end-of-stream.  [num_domains] sizes the worker's
-    simulation pool (default 1). *)
+    answer each with one {!Serve.Protocol.shard_reply} frame (except
+    one-way [Shard_clauses]), return on [Shard_quit] or end-of-stream.
+    [num_domains] sizes the worker's simulation pool (default 1). *)
 val serve : ?num_domains:int -> in_channel -> out_channel -> unit

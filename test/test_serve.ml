@@ -9,7 +9,8 @@ let contains hay needle =
 (* {2 Protocol} *)
 
 let roundtrip_request req =
-  match Serve.Protocol.(request_of_json (request_to_json req)) with
+  let hdr, payload = Serve.Protocol.request_to_frame req in
+  match Serve.Protocol.(request_of_frame { hdr; payload }) with
   | Ok r -> r
   | Error e -> Alcotest.failf "request did not roundtrip: %s" e
 
@@ -40,24 +41,106 @@ let test_protocol_json () =
 let test_protocol_frames () =
   let rd, wr = Unix.pipe () in
   let ic = Unix.in_channel_of_descr rd and oc = Unix.out_channel_of_descr wr in
-  let j1 = Serve.Protocol.(request_to_json Ping) in
-  let j2 =
-    Serve.Protocol.(
-      request_to_json (Script { script = "x \"esc\\\"ape\""; timeout_s = None }))
+  let j1, _ = Serve.Protocol.request_to_frame Serve.Protocol.Ping in
+  let j2, _ =
+    Serve.Protocol.request_to_frame
+      (Serve.Protocol.Script { script = "x \"esc\\\"ape\""; timeout_s = None })
   in
   Serve.Protocol.write_frame oc j1;
   Serve.Protocol.write_frame oc j2;
   (match Serve.Protocol.read_frame ic with
-  | Ok j -> Alcotest.(check bool) "frame 1" true (j = j1)
+  | Ok inc ->
+      Alcotest.(check bool) "frame 1" true (inc.Serve.Protocol.hdr = j1);
+      Alcotest.(check string) "frame 1 no payload" "" inc.Serve.Protocol.payload
   | Error e -> Alcotest.failf "frame 1: %s" e);
   (match Serve.Protocol.read_frame ic with
-  | Ok j -> Alcotest.(check bool) "frame 2" true (j = j2)
+  | Ok inc -> Alcotest.(check bool) "frame 2" true (inc.Serve.Protocol.hdr = j2)
   | Error e -> Alcotest.failf "frame 2: %s" e);
   close_out oc;
   (match Serve.Protocol.read_frame ic with
   | Error "eof" -> ()
   | Ok _ -> Alcotest.fail "expected eof"
   | Error e -> Alcotest.failf "expected eof, got: %s" e);
+  close_in ic
+
+let test_protocol_payload () =
+  (* Binary trailers must survive byte-exactly — every byte value, no
+     JSON escaping — and the io counters must account for them. *)
+  let rd, wr = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr rd and oc = Unix.out_channel_of_descr wr in
+  let tx = Simsweep.Telemetry.io_create () in
+  let rx = Simsweep.Telemetry.io_create () in
+  let payload = String.init 4096 (fun i -> Char.chr (i * 31 mod 256)) in
+  let hdr = Simsweep.Telemetry.Obj [ ("type", Simsweep.Telemetry.String "t") ] in
+  Serve.Protocol.write_frame ~io:tx ~payload oc hdr;
+  (match Serve.Protocol.read_frame ~io:rx ic with
+  | Ok inc ->
+      Alcotest.(check string) "payload intact" payload inc.Serve.Protocol.payload;
+      Alcotest.(check bool) "payload_len in header" true
+        (Simsweep.Telemetry.int_member "payload_len" inc.Serve.Protocol.hdr
+        = Some (String.length payload))
+  | Error e -> Alcotest.failf "payload frame: %s" e);
+  Alcotest.(check bool) "tx counted payload" true
+    Simsweep.Telemetry.(tx.io_bytes_tx > String.length payload);
+  Alcotest.(check int) "tx = rx bytes" tx.Simsweep.Telemetry.io_bytes_tx
+    rx.Simsweep.Telemetry.io_bytes_rx;
+  Alcotest.(check int) "one frame out" 1 tx.Simsweep.Telemetry.io_frames_tx;
+  Alcotest.(check int) "one frame in" 1 rx.Simsweep.Telemetry.io_frames_rx;
+  Alcotest.(check int) "one flush" 1 tx.Simsweep.Telemetry.io_flushes;
+  (* Coalescing: two unflushed writes + one flushed = one flush. *)
+  Serve.Protocol.write_frame ~flush:false ~io:tx oc hdr;
+  Serve.Protocol.write_frame ~flush:false ~io:tx oc hdr;
+  Serve.Protocol.write_frame ~io:tx oc hdr;
+  Alcotest.(check int) "batched flush" 2 tx.Simsweep.Telemetry.io_flushes;
+  for i = 1 to 3 do
+    match Serve.Protocol.read_frame ic with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "batched frame %d: %s" i e
+  done;
+  close_out oc;
+  close_in ic
+
+let test_protocol_frame_cap () =
+  (* The cap is configurable and enforced at the boundary on both sides.
+     Alcotest runs in-process, so restore the default before leaving. *)
+  let saved = Serve.Protocol.max_frame () in
+  Fun.protect ~finally:(fun () -> Serve.Protocol.set_max_frame saved)
+  @@ fun () ->
+  Serve.Protocol.set_max_frame 65536;
+  Alcotest.(check int) "floor clamps" 65536 (Serve.Protocol.max_frame ());
+  (* A socketpair, not a pipe: an at-cap frame (64 KiB + framing) would
+     fill a pipe's buffer and deadlock this single-threaded test. *)
+  let rd, wr = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ic = Unix.in_channel_of_descr rd and oc = Unix.out_channel_of_descr wr in
+  let hdr = Simsweep.Telemetry.Obj [ ("type", Simsweep.Telemetry.String "t") ] in
+  let hdr_len =
+    String.length (Simsweep.Telemetry.to_string hdr)
+    + String.length ",\"payload_len\":65536"
+  in
+  (* Exactly at the cap: passes. *)
+  let at_cap = String.make (65536 - hdr_len) 'x' in
+  Serve.Protocol.write_frame ~payload:at_cap oc hdr;
+  (match Serve.Protocol.read_frame ic with
+  | Ok inc ->
+      Alcotest.(check int) "at-cap payload arrives" (String.length at_cap)
+        (String.length inc.Serve.Protocol.payload)
+  | Error e -> Alcotest.failf "at-cap frame: %s" e);
+  (* One byte over: the writer refuses before touching the socket. *)
+  (match
+     Serve.Protocol.write_frame ~payload:(String.make 65537 'x') oc hdr
+   with
+  | () -> Alcotest.fail "over-cap write accepted"
+  | exception Invalid_argument _ -> ());
+  (* An oversized length prefix is rejected reader-side without
+     allocating. *)
+  let bogus = Bytes.create 4 in
+  Bytes.set_int32_be bogus 0 (Int32.of_int (Serve.Protocol.max_frame () + 1));
+  output_bytes oc bogus;
+  flush oc;
+  close_out oc;
+  (match Serve.Protocol.read_frame ic with
+  | Error e -> Alcotest.(check bool) "oversized rejected" true (contains e "length")
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
   close_in ic
 
 (* {2 Equivalence cache} *)
@@ -173,6 +256,7 @@ let with_server f =
           cache_entries = 100_000;
           cache_bytes = 256_000_000;
           default_timeout_s = None;
+          max_frame_bytes = Serve.Protocol.default_max_frame;
           pool = Some pool;
         }
       in
@@ -342,9 +426,11 @@ let test_server_client_hangup () =
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_UNIX path);
       let oc = Unix.out_channel_of_descr fd in
-      Serve.Protocol.write_frame oc
-        (Serve.Protocol.request_to_json
-           (script "gen multiplier 6; store a; resyn2; miter a; cec sim"));
+      let hdr, payload =
+        Serve.Protocol.request_to_frame
+          (script "gen multiplier 6; store a; resyn2; miter a; cec sim")
+      in
+      Serve.Protocol.write_frame ~payload oc hdr;
       (* Close without ever reading the response frame. *)
       Unix.close fd;
       (* The daemon finishes the abandoned request, then serves us. *)
@@ -378,6 +464,9 @@ let () =
         [
           Alcotest.test_case "json roundtrip" `Quick test_protocol_json;
           Alcotest.test_case "framing" `Quick test_protocol_frames;
+          Alcotest.test_case "binary payload" `Quick test_protocol_payload;
+          Alcotest.test_case "frame cap boundary" `Quick
+            test_protocol_frame_cap;
         ] );
       ( "ecache",
         [

@@ -190,6 +190,163 @@ let test_cube_and_conquer_tail () =
   | Simsweep.Engine.Undecided -> Alcotest.fail "cube tail left the miter undecided");
   Alcotest.(check bool) "cubes were solved" true (st.Shard.Stats.cubes_solved > 0)
 
+(* --- data plane ------------------------------------------------------- *)
+
+(* Nothing this process created may survive: the registry must be empty
+   and no segment file of ours may remain on disk. *)
+let no_leaked_segments ctx =
+  Alcotest.(check (list string))
+    (ctx ^ ": no live segments")
+    []
+    (Shard.Shm.live_segments ());
+  let mine = Printf.sprintf "%s%d-" Shard.Shm.prefix (Unix.getpid ()) in
+  let leaked =
+    Sys.readdir (Shard.Shm.segment_dir ())
+    |> Array.to_list
+    |> List.filter (String.starts_with ~prefix:mine)
+  in
+  Alcotest.(check (list string)) (ctx ^ ": no leaked segment files") [] leaked
+
+let test_transport_agreement () =
+  (* Same miter, same worker counts, both transports — verdicts and the
+     per-shard verdict entries must be bit-identical.  Cube-and-conquer
+     forced on (stall budget 2) so the reduced-miter segment path runs. *)
+  let eq = equiv_miter (mult ~bits:5) in
+  let entry_sig st =
+    st.Shard.Stats.entries
+    |> List.map (fun e -> (e.Shard.Stats.e_shard, e.Shard.Stats.e_verdict))
+    |> List.sort compare
+  in
+  let run m workers transport =
+    let config =
+      {
+        (config ~workers) with
+        Shard.Check.transport;
+        direct_sat = true;
+        stall_conflicts = 2;
+        max_shard_ands = 128;
+      }
+    in
+    Shard.Check.check ~config m
+  in
+  let reference = ref None in
+  List.iter
+    (fun workers ->
+      let o_shm, st_shm = run eq workers `Shm in
+      let o_inl, st_inl = run eq workers `Inline in
+      (match (o_shm, o_inl) with
+      | Simsweep.Engine.Proved, Simsweep.Engine.Proved -> ()
+      | _ -> Alcotest.failf "equivalent miter not proved (%d workers)" workers);
+      Alcotest.(check string) "transport tags" "shm" st_shm.Shard.Stats.transport;
+      Alcotest.(check string) "inline tag" "inline" st_inl.Shard.Stats.transport;
+      Alcotest.(check bool)
+        (Printf.sprintf "entries agree across transports (%d workers)" workers)
+        true
+        (entry_sig st_shm = entry_sig st_inl);
+      (* ...and across worker counts. *)
+      (match !reference with
+      | None -> reference := Some (entry_sig st_shm)
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "entries agree across worker counts (%d)" workers)
+            true
+            (entry_sig st_shm = r));
+      Alcotest.(check bool) "shm created segments" true
+        (st_shm.Shard.Stats.segments_created > 0);
+      Alcotest.(check int) "inline created none" 0
+        st_inl.Shard.Stats.segments_created;
+      Alcotest.(check bool) "shm moved fewer payload bytes" true
+        (st_shm.Shard.Stats.bytes_tx < st_inl.Shard.Stats.bytes_tx))
+    [ 1; 2; 3 ];
+  (* A disproof must be found and replay identically on both transports. *)
+  let adder = Gen.Arith.adder ~bits:6 in
+  let ineq = Aig.Miter.build adder (faulty adder) in
+  List.iter
+    (fun transport ->
+      match run ineq 2 transport with
+      | Simsweep.Engine.Disproved (cex, po), _ ->
+          Alcotest.(check bool) "cex replays" true (Sim.Cex.check ineq cex po)
+      | _ -> Alcotest.fail "inequivalent miter not disproved")
+    [ `Shm; `Inline ];
+  no_leaked_segments "transport agreement"
+
+let test_segment_lifecycle () =
+  let m = equiv_miter (mult ~bits:5) in
+  (* Normal path with cube fan-out: every refcount returns to zero, so
+     every segment created is unlinked before [check] returns. *)
+  let cube_config =
+    {
+      (config ~workers:2) with
+      Shard.Check.direct_sat = true;
+      stall_conflicts = 2;
+      max_shard_ands = 128;
+    }
+  in
+  let outcome, st = Shard.Check.check ~config:cube_config m in
+  (match outcome with
+  | Simsweep.Engine.Proved -> ()
+  | _ -> Alcotest.fail "equivalent miter not proved");
+  Alcotest.(check bool) "segments created" true
+    (st.Shard.Stats.segments_created > 0);
+  Alcotest.(check int) "every segment unlinked"
+    st.Shard.Stats.segments_created st.Shard.Stats.segments_unlinked;
+  no_leaked_segments "cube fan-out";
+  (* SIGKILL a worker mid-shard: the crash path must not leak. *)
+  let crash_config =
+    {
+      (config ~workers:2) with
+      Shard.Check.test_kill_worker = Some 0;
+      max_respawns = 2;
+    }
+  in
+  ignore (Shard.Check.check ~config:crash_config m);
+  no_leaked_segments "worker SIGKILL";
+  (* Deadline kill+reap: segments referenced by killed workers included. *)
+  let deadline_config =
+    {
+      (config ~workers:2) with
+      Shard.Check.direct_sat = true;
+      stall_conflicts = max_int;
+      deadline_s = Some 0.3;
+    }
+  in
+  ignore (Shard.Check.check ~config:deadline_config (equiv_miter (mult ~bits:8)));
+  no_leaked_segments "deadline kill"
+
+let test_warm_pool () =
+  let m = equiv_miter (mult ~bits:5) in
+  let pool = Shard.Pool.create () in
+  Fun.protect ~finally:(fun () -> Shard.Pool.shutdown pool) @@ fun () ->
+  let cfg = config ~workers:2 in
+  let o1, s1 = Shard.Check.check ~config:cfg ~pool m in
+  (match o1 with
+  | Simsweep.Engine.Proved -> ()
+  | _ -> Alcotest.fail "cold run not proved");
+  Alcotest.(check int) "first run all cold" 2 s1.Shard.Stats.cold_starts;
+  Alcotest.(check int) "first run no warm" 0 s1.Shard.Stats.warm_starts;
+  Alcotest.(check bool) "workers released to the pool" true
+    (Shard.Pool.idle_count pool >= 1);
+  let o2, s2 = Shard.Check.check ~config:cfg ~pool m in
+  (match o2 with
+  | Simsweep.Engine.Proved -> ()
+  | _ -> Alcotest.fail "warm run not proved");
+  Alcotest.(check bool) "second run reused warm workers" true
+    (s2.Shard.Stats.warm_starts >= 1);
+  Alcotest.(check int) "lease is complete" 2
+    (s2.Shard.Stats.warm_starts + s2.Shard.Stats.cold_starts);
+  (* Warm workers are the same processes the first run used. *)
+  let reused =
+    List.filter (fun p -> List.mem p s1.Shard.Stats.worker_pids)
+      s2.Shard.Stats.worker_pids
+  in
+  Alcotest.(check bool) "same pids resurface" true
+    (List.length reused >= s2.Shard.Stats.warm_starts);
+  (* Idle expiry retires them. *)
+  Alcotest.(check bool) "reap_idle retires expired workers" true
+    (Shard.Pool.reap_idle ~max_idle_s:0. pool >= 1);
+  Alcotest.(check int) "pool drained" 0 (Shard.Pool.idle_count pool);
+  no_leaked_segments "warm pool"
+
 let () =
   (* Coordinators in these tests re-exec this binary as their workers. *)
   Shard.Worker.maybe_become_worker ();
@@ -211,5 +368,12 @@ let () =
             test_deadline_kills_and_reaps;
           Alcotest.test_case "cube-and-conquer tail" `Quick
             test_cube_and_conquer_tail;
+        ] );
+      ( "data plane",
+        [
+          Alcotest.test_case "transport agreement" `Slow
+            test_transport_agreement;
+          Alcotest.test_case "segment lifecycle" `Quick test_segment_lifecycle;
+          Alcotest.test_case "warm pool" `Quick test_warm_pool;
         ] );
     ]
